@@ -1,0 +1,237 @@
+// Package repro is the public API of this reproduction of "Content-Based
+// Video Indexing for the Support of Digital Library Search" (Petković et
+// al., ICDE 2002): a digital library search engine combining the COBRA
+// video data model with feature-grammar-driven indexing (Acoi/FDE),
+// scalable full-text retrieval with top-N optimization, and conceptual
+// webspace search.
+//
+// The package is a facade over the internal subsystems:
+//
+//   - Library indexes videos through the tennis Feature Detector Engine
+//     and answers content-based scene queries ("show net-play scenes").
+//   - DigitalLibrary combines a Library with a webspace site and full-text
+//     index, answering the combined concept+content queries of the demo.
+//   - Broadcast generation (synthetic tennis video with ground truth) and
+//     the SVF video container are re-exported for building corpora.
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dlse"
+	"repro/internal/fde"
+	"repro/internal/frame"
+	"repro/internal/grammar"
+	"repro/internal/ir"
+	"repro/internal/synth"
+	"repro/internal/vidfmt"
+	"repro/internal/webspace"
+)
+
+// Re-exported core types. Aliases keep the internal packages as the single
+// source of truth while making the types usable by importers.
+type (
+	// Image is an interleaved 8-bit RGB raster frame.
+	Image = frame.Image
+	// Video describes one indexed video document.
+	Video = core.Video
+	// Segment is a classified shot.
+	Segment = core.Segment
+	// Event is an inferred event-layer entity.
+	Event = core.Event
+	// Scene is a playable query answer: video + event interval.
+	Scene = core.Scene
+	// Interval is a half-open frame interval.
+	Interval = core.Interval
+	// MetaIndex is the populated COBRA meta-index.
+	MetaIndex = core.MetaIndex
+	// BroadcastConfig parameterizes synthetic broadcast generation.
+	BroadcastConfig = synth.Config
+	// Broadcast is a generated video with ground truth.
+	Broadcast = synth.Video
+	// SiteConfig parameterizes the synthetic Australian Open site.
+	SiteConfig = webspace.SiteConfig
+	// Site is a generated webspace site (object graph + pages).
+	Site = webspace.Site
+	// Result is one combined-query answer.
+	Result = dlse.Result
+	// Request is a structured combined query.
+	Request = dlse.Request
+	// Hit is one full-text retrieval result.
+	Hit = ir.Hit
+)
+
+// DefaultBroadcastConfig returns the standard synthetic broadcast
+// configuration for the given seed.
+func DefaultBroadcastConfig(seed int64) BroadcastConfig {
+	return synth.DefaultConfig(seed)
+}
+
+// GenerateBroadcast renders a synthetic tennis broadcast with ground truth.
+func GenerateBroadcast(cfg BroadcastConfig) (*Broadcast, error) {
+	return synth.Generate(cfg)
+}
+
+// WriteSVF encodes frames to a Simple Video Format file.
+func WriteSVF(path string, frames []*Image, fps int) error {
+	return vidfmt.WriteFile(path, frames, fps, 0)
+}
+
+// ReadSVF decodes all frames of an SVF file, returning them with the
+// stream's frame rate.
+func ReadSVF(path string) ([]*Image, int, error) {
+	frames, meta, err := vidfmt.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return frames, meta.FPS, nil
+}
+
+// Library is a content-based video library: the tennis FDE plus the COBRA
+// meta-index it populates.
+type Library struct {
+	engine *fde.Engine
+	index  *core.MetaIndex
+}
+
+// NewLibrary creates an empty library with the standard tennis FDE.
+func NewLibrary() (*Library, error) {
+	engine, err := fde.NewTennisEngine(fde.DefaultTennisConfig())
+	if err != nil {
+		return nil, err
+	}
+	index, err := core.NewMetaIndex()
+	if err != nil {
+		return nil, err
+	}
+	return &Library{engine: engine, index: index}, nil
+}
+
+// IndexFrames runs the full detector pipeline over the frames and stores
+// all extracted meta-data under the given video name.
+func (l *Library) IndexFrames(name string, frames []*Image, fps int) (int64, error) {
+	if len(frames) == 0 {
+		return 0, fmt.Errorf("repro: no frames for video %q", name)
+	}
+	v := core.Video{
+		Name: name, Width: frames[0].W, Height: frames[0].H,
+		FPS: fps, Frames: len(frames),
+	}
+	res, err := l.engine.Process(v, frames)
+	if err != nil {
+		return 0, fmt.Errorf("repro: indexing %q: %w", name, err)
+	}
+	return fde.IndexResult(res, l.index)
+}
+
+// IndexSVF indexes a video stored in an SVF file.
+func (l *Library) IndexSVF(name, path string) (int64, error) {
+	frames, meta, err := vidfmt.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	v := core.Video{
+		Name: name, Path: path, Width: meta.Width, Height: meta.Height,
+		FPS: meta.FPS, Frames: meta.Frames,
+	}
+	res, err := l.engine.Process(v, frames)
+	if err != nil {
+		return 0, fmt.Errorf("repro: indexing %q: %w", name, err)
+	}
+	return fde.IndexResult(res, l.index)
+}
+
+// Scenes returns all indexed scenes showing the given event kind
+// ("net-play", "rally", "service").
+func (l *Library) Scenes(kind string) ([]Scene, error) {
+	return l.index.Scenes(kind)
+}
+
+// Segments returns the classified shots of a video.
+func (l *Library) Segments(videoID int64) ([]Segment, error) {
+	return l.index.SegmentsOf(videoID)
+}
+
+// Index exposes the underlying meta-index for advanced queries.
+func (l *Library) Index() *MetaIndex { return l.index }
+
+// SaveIndex persists the meta-index.
+func (l *Library) SaveIndex(w io.Writer) error { return l.index.Serialize(w) }
+
+// LoadLibrary restores a library around a previously saved meta-index.
+func LoadLibrary(r io.Reader) (*Library, error) {
+	idx, err := core.DeserializeMetaIndex(r)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := fde.NewTennisEngine(fde.DefaultTennisConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Library{engine: engine, index: idx}, nil
+}
+
+// GrammarDOT returns the tennis feature grammar's detector dependency
+// graph in Graphviz DOT form — Figure 1 of the paper.
+func GrammarDOT() string { return grammar.Tennis().DOT() }
+
+// GrammarText returns the dependency graph as an indented text tree.
+func GrammarText() string { return grammar.Tennis().Text() }
+
+// GenerateSite builds the synthetic Australian Open site: the conceptual
+// object graph plus flattened pages.
+func GenerateSite(cfg SiteConfig) (*Site, error) {
+	return webspace.GenerateAusOpen(cfg)
+}
+
+// DigitalLibrary is the complete demo engine: conceptual + text + video
+// retrieval over one site.
+type DigitalLibrary struct {
+	engine *dlse.Engine
+	site   *webspace.Site
+}
+
+// NewDigitalLibrary combines a generated site with an indexed video
+// library. lib may be nil for a text/concept-only engine.
+func NewDigitalLibrary(site *Site, lib *Library) (*DigitalLibrary, error) {
+	var idx *core.MetaIndex
+	if lib != nil {
+		idx = lib.index
+	}
+	e, err := dlse.New(site, idx)
+	if err != nil {
+		return nil, err
+	}
+	return &DigitalLibrary{engine: e, site: site}, nil
+}
+
+// Query parses and runs a combined query in the demo query language, e.g.:
+//
+//	find Player where sex = "female" and handedness = "left"
+//	  and exists wonFinals
+//	scenes "net-play" via wonFinals.video
+func (dl *DigitalLibrary) Query(text string) ([]Result, error) {
+	req, err := dlse.ParseRequest(dl.site.W.Schema(), text)
+	if err != nil {
+		return nil, err
+	}
+	return dl.engine.Query(req)
+}
+
+// QueryStruct runs a pre-built structured request.
+func (dl *DigitalLibrary) QueryStruct(req Request) ([]Result, error) {
+	return dl.engine.Query(req)
+}
+
+// KeywordSearch is the flattened-pages keyword baseline.
+func (dl *DigitalLibrary) KeywordSearch(query string, k int) ([]Hit, error) {
+	return dl.engine.KeywordSearch(query, k)
+}
+
+// MotivatingQuery returns the paper's running example in query-language
+// form.
+func MotivatingQuery() string { return dlse.MotivatingQueryText }

@@ -1,0 +1,133 @@
+package repro
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLibraryIndexAndScenes(t *testing.T) {
+	cfg := DefaultBroadcastConfig(301)
+	cfg.Shots = 6
+	b, err := GenerateBroadcast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := NewLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vid, err := lib.IndexFrames("clip-301", b.Frames, b.FPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := lib.Segments(vid)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments = %v, %v", segs, err)
+	}
+	// Some event kind must have scenes.
+	total := 0
+	for _, kind := range []string{"rally", "net-play", "service"} {
+		scenes, err := lib.Scenes(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(scenes)
+		for _, s := range scenes {
+			if s.Video.Name != "clip-301" {
+				t.Fatalf("scene video = %q", s.Video.Name)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no scenes detected in generated broadcast")
+	}
+}
+
+func TestLibraryPersistence(t *testing.T) {
+	cfg := DefaultBroadcastConfig(302)
+	cfg.Shots = 4
+	b, _ := GenerateBroadcast(cfg)
+	lib, _ := NewLibrary()
+	if _, err := lib.IndexFrames("clip", b.Frames, b.FPS); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lib.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lib2, err := LoadLibrary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib2.Index().Stats() != lib.Index().Stats() {
+		t.Fatal("restored index differs")
+	}
+}
+
+func TestSVFRoundTripViaFacade(t *testing.T) {
+	cfg := DefaultBroadcastConfig(303)
+	cfg.Shots = 2
+	b, _ := GenerateBroadcast(cfg)
+	path := filepath.Join(t.TempDir(), "clip.svf")
+	if err := WriteSVF(path, b.Frames[:20], b.FPS); err != nil {
+		t.Fatal(err)
+	}
+	frames, fps, err := ReadSVF(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 20 || fps != b.FPS {
+		t.Fatalf("got %d frames @%dfps", len(frames), fps)
+	}
+	lib, _ := NewLibrary()
+	if _, err := lib.IndexSVF("from-file", path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDigitalLibraryMotivatingQuery(t *testing.T) {
+	site, err := GenerateSite(SiteConfig{Players: 32, YearStart: 1999, YearEnd: 2001, Seed: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := NewDigitalLibrary(site, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := dl.Query(`find Player where sex = "female" and exists wonFinals`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no female champions found")
+	}
+	// Keyword baseline works too.
+	hits, err := dl.KeywordSearch("australian open final", 5)
+	if err != nil || len(hits) == 0 {
+		t.Fatalf("keyword baseline: %v, %v", hits, err)
+	}
+	// The canonical motivating query parses.
+	if _, err := dl.Query(MotivatingQuery()); err != nil {
+		t.Fatalf("motivating query rejected: %v", err)
+	}
+}
+
+func TestGrammarExports(t *testing.T) {
+	dot := GrammarDOT()
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "segment") {
+		t.Fatalf("DOT output malformed:\n%s", dot)
+	}
+	txt := GrammarText()
+	if !strings.Contains(txt, "feature grammar") {
+		t.Fatalf("text output malformed:\n%s", txt)
+	}
+}
+
+func TestIndexFramesValidation(t *testing.T) {
+	lib, _ := NewLibrary()
+	if _, err := lib.IndexFrames("empty", nil, 25); err == nil {
+		t.Fatal("empty frames accepted")
+	}
+}

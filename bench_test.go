@@ -1,0 +1,885 @@
+// Experiment harness: one benchmark per experiment in DESIGN.md §4.
+//
+// The demo paper contains no quantitative tables; its only figure is the
+// detector dependency graph (Figure 1). E1 regenerates that figure exactly;
+// E2-E9 reconstruct the quantitative behaviour of the four subsystems the
+// demo integrates, with the methodology of the cited companion papers.
+// Each benchmark prints its table once (on the first invocation) and then
+// times the experiment's core operation for the -benchmem report.
+//
+// Run: go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dlse"
+	"repro/internal/eval"
+	"repro/internal/fde"
+	"repro/internal/frame"
+	"repro/internal/grammar"
+	"repro/internal/hmm"
+	"repro/internal/ir"
+	"repro/internal/rules"
+	"repro/internal/shotdet"
+	"repro/internal/synth"
+	"repro/internal/track"
+	"repro/internal/vidfmt"
+	"repro/internal/webspace"
+)
+
+// ---------------------------------------------------------------- fixtures
+
+var (
+	corpusOnce sync.Once
+	corpus     []*synth.Video // 6 videos, ground truth attached
+)
+
+func benchCorpus(b *testing.B) []*synth.Video {
+	b.Helper()
+	corpusOnce.Do(func() {
+		cfg := synth.DefaultConfig(1000)
+		cfg.Shots = 10
+		vids, err := synth.GenerateCorpus(cfg, 6)
+		if err != nil {
+			panic(err)
+		}
+		corpus = vids
+	})
+	return corpus
+}
+
+var (
+	irCorpusOnce sync.Once
+	irCorpus     *ir.Index
+)
+
+func benchIRCorpus(b *testing.B) *ir.Index {
+	b.Helper()
+	irCorpusOnce.Do(func() {
+		rng := rand.New(rand.NewSource(2000))
+		zipf := rand.NewZipf(rng, 1.15, 1, 2999)
+		ix := ir.NewIndex()
+		for d := 0; d < 20000; d++ {
+			n := 40 + rng.Intn(120)
+			var sb strings.Builder
+			for w := 0; w < n; w++ {
+				fmt.Fprintf(&sb, "w%d ", zipf.Uint64())
+			}
+			if _, err := ix.Add(fmt.Sprintf("d%05d", d), sb.String()); err != nil {
+				panic(err)
+			}
+		}
+		ix.Freeze()
+		irCorpus = ix
+	})
+	return irCorpus
+}
+
+// ------------------------------------------------------------ E1: Figure 1
+
+var fig1Once sync.Once
+
+// BenchmarkFig1DependencyGraph regenerates Figure 1 of the paper: the
+// tennis FDE detector dependency graph, from the feature grammar.
+func BenchmarkFig1DependencyGraph(b *testing.B) {
+	fig1Once.Do(func() {
+		g := grammar.Tennis()
+		fmt.Printf("\n=== E1 (Figure 1): Tennis FDE detector dependencies ===\n")
+		fmt.Print(g.Text())
+		fmt.Printf("--- DOT form (render with graphviz) ---\n%s\n", g.DOT())
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := grammar.Tennis()
+		_ = g.DOT()
+	}
+}
+
+// ----------------------------------------------- E2: shot boundary sweep
+
+var e2Once sync.Once
+
+// BenchmarkE2ShotBoundarySweep reproduces the segment detector's boundary
+// accuracy: precision/recall across the histogram-difference threshold
+// sweep, fixed vs adaptive thresholds.
+func BenchmarkE2ShotBoundarySweep(b *testing.B) {
+	vids := benchCorpus(b)
+	e2Once.Do(func() {
+		fmt.Printf("\n=== E2: shot boundary detection, threshold sweep (%d videos) ===\n", len(vids))
+		fmt.Printf("%-10s %-9s %10s %10s %10s\n", "threshold", "mode", "precision", "recall", "F1")
+		for _, th := range []float64{0.05, 0.10, 0.20, 0.35, 0.50, 0.80, 1.20, 1.60, 1.90} {
+			var pr eval.PR
+			for _, v := range vids {
+				cfg := shotdet.DefaultConfig()
+				cfg.Threshold = th
+				got := boundariesOf(shotdet.DetectBoundaries(v.Frames, cfg))
+				pr.Add(eval.MatchBoundaries(got, v.Truth.Boundaries(), 2))
+			}
+			fmt.Printf("%-10.2f %-9s %10.3f %10.3f %10.3f\n", th, "fixed", pr.Precision(), pr.Recall(), pr.F1())
+		}
+		var pr eval.PR
+		for _, v := range vids {
+			cfg := shotdet.DefaultConfig()
+			cfg.Adaptive = true
+			got := boundariesOf(shotdet.DetectBoundaries(v.Frames, cfg))
+			pr.Add(eval.MatchBoundaries(got, v.Truth.Boundaries(), 2))
+		}
+		fmt.Printf("%-10s %-9s %10.3f %10.3f %10.3f\n", "-", "adaptive", pr.Precision(), pr.Recall(), pr.F1())
+	})
+	v := vids[0]
+	cfg := shotdet.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = shotdet.DetectBoundaries(v.Frames, cfg)
+	}
+	b.ReportMetric(float64(len(v.Frames))*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+func boundariesOf(bs []shotdet.Boundary) []int {
+	out := make([]int, len(bs))
+	for i, bd := range bs {
+		out[i] = bd.Frame
+	}
+	return out
+}
+
+// -------------------------------------------- E3: shot classification
+
+var e3Once sync.Once
+
+// BenchmarkE3ShotClassification reproduces the four-way shot classifier
+// evaluation: the confusion matrix over {tennis, close-up, audience,
+// other}.
+func BenchmarkE3ShotClassification(b *testing.B) {
+	vids := benchCorpus(b)
+	cls := shotdet.NewClassifier(shotdet.DefaultClassifierConfig(synth.CourtColor))
+	e3Once.Do(func() {
+		conf := eval.NewConfusion("tennis", "close-up", "audience", "other")
+		for _, v := range vids {
+			for _, s := range v.Truth.Shots {
+				got, _ := cls.ClassifyShot(v.Frames, s.Start, s.End)
+				conf.Observe(s.Class.String(), got.String())
+			}
+		}
+		fmt.Printf("\n=== E3: shot classification confusion (%d shots, accuracy %.3f) ===\n",
+			conf.Total(), conf.Accuracy())
+		fmt.Print(conf.String())
+		for _, l := range conf.Labels {
+			fmt.Printf("  %-9s %s\n", l, conf.PerClass()[l])
+		}
+	})
+	v := vids[0]
+	s := v.Truth.Shots[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = cls.ClassifyShot(v.Frames, s.Start, s.End)
+	}
+}
+
+// ------------------------------------------------- E4: tracking error
+
+var e4Once sync.Once
+
+// BenchmarkE4TrackingError reproduces the tennis detector evaluation:
+// player position error against scripted ground truth, per script and
+// noise level, plus the track-loss rate.
+func BenchmarkE4TrackingError(b *testing.B) {
+	e4Once.Do(func() {
+		fmt.Printf("\n=== E4: player tracking error (60-frame shots) ===\n")
+		fmt.Printf("%-14s %-6s %12s %12s %10s\n", "script", "noise", "near err px", "far err px", "lost")
+		for _, script := range synth.Scripts() {
+			for _, noise := range []int{2, 4, 8} {
+				cfg := synth.DefaultConfig(4000)
+				cfg.Noise = noise
+				frames, near, far, _, err := synth.RenderTennisShot(cfg, script, 60)
+				if err != nil {
+					panic(err)
+				}
+				res := track.TrackShot(frames, track.DefaultConfig())
+				fmt.Printf("%-14s %-6d %12.2f %12.2f %9d%%\n", script, noise,
+					meanTrackError(res.Near, near), meanTrackError(res.Far, far),
+					100*(res.Near.LostFrames+res.Far.LostFrames)/(2*len(frames)))
+			}
+		}
+	})
+	cfg := synth.DefaultConfig(4000)
+	frames, _, _, _, _ := synth.RenderTennisShot(cfg, "rally", 60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = track.TrackShot(frames, track.DefaultConfig())
+	}
+	b.ReportMetric(float64(len(frames))*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+func meanTrackError(tr track.Track, truth []synth.Point) float64 {
+	var sum float64
+	n := 0
+	for i, o := range tr.Obs {
+		if i >= len(truth) {
+			break
+		}
+		dx, dy := o.X-truth[i].X, o.Y-truth[i].Y
+		sum += sqrtf(dx*dx + dy*dy)
+		n++
+	}
+	if n == 0 {
+		return -1
+	}
+	return sum / float64(n)
+}
+
+func sqrtf(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 24; i++ {
+		x = (x + v/x) / 2
+	}
+	return x
+}
+
+// ------------------------------------------------ E5: event detection
+
+var e5Once sync.Once
+
+// BenchmarkE5EventRules reproduces the spatio-temporal rule evaluation:
+// precision/recall of net-play, rally and service detection over scripted
+// shots, matched by interval IoU >= 0.5.
+func BenchmarkE5EventRules(b *testing.B) {
+	e5Once.Do(func() {
+		geomCfg := synth.DefaultConfig(0)
+		eng, err := rules.NewEngine(rules.TennisRules(), rules.StandardGeometry(geomCfg.W, geomCfg.H))
+		if err != nil {
+			panic(err)
+		}
+		perKind := map[string]*eval.PR{"net-play": {}, "rally": {}, "service": {}}
+		shots := 0
+		for seed := int64(0); seed < 12; seed++ {
+			for _, script := range synth.Scripts() {
+				cfg := synth.DefaultConfig(5000 + seed)
+				frames, _, _, truth, err := synth.RenderTennisShot(cfg, script, 70)
+				if err != nil {
+					panic(err)
+				}
+				shots++
+				res := track.TrackShot(frames, track.DefaultConfig())
+				dets := eng.Detect(fde.TrackToSeries(res), len(frames))
+				for kind, pr := range perKind {
+					var dIv, tIv []eval.Interval
+					for _, d := range dets {
+						if d.Kind == kind {
+							dIv = append(dIv, eval.Interval{Start: d.Start, End: d.End, Label: kind})
+						}
+					}
+					for _, tv := range truth {
+						if string(tv.Kind) == kind {
+							tIv = append(tIv, eval.Interval{Start: tv.Start, End: tv.End, Label: kind})
+						}
+					}
+					pr.Add(eval.MatchIntervals(dIv, tIv, 0.5))
+				}
+			}
+		}
+		fmt.Printf("\n=== E5: event detection via spatio-temporal rules (%d shots) ===\n", shots)
+		for _, kind := range []string{"net-play", "rally", "service"} {
+			fmt.Printf("  %-9s %s\n", kind, *perKind[kind])
+		}
+	})
+	cfg := synth.DefaultConfig(5000)
+	frames, _, _, _, _ := synth.RenderTennisShot(cfg, "net-approach", 70)
+	res := track.TrackShot(frames, track.DefaultConfig())
+	series := fde.TrackToSeries(res)
+	eng, _ := rules.NewEngine(rules.TennisRules(), rules.StandardGeometry(cfg.W, cfg.H))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = eng.Detect(series, len(frames))
+	}
+}
+
+// --------------------------------------------- E6: HMM stroke recognition
+
+var e6Once sync.Once
+
+// BenchmarkE6HMMStrokes reproduces the stochastic stroke recognition of
+// the companion paper: per-class HMMs over quantized pose sequences,
+// accuracy and confusion across observation-noise levels.
+func BenchmarkE6HMMStrokes(b *testing.B) {
+	e6Once.Do(func() {
+		fmt.Printf("\n=== E6: HMM stroke recognition (5 classes, 30 train / 20 test per class) ===\n")
+		fmt.Printf("%-8s %10s\n", "noise", "accuracy")
+		var lastConf *eval.Confusion
+		for _, noise := range []float64{0.02, 0.05, 0.10, 0.20, 0.35} {
+			train := hmm.StrokeDataset(30, noise, 6000)
+			test := hmm.StrokeDataset(20, noise, 7000)
+			cls, err := hmm.TrainClassifier(train, hmm.ClassifierConfig{
+				States: 4, Symbols: hmm.StrokeAlphabet, Seed: 8,
+				Train: hmm.TrainConfig{MaxIters: 30},
+			})
+			if err != nil {
+				panic(err)
+			}
+			conf := eval.NewConfusion(hmm.StrokeClasses...)
+			for class, seqs := range test {
+				for _, q := range seqs {
+					got, _, _, err := cls.Classify(q)
+					if err != nil {
+						panic(err)
+					}
+					conf.Observe(class, got)
+				}
+			}
+			fmt.Printf("%-8.2f %10.3f\n", noise, conf.Accuracy())
+			lastConf = conf
+		}
+		fmt.Printf("confusion at noise 0.35:\n%s", lastConf.String())
+	})
+	train := hmm.StrokeDataset(10, 0.05, 6000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := hmm.TrainClassifier(train, hmm.ClassifierConfig{
+			States: 4, Symbols: hmm.StrokeAlphabet, Seed: 8, Restarts: 1,
+			Train: hmm.TrainConfig{MaxIters: 10},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ------------------------------------------------ E7: IR top-N optimization
+
+var e7Once sync.Once
+
+// BenchmarkE7TopNOptimization reproduces the top-N retrieval optimization
+// study: postings scored and latency for the optimized algorithm vs the
+// exhaustive scan, and the quality/time trade-off under unsafe budgets.
+func BenchmarkE7TopNOptimization(b *testing.B) {
+	ix := benchIRCorpus(b)
+	queries := []string{"w3", "w1 w3", "w0 w2 w7", "w5 w11 w23 w47"}
+	e7Once.Do(func() {
+		fmt.Printf("\n=== E7: IR top-N optimization (20k docs, Zipf vocabulary) ===\n")
+		fmt.Printf("%-8s %-12s %12s %12s %10s %10s\n", "k", "mode", "postings", "latency", "speedup", "quality")
+		for _, k := range []int{10, 20, 50} {
+			var fullPostings, optPostings int
+			var fullDur, optDur time.Duration
+			quality := 1.0
+			for _, q := range queries {
+				start := time.Now()
+				_, fs, err := ix.Search(q, k)
+				if err != nil {
+					panic(err)
+				}
+				fullDur += time.Since(start)
+				fullPostings += fs.PostingsScored
+				start = time.Now()
+				opt, os, err := ix.SearchTopN(q, k, ir.TopNOptions{Fragments: 32})
+				if err != nil {
+					panic(err)
+				}
+				optDur += time.Since(start)
+				optPostings += os.PostingsScored
+				qv, err := ir.ScoreQuality(ix, q, k, opt)
+				if err != nil {
+					panic(err)
+				}
+				if qv < quality {
+					quality = qv
+				}
+			}
+			fmt.Printf("%-8d %-12s %12d %12v %10s %10.3f\n", k, "full", fullPostings, fullDur.Round(time.Microsecond), "1.0x", 1.0)
+			fmt.Printf("%-8d %-12s %12d %12v %9.1fx %10.3f\n", k, "topN-safe", optPostings, optDur.Round(time.Microsecond),
+				float64(fullDur)/float64(optDur), quality)
+		}
+		// Budget sweep: the quality/time trade-off at k=10. Budget b means
+		// the first b fragment rounds of every term's impact-ordered list.
+		fmt.Printf("--- budget sweep (k=10, fragments=32) ---\n")
+		fmt.Printf("%-10s %12s %10s\n", "rounds", "postings", "quality")
+		for _, budget := range []int{1, 2, 4, 8, 16, 24, 32} {
+			var postings int
+			quality := 1.0
+			for _, q := range queries {
+				opt, os, err := ix.SearchTopN(q, 10, ir.TopNOptions{Fragments: 32, MaxFragments: budget})
+				if err != nil {
+					panic(err)
+				}
+				postings += os.PostingsScored
+				qv, err := ir.ScoreQuality(ix, q, 10, opt)
+				if err != nil {
+					panic(err)
+				}
+				if qv < quality {
+					quality = qv
+				}
+			}
+			fmt.Printf("%-10d %12d %10.3f\n", budget, postings, quality)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.SearchTopN(queries[i%len(queries)], 10, ir.TopNOptions{Fragments: 32}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ------------------------------------- E8: webspace vs keyword baseline
+
+var e8Once sync.Once
+
+// BenchmarkE8WebspaceVsKeyword reproduces the webspace argument: precision
+// and recall of conceptual queries vs the best keyword formulation over the
+// flattened pages, on five query templates including the motivating query.
+func BenchmarkE8WebspaceVsKeyword(b *testing.B) {
+	site, err := webspace.GenerateAusOpen(webspace.SiteConfig{
+		Players: 128, YearStart: 1982, YearEnd: 2001, Seed: 8000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib, err := core.NewMetaIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := newDlseForBench(site, lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type tmpl struct {
+		name    string
+		query   webspace.Query
+		keyword string
+	}
+	templates := []tmpl{
+		{
+			"lefty female champions (motivating)",
+			webspace.MotivatingQuery(),
+			"left-handed female champion winner australian open",
+		},
+		{
+			"male champions",
+			webspace.Query{Class: "Player", Where: []webspace.Constraint{
+				{Attr: "sex", Op: webspace.OpEq, Val: "male"},
+				{Path: []string{"wonFinals"}},
+			}},
+			"male champion winner australian open final",
+		},
+		{
+			"champions since 1998",
+			webspace.Query{Class: "Player", Where: []webspace.Constraint{
+				{Path: []string{"wonFinals"}, Attr: "year", Op: webspace.OpGe, Val: int64(1998)},
+			}},
+			"winner 1998 1999 2000 2001 australian open",
+		},
+		{
+			"swiss players",
+			webspace.Query{Class: "Player", Where: []webspace.Constraint{
+				{Attr: "country", Op: webspace.OpEq, Val: "Switzerland"},
+			}},
+			"tennis player from switzerland",
+		},
+		{
+			"left-handed players",
+			webspace.Query{Class: "Player", Where: []webspace.Constraint{
+				{Attr: "handedness", Op: webspace.OpEq, Val: "left"},
+			}},
+			"left-handed tennis player",
+		},
+	}
+	e8Once.Do(func() {
+		fmt.Printf("\n=== E8: webspace conceptual queries vs keyword baseline (128 players, 40 finals) ===\n")
+		fmt.Printf("%-38s %8s | %18s | %18s\n", "query", "answers", "webspace P / R", "keyword P / R")
+		for _, tm := range templates {
+			truthObjs, err := site.W.Run(tm.query)
+			if err != nil {
+				panic(err)
+			}
+			truth := map[int64]bool{}
+			for _, o := range truthObjs {
+				truth[o.ID] = true
+			}
+			// Webspace result is exact by construction; verify anyway.
+			var wsPR eval.PR
+			for _, o := range truthObjs {
+				if truth[o.ID] {
+					wsPR.TP++
+				} else {
+					wsPR.FP++
+				}
+			}
+			// Keyword baseline: top 2*|truth| pages mapped to objects.
+			k := 2 * len(truthObjs)
+			if k < 10 {
+				k = 10
+			}
+			ids, err := eng.KeywordObjectSearch(tm.keyword, k)
+			if err != nil {
+				panic(err)
+			}
+			var kwPR eval.PR
+			matched := map[int64]bool{}
+			for _, id := range ids {
+				if truth[id] {
+					kwPR.TP++
+					matched[id] = true
+				} else {
+					kwPR.FP++
+				}
+			}
+			kwPR.FN = len(truth) - len(matched)
+			fmt.Printf("%-38s %8d |    %6.3f / %6.3f |    %6.3f / %6.3f\n",
+				tm.name, len(truthObjs),
+				wsPR.Precision(), wsPR.Recall(),
+				kwPR.Precision(), kwPR.Recall())
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := site.W.Run(templates[i%len(templates)].query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ------------------------------------------------- E9: end-to-end demo
+
+var e9Once sync.Once
+
+// BenchmarkE9EndToEnd runs the motivating query against a fully indexed
+// pipeline: synthetic broadcasts -> FDE -> meta-index -> combined query,
+// reporting the latency decomposition.
+func BenchmarkE9EndToEnd(b *testing.B) {
+	vids := benchCorpus(b)
+	e9Once.Do(func() {
+		t0 := time.Now()
+		site, err := webspace.GenerateAusOpen(webspace.SiteConfig{
+			Players: 32, YearStart: 2000, YearEnd: 2001, Seed: 16,
+		})
+		if err != nil {
+			panic(err)
+		}
+		genDur := time.Since(t0)
+
+		// Index one broadcast per final video name.
+		t0 = time.Now()
+		idx, err := core.NewMetaIndex()
+		if err != nil {
+			panic(err)
+		}
+		engine, err := fde.NewTennisEngine(fde.DefaultTennisConfig())
+		if err != nil {
+			panic(err)
+		}
+		names := site.W.All("Video")
+		for i, vid := range names {
+			vo, _ := site.W.Get(vid)
+			src := vids[i%len(vids)]
+			v := core.Video{
+				Name: vo.StringAttr("name"), Width: src.W, Height: src.H,
+				FPS: src.FPS, Frames: len(src.Frames),
+			}
+			res, err := engine.Process(v, src.Frames)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := fde.IndexResult(res, idx); err != nil {
+				panic(err)
+			}
+		}
+		indexDur := time.Since(t0)
+
+		t0 = time.Now()
+		eng, err := newDlseForBench(site, idx)
+		if err != nil {
+			panic(err)
+		}
+		buildDur := time.Since(t0)
+
+		t0 = time.Now()
+		results := runMotivating(eng, site)
+		queryDur := time.Since(t0)
+
+		scenes := 0
+		for _, r := range results {
+			scenes += len(r.Scenes)
+		}
+		st := idx.Stats()
+		fmt.Printf("\n=== E9: end-to-end motivating query ===\n")
+		fmt.Printf("site generation:   %12v\n", genDur.Round(time.Millisecond))
+		fmt.Printf("video indexing:    %12v  (%d videos, %d segments, %d events)\n",
+			indexDur.Round(time.Millisecond), st.Videos, st.Segments, st.Events)
+		fmt.Printf("engine build:      %12v\n", buildDur.Round(time.Millisecond))
+		fmt.Printf("combined query:    %12v  (%d players, %d net-play scenes)\n",
+			queryDur.Round(time.Microsecond), len(results), scenes)
+		e9eng, e9site = eng, site
+	})
+	if e9eng == nil {
+		b.Skip("end-to-end fixture unavailable")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = runMotivating(e9eng, e9site)
+	}
+}
+
+var (
+	e9eng  benchQuerier
+	e9site *webspace.Site
+)
+
+// benchQuerier is the combined engine used by E8/E9.
+type benchQuerier = *dlse.Engine
+
+func newDlseForBench(site *webspace.Site, idx *core.MetaIndex) (*dlse.Engine, error) {
+	return dlse.New(site, idx)
+}
+
+func runMotivating(eng *dlse.Engine, site *webspace.Site) []dlse.Result {
+	req, err := dlse.ParseRequest(site.W.Schema(), dlse.MotivatingQueryText)
+	if err != nil {
+		panic(err)
+	}
+	results, err := eng.Query(req)
+	if err != nil {
+		panic(err)
+	}
+	return results
+}
+
+// ------------------------------------------------- throughput benchmarks
+
+// BenchmarkSVFEncode measures SVF compression throughput.
+func BenchmarkSVFEncode(b *testing.B) {
+	vids := benchCorpus(b)
+	frames := vids[0].Frames[:100]
+	b.SetBytes(int64(100 * 3 * vids[0].W * vids[0].H))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vidfmt.EncodeAll(frames, 25, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSVFDecode measures SVF decode throughput.
+func BenchmarkSVFDecode(b *testing.B) {
+	vids := benchCorpus(b)
+	frames := vids[0].Frames[:100]
+	data, err := vidfmt.EncodeAll(frames, 25, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(100 * 3 * vids[0].W * vids[0].H))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := vidfmt.DecodeAll(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHistogram measures colour-histogram extraction speed.
+func BenchmarkHistogram(b *testing.B) {
+	vids := benchCorpus(b)
+	im := vids[0].Frames[0]
+	b.SetBytes(int64(3 * im.W * im.H))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = frame.HistogramOf(im, 8)
+	}
+}
+
+// BenchmarkQuadSegment measures the quadtree player segmentation.
+func BenchmarkQuadSegment(b *testing.B) {
+	cfg := synth.DefaultConfig(9000)
+	frames, _, _, _, _ := synth.RenderTennisShot(cfg, "rally", 2)
+	tcfg := track.DefaultConfig()
+	bg := track.EstimateBackground(frames[0], tcfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = track.QuadSegment(frames[0], bg, frames[0].Bounds(), tcfg)
+	}
+}
+
+// BenchmarkFDEPipeline measures full-pipeline indexing throughput.
+func BenchmarkFDEPipeline(b *testing.B) {
+	vids := benchCorpus(b)
+	v := vids[0]
+	engine, err := fde.NewTennisEngine(fde.DefaultTennisConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := core.Video{Name: "bench", Width: v.W, Height: v.H, FPS: v.FPS, Frames: len(v.Frames)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Process(doc, v.Frames); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(v.Frames))*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkIRIndexing measures document indexing throughput.
+func BenchmarkIRIndexing(b *testing.B) {
+	rng := rand.New(rand.NewSource(77))
+	docs := make([]string, 500)
+	for i := range docs {
+		var sb strings.Builder
+		for w := 0; w < 80; w++ {
+			fmt.Fprintf(&sb, "w%d ", rng.Intn(2000))
+		}
+		docs[i] = sb.String()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := ir.NewIndex()
+		for d, text := range docs {
+			if _, err := ix.Add(fmt.Sprintf("d%d", d), text); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ix.Freeze()
+	}
+	b.ReportMetric(float64(len(docs))*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+}
+
+// BenchmarkIRQueryFull measures exhaustive query latency on the 20k corpus.
+func BenchmarkIRQueryFull(b *testing.B) {
+	ix := benchIRCorpus(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.Search("w0 w1", 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// -------------------------------------------------------- ablations
+
+var ablHistOnce sync.Once
+
+// BenchmarkAblationHistogram compares histogram resolutions and distance
+// metrics for boundary detection (DESIGN.md §5).
+func BenchmarkAblationHistogram(b *testing.B) {
+	vids := benchCorpus(b)
+	ablHistOnce.Do(func() {
+		fmt.Printf("\n=== Ablation: histogram bins and metric (boundary F1) ===\n")
+		fmt.Printf("%-8s %-8s %10s\n", "bins", "metric", "F1")
+		for _, bins := range []int{4, 8, 16} {
+			for _, m := range []shotdet.Metric{shotdet.MetricL1, shotdet.MetricChiSquare} {
+				var pr eval.PR
+				for _, v := range vids {
+					cfg := shotdet.DefaultConfig()
+					cfg.Bins = bins
+					cfg.Metric = m
+					got := boundariesOf(shotdet.DetectBoundaries(v.Frames, cfg))
+					pr.Add(eval.MatchBoundaries(got, v.Truth.Boundaries(), 2))
+				}
+				fmt.Printf("%-8d %-8s %10.3f\n", bins, m, pr.F1())
+			}
+		}
+	})
+	v := vids[0]
+	cfg := shotdet.DefaultConfig()
+	cfg.Bins = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = shotdet.DetectBoundaries(v.Frames, cfg)
+	}
+}
+
+var ablWinOnce sync.Once
+
+// BenchmarkAblationSearchWindow sweeps the tracker's predict-and-search
+// window radius (DESIGN.md §5).
+func BenchmarkAblationSearchWindow(b *testing.B) {
+	ablWinOnce.Do(func() {
+		fmt.Printf("\n=== Ablation: tracker search window radius ===\n")
+		fmt.Printf("%-8s %12s %8s\n", "radius", "near err px", "lost")
+		for _, r := range []int{8, 16, 24, 40} {
+			cfg := synth.DefaultConfig(9100)
+			frames, near, _, _, err := synth.RenderTennisShot(cfg, "rally", 60)
+			if err != nil {
+				panic(err)
+			}
+			tcfg := track.DefaultConfig()
+			tcfg.SearchRadius = r
+			res := track.TrackShot(frames, tcfg)
+			fmt.Printf("%-8d %12.2f %7d%%\n", r,
+				meanTrackError(res.Near, near), 100*res.Near.LostFrames/len(frames))
+		}
+	})
+	cfg := synth.DefaultConfig(9100)
+	frames, _, _, _, _ := synth.RenderTennisShot(cfg, "rally", 60)
+	tcfg := track.DefaultConfig()
+	tcfg.SearchRadius = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = track.TrackShot(frames, tcfg)
+	}
+}
+
+var ablIncOnce sync.Once
+
+// BenchmarkAblationIncremental compares full FDE re-processing against
+// incremental re-indexing when only a rule detector changed (DESIGN.md §5).
+func BenchmarkAblationIncremental(b *testing.B) {
+	vids := benchCorpus(b)
+	v := vids[0]
+	engine, err := fde.NewTennisEngine(fde.DefaultTennisConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := core.Video{Name: "inc", Width: v.W, Height: v.H, FPS: v.FPS, Frames: len(v.Frames)}
+	prior, err := engine.Process(doc, v.Frames)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ablIncOnce.Do(func() {
+		t0 := time.Now()
+		if _, err := engine.Process(doc, v.Frames); err != nil {
+			panic(err)
+		}
+		full := time.Since(t0)
+		t0 = time.Now()
+		if _, err := engine.Reprocess(prior, v.Frames, "rally"); err != nil {
+			panic(err)
+		}
+		inc := time.Since(t0)
+		fmt.Printf("\n=== Ablation: incremental re-indexing (rule change) ===\n")
+		fmt.Printf("full re-process:   %12v\n", full.Round(time.Microsecond))
+		fmt.Printf("incremental:       %12v  (%.0fx faster)\n",
+			inc.Round(time.Microsecond), float64(full)/float64(inc))
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Reprocess(prior, v.Frames, "rally"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command cobraindex runs the tennis Feature Detector Engine over a corpus
+// of SVF videos, populating and persisting the COBRA meta-index.
+//
+// Usage:
+//
+//	cobraindex -out meta.db corpus/*.svf
+//	cobraindex -segdet ./segdet -out meta.db corpus/*.svf   # black-box mode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fde"
+	"repro/internal/vidfmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cobraindex: ")
+	var (
+		out    = flag.String("out", "meta.db", "output meta-index file")
+		segdet = flag.String("segdet", "", "path to an external segment detector binary (black-box mode)")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: cobraindex [-out meta.db] [-segdet BIN] video.svf...")
+	}
+	cfg := fde.DefaultTennisConfig()
+	if *segdet != "" {
+		cfg.SegmentImpl = fde.BlackBoxSegment(*segdet)
+	}
+	engine, err := fde.NewTennisEngine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := core.NewMetaIndex()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, path := range flag.Args() {
+		frames, meta, err := vidfmt.ReadFile(path)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		v := core.Video{
+			Name: name, Path: path,
+			Width: meta.Width, Height: meta.Height,
+			FPS: meta.FPS, Frames: meta.Frames,
+		}
+		start := time.Now()
+		res, err := engine.Process(v, frames)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		if _, err := fde.IndexResult(res, idx); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		fmt.Printf("%s: %d frames indexed in %v\n", name, meta.Frames, time.Since(start).Round(time.Millisecond))
+	}
+	st := idx.Stats()
+	fmt.Printf("meta-index: %d videos, %d segments, %d objects, %d states, %d events\n",
+		st.Videos, st.Segments, st.Objects, st.States, st.Events)
+	fmt.Println("detector statistics:")
+	for name, s := range engine.Stats() {
+		fmt.Printf("  %-10s runs=%d total=%v errors=%d\n", name, s.Runs, s.Total.Round(time.Millisecond), s.Errors)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := idx.Serialize(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,105 @@
+// Command dlsearch is the end-to-end digital library search engine demo:
+// it generates the synthetic Australian Open site, optionally loads a
+// video meta-index produced by cobraindex, and answers combined queries in
+// the demo query language.
+//
+// Usage:
+//
+//	dlsearch -query 'find Player where sex = "female" and exists wonFinals'
+//	dlsearch -meta meta.db -query "$(dlsearch -motivating)"
+//	dlsearch -keyword "left-handed champion"        # flattened-page baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dlse"
+	"repro/internal/webspace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dlsearch: ")
+	var (
+		query      = flag.String("query", "", "combined query in the demo query language")
+		keyword    = flag.String("keyword", "", "keyword baseline query over flattened pages")
+		motivating = flag.Bool("motivating", false, "print the paper's motivating query and exit")
+		metaPath   = flag.String("meta", "", "meta-index file from cobraindex (optional)")
+		players    = flag.Int("players", 64, "site size: number of players")
+		seed       = flag.Int64("seed", 16, "site generation seed")
+		years      = flag.Int("years", 10, "site size: number of tournament editions")
+	)
+	flag.Parse()
+
+	if *motivating {
+		fmt.Println(dlse.MotivatingQueryText)
+		return
+	}
+	if *query == "" && *keyword == "" {
+		log.Fatal("need -query, -keyword or -motivating")
+	}
+
+	site, err := webspace.GenerateAusOpen(webspace.SiteConfig{
+		Players: *players, YearStart: 2001 - *years + 1, YearEnd: 2001, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var idx *core.MetaIndex
+	if *metaPath != "" {
+		f, err := os.Open(*metaPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		idx, err = core.DeserializeMetaIndex(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	engine, err := dlse.New(site, idx)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *keyword != "" {
+		hits, err := engine.KeywordSearch(*keyword, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("keyword baseline: %d hits\n", len(hits))
+		for _, h := range hits {
+			fmt.Printf("  %-40s %.3f\n", h.Name, h.Score)
+		}
+		return
+	}
+
+	req, err := dlse.ParseRequest(site.W.Schema(), *query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := engine.Query(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d results\n", len(results))
+	for _, r := range results {
+		name := r.Object.StringAttr("name")
+		if name == "" {
+			name = fmt.Sprintf("%s #%d", r.Object.Class, r.Object.ID)
+		}
+		fmt.Printf("  %-30s", name)
+		if r.Score > 0 {
+			fmt.Printf(" score=%.3f", r.Score)
+		}
+		fmt.Println()
+		for _, s := range r.Scenes {
+			fmt.Printf("      scene: %s frames %s (%s, confidence %.2f)\n",
+				s.Video.Name, s.Event.Interval, s.Event.Kind, s.Event.Confidence)
+		}
+	}
+}

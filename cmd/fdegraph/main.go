@@ -1,0 +1,46 @@
+// Command fdegraph prints the tennis Feature Detector Engine's detector
+// dependency graph — Figure 1 of the paper — regenerated from the feature
+// grammar, as Graphviz DOT (default) or an indented text tree.
+//
+// Usage:
+//
+//	fdegraph          # DOT on stdout; pipe into `dot -Tpng`
+//	fdegraph -text    # text tree
+//	fdegraph -grammar custom.fg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/grammar"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fdegraph: ")
+	var (
+		text = flag.Bool("text", false, "print an indented text tree instead of DOT")
+		path = flag.String("grammar", "", "path to a feature grammar file (default: built-in tennis grammar)")
+	)
+	flag.Parse()
+
+	g := grammar.Tennis()
+	if *path != "" {
+		src, err := os.ReadFile(*path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err = grammar.Parse(string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *text {
+		fmt.Print(g.Text())
+		return
+	}
+	fmt.Print(g.DOT())
+}

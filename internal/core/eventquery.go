@@ -1,0 +1,99 @@
+package core
+
+import "fmt"
+
+// Composite event queries: the COBRA companion paper implements the object
+// and event grammars "within the query engine", letting users ask for
+// events standing in a particular temporal relationship — e.g. a net-play
+// that happens during a rally, or a service immediately followed (met) by
+// a rally. These queries run over the populated meta-index using Allen's
+// interval algebra.
+
+// EventPair is one answer to a composite event query.
+type EventPair struct {
+	// A and B are the two related events (A rel B holds).
+	A, B Event
+	// Rel is the Allen relation that A bears to B.
+	Rel AllenRelation
+}
+
+// EventsRelated returns all pairs (a, b) with a of kindA, b of kindB, both
+// in the same video, such that Relation(a, b) is one of the wanted
+// relations. With no relations given, every co-video pair is returned with
+// its relation.
+func (m *MetaIndex) EventsRelated(kindA, kindB string, wanted ...AllenRelation) ([]EventPair, error) {
+	as, err := m.EventsByKind(kindA)
+	if err != nil {
+		return nil, fmt.Errorf("core: composite query: %w", err)
+	}
+	bs, err := m.EventsByKind(kindB)
+	if err != nil {
+		return nil, fmt.Errorf("core: composite query: %w", err)
+	}
+	want := map[AllenRelation]bool{}
+	for _, r := range wanted {
+		want[r] = true
+	}
+	byVideo := map[int64][]Event{}
+	for _, b := range bs {
+		byVideo[b.VideoID] = append(byVideo[b.VideoID], b)
+	}
+	var out []EventPair
+	for _, a := range as {
+		for _, b := range byVideo[a.VideoID] {
+			if a.ID == b.ID && kindA == kindB {
+				continue
+			}
+			rel := Relation(a.Interval, b.Interval)
+			if len(want) == 0 || want[rel] {
+				out = append(out, EventPair{A: a, B: b, Rel: rel})
+			}
+		}
+	}
+	return out, nil
+}
+
+// EventsFollowing returns events of kindB starting within maxGap frames
+// after an event of kindA ends, in the same video — the "A then B"
+// pattern (e.g. service followed by rally).
+func (m *MetaIndex) EventsFollowing(kindA, kindB string, maxGap int) ([]EventPair, error) {
+	if maxGap < 0 {
+		return nil, fmt.Errorf("core: negative gap %d", maxGap)
+	}
+	pairs, err := m.EventsRelated(kindA, kindB)
+	if err != nil {
+		return nil, err
+	}
+	var out []EventPair
+	for _, p := range pairs {
+		gap := p.B.Start - p.A.End
+		if gap >= 0 && gap <= maxGap {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// ScenesWithEventDuring returns scenes of kindA events that lie (Allen
+// during, starts, finishes, or equals) within a kindB event — e.g. net-play
+// scenes occurring within a rally.
+func (m *MetaIndex) ScenesWithEventDuring(kindA, kindB string) ([]Scene, error) {
+	pairs, err := m.EventsRelated(kindA, kindB, RelDuring, RelStarts, RelFinishes, RelEquals)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[int64]bool{}
+	var out []Scene
+	for _, p := range pairs {
+		if seen[p.A.ID] {
+			continue
+		}
+		seen[p.A.ID] = true
+		v, err := m.VideoByID(p.A.VideoID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Scene{Video: v, Event: p.A})
+	}
+	return out, nil
+}

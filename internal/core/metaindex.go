@@ -1,0 +1,523 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/store"
+)
+
+// MetaIndex is the populated video meta-data database: all four COBRA
+// layers stored in the column store. The FDE writes it; the digital-library
+// search engine reads it. "Managing the meta-index now boils down to
+// exploiting the dependencies in the feature grammar" — the index itself is
+// plain tables.
+type MetaIndex struct {
+	db       *store.DB
+	videos   *store.Table
+	segments *store.Table
+	features *store.Table
+	objects  *store.Table
+	states   *store.Table
+	events   *store.Table
+	nextID   map[string]int64
+}
+
+// Table names within the meta-index database.
+const (
+	tblVideos   = "videos"
+	tblSegments = "segments"
+	tblFeatures = "features"
+	tblObjects  = "objects"
+	tblStates   = "states"
+	tblEvents   = "events"
+)
+
+// NewMetaIndex creates an empty meta-index with its schema and indexes.
+func NewMetaIndex() (*MetaIndex, error) {
+	db := store.NewDB()
+	m := &MetaIndex{db: db, nextID: map[string]int64{}}
+	var err error
+	mk := func(s store.Schema) *store.Table {
+		if err != nil {
+			return nil
+		}
+		var t *store.Table
+		t, err = db.Create(s)
+		return t
+	}
+	m.videos = mk(store.Schema{Name: tblVideos, Columns: []store.Column{
+		{Name: "id", Type: store.TInt},
+		{Name: "name", Type: store.TString},
+		{Name: "path", Type: store.TString},
+		{Name: "width", Type: store.TInt},
+		{Name: "height", Type: store.TInt},
+		{Name: "fps", Type: store.TInt},
+		{Name: "frames", Type: store.TInt},
+	}})
+	m.segments = mk(store.Schema{Name: tblSegments, Columns: []store.Column{
+		{Name: "id", Type: store.TInt},
+		{Name: "video", Type: store.TInt},
+		{Name: "start", Type: store.TInt},
+		{Name: "end", Type: store.TInt},
+		{Name: "class", Type: store.TString},
+	}})
+	m.features = mk(store.Schema{Name: tblFeatures, Columns: []store.Column{
+		{Name: "video", Type: store.TInt},
+		{Name: "frame", Type: store.TInt},
+		{Name: "name", Type: store.TString},
+		{Name: "value", Type: store.TFloat},
+	}})
+	m.objects = mk(store.Schema{Name: tblObjects, Columns: []store.Column{
+		{Name: "id", Type: store.TInt},
+		{Name: "video", Type: store.TInt},
+		{Name: "segment", Type: store.TInt},
+		{Name: "name", Type: store.TString},
+		{Name: "start", Type: store.TInt},
+		{Name: "end", Type: store.TInt},
+	}})
+	m.states = mk(store.Schema{Name: tblStates, Columns: []store.Column{
+		{Name: "object", Type: store.TInt},
+		{Name: "frame", Type: store.TInt},
+		{Name: "found", Type: store.TBool},
+		{Name: "x", Type: store.TFloat},
+		{Name: "y", Type: store.TFloat},
+		{Name: "vx", Type: store.TFloat},
+		{Name: "vy", Type: store.TFloat},
+		{Name: "area", Type: store.TInt},
+		{Name: "bx0", Type: store.TInt},
+		{Name: "by0", Type: store.TInt},
+		{Name: "bx1", Type: store.TInt},
+		{Name: "by1", Type: store.TInt},
+		{Name: "orientation", Type: store.TFloat},
+		{Name: "eccentricity", Type: store.TFloat},
+	}})
+	m.events = mk(store.Schema{Name: tblEvents, Columns: []store.Column{
+		{Name: "id", Type: store.TInt},
+		{Name: "video", Type: store.TInt},
+		{Name: "segment", Type: store.TInt},
+		{Name: "kind", Type: store.TString},
+		{Name: "start", Type: store.TInt},
+		{Name: "end", Type: store.TInt},
+		{Name: "actor", Type: store.TInt},
+		{Name: "confidence", Type: store.TFloat},
+	}})
+	if err != nil {
+		return nil, fmt.Errorf("core: building meta-index schema: %w", err)
+	}
+	if err := m.buildIndexes(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *MetaIndex) buildIndexes() error {
+	steps := []struct {
+		t   *store.Table
+		col string
+		fn  func(*store.Table, string) error
+	}{
+		{m.videos, "id", (*store.Table).CreateHashIndex},
+		{m.videos, "name", (*store.Table).CreateHashIndex},
+		{m.segments, "video", (*store.Table).CreateHashIndex},
+		{m.segments, "class", (*store.Table).CreateHashIndex},
+		{m.objects, "segment", (*store.Table).CreateHashIndex},
+		{m.objects, "id", (*store.Table).CreateHashIndex},
+		{m.states, "object", (*store.Table).CreateHashIndex},
+		{m.events, "kind", (*store.Table).CreateHashIndex},
+		{m.events, "video", (*store.Table).CreateHashIndex},
+		{m.features, "name", (*store.Table).CreateHashIndex},
+	}
+	for _, s := range steps {
+		if err := s.fn(s.t, s.col); err != nil {
+			return fmt.Errorf("core: indexing: %w", err)
+		}
+	}
+	return nil
+}
+
+func (m *MetaIndex) id(kind string) int64 {
+	m.nextID[kind]++
+	return m.nextID[kind]
+}
+
+// AddVideo registers a video and returns its assigned ID.
+func (m *MetaIndex) AddVideo(v Video) (int64, error) {
+	v.ID = m.id("video")
+	err := m.videos.Append(
+		store.Int(v.ID), store.Str(v.Name), store.Str(v.Path),
+		store.Int(int64(v.Width)), store.Int(int64(v.Height)),
+		store.Int(int64(v.FPS)), store.Int(int64(v.Frames)),
+	)
+	if err != nil {
+		return 0, fmt.Errorf("core: add video: %w", err)
+	}
+	return v.ID, nil
+}
+
+// AddSegment registers a shot and returns its assigned ID.
+func (m *MetaIndex) AddSegment(s Segment) (int64, error) {
+	s.ID = m.id("segment")
+	err := m.segments.Append(
+		store.Int(s.ID), store.Int(s.VideoID),
+		store.Int(int64(s.Start)), store.Int(int64(s.End)),
+		store.Str(s.Class),
+	)
+	if err != nil {
+		return 0, fmt.Errorf("core: add segment: %w", err)
+	}
+	return s.ID, nil
+}
+
+// AddFeature records a feature-layer measurement.
+func (m *MetaIndex) AddFeature(f FeatureValue) error {
+	err := m.features.Append(
+		store.Int(f.VideoID), store.Int(int64(f.Frame)),
+		store.Str(f.Name), store.Float(f.Value),
+	)
+	if err != nil {
+		return fmt.Errorf("core: add feature: %w", err)
+	}
+	return nil
+}
+
+// AddObject registers an object and returns its assigned ID.
+func (m *MetaIndex) AddObject(o Object) (int64, error) {
+	o.ID = m.id("object")
+	err := m.objects.Append(
+		store.Int(o.ID), store.Int(o.VideoID), store.Int(o.SegmentID),
+		store.Str(o.Name), store.Int(int64(o.Start)), store.Int(int64(o.End)),
+	)
+	if err != nil {
+		return 0, fmt.Errorf("core: add object: %w", err)
+	}
+	return o.ID, nil
+}
+
+// AddState records a per-frame object state.
+func (m *MetaIndex) AddState(s ObjectState) error {
+	err := m.states.Append(
+		store.Int(s.ObjectID), store.Int(int64(s.Frame)), store.Bool(s.Found),
+		store.Float(s.X), store.Float(s.Y), store.Float(s.VX), store.Float(s.VY),
+		store.Int(int64(s.Area)),
+		store.Int(int64(s.BBox[0])), store.Int(int64(s.BBox[1])),
+		store.Int(int64(s.BBox[2])), store.Int(int64(s.BBox[3])),
+		store.Float(s.Orientation), store.Float(s.Eccentricity),
+	)
+	if err != nil {
+		return fmt.Errorf("core: add state: %w", err)
+	}
+	return nil
+}
+
+// AddEvent registers an event and returns its assigned ID.
+func (m *MetaIndex) AddEvent(e Event) (int64, error) {
+	e.ID = m.id("event")
+	err := m.events.Append(
+		store.Int(e.ID), store.Int(e.VideoID), store.Int(e.SegmentID),
+		store.Str(e.Kind), store.Int(int64(e.Start)), store.Int(int64(e.End)),
+		store.Int(e.ActorID), store.Float(e.Confidence),
+	)
+	if err != nil {
+		return 0, fmt.Errorf("core: add event: %w", err)
+	}
+	return e.ID, nil
+}
+
+// Videos returns all registered videos.
+func (m *MetaIndex) Videos() ([]Video, error) {
+	out := make([]Video, 0, m.videos.Len())
+	for i := 0; i < m.videos.Len(); i++ {
+		v, err := m.videoAt(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func (m *MetaIndex) videoAt(row int) (Video, error) {
+	r, err := m.videos.Row(row)
+	if err != nil {
+		return Video{}, err
+	}
+	return Video{
+		ID: r[0].I, Name: r[1].S, Path: r[2].S,
+		Width: int(r[3].I), Height: int(r[4].I),
+		FPS: int(r[5].I), Frames: int(r[6].I),
+	}, nil
+}
+
+// VideoByID returns the video with the given ID.
+func (m *MetaIndex) VideoByID(id int64) (Video, error) {
+	rows, err := m.videos.Select(store.Eq("id", store.Int(id)))
+	if err != nil {
+		return Video{}, err
+	}
+	if len(rows) == 0 {
+		return Video{}, fmt.Errorf("core: no video with id %d", id)
+	}
+	return m.videoAt(rows[0])
+}
+
+// VideoByName returns the video with the given name.
+func (m *MetaIndex) VideoByName(name string) (Video, error) {
+	rows, err := m.videos.Select(store.Eq("name", store.Str(name)))
+	if err != nil {
+		return Video{}, err
+	}
+	if len(rows) == 0 {
+		return Video{}, fmt.Errorf("core: no video named %q", name)
+	}
+	return m.videoAt(rows[0])
+}
+
+func (m *MetaIndex) segmentAt(row int) (Segment, error) {
+	r, err := m.segments.Row(row)
+	if err != nil {
+		return Segment{}, err
+	}
+	return Segment{
+		ID: r[0].I, VideoID: r[1].I,
+		Interval: Interval{Start: int(r[2].I), End: int(r[3].I)},
+		Class:    r[4].S,
+	}, nil
+}
+
+// SegmentsOf returns all shots of a video in index order.
+func (m *MetaIndex) SegmentsOf(videoID int64) ([]Segment, error) {
+	rows, err := m.segments.Select(store.Eq("video", store.Int(videoID)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Segment, 0, len(rows))
+	for _, row := range rows {
+		s, err := m.segmentAt(row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// SegmentsByClass returns all shots with the given class across videos.
+func (m *MetaIndex) SegmentsByClass(class string) ([]Segment, error) {
+	rows, err := m.segments.Select(store.Eq("class", store.Str(class)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Segment, 0, len(rows))
+	for _, row := range rows {
+		s, err := m.segmentAt(row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (m *MetaIndex) eventAt(row int) (Event, error) {
+	r, err := m.events.Row(row)
+	if err != nil {
+		return Event{}, err
+	}
+	return Event{
+		ID: r[0].I, VideoID: r[1].I, SegmentID: r[2].I, Kind: r[3].S,
+		Interval: Interval{Start: int(r[4].I), End: int(r[5].I)},
+		ActorID:  r[6].I, Confidence: r[7].F,
+	}, nil
+}
+
+// EventsByKind returns all events of the given kind.
+func (m *MetaIndex) EventsByKind(kind string) ([]Event, error) {
+	rows, err := m.events.Select(store.Eq("kind", store.Str(kind)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Event, 0, len(rows))
+	for _, row := range rows {
+		e, err := m.eventAt(row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// EventsOf returns all events of a video.
+func (m *MetaIndex) EventsOf(videoID int64) ([]Event, error) {
+	rows, err := m.events.Select(store.Eq("video", store.Int(videoID)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Event, 0, len(rows))
+	for _, row := range rows {
+		e, err := m.eventAt(row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Scenes returns playable scenes for all events of the given kind,
+// joining events with their videos.
+func (m *MetaIndex) Scenes(kind string) ([]Scene, error) {
+	evs, err := m.EventsByKind(kind)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Scene, 0, len(evs))
+	for _, e := range evs {
+		v, err := m.VideoByID(e.VideoID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Scene{Video: v, Event: e})
+	}
+	return out, nil
+}
+
+// ObjectsIn returns the objects tracked within a segment.
+func (m *MetaIndex) ObjectsIn(segmentID int64) ([]Object, error) {
+	rows, err := m.objects.Select(store.Eq("segment", store.Int(segmentID)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Object, 0, len(rows))
+	for _, row := range rows {
+		r, err := m.objects.Row(row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Object{
+			ID: r[0].I, VideoID: r[1].I, SegmentID: r[2].I, Name: r[3].S,
+			Interval: Interval{Start: int(r[4].I), End: int(r[5].I)},
+		})
+	}
+	return out, nil
+}
+
+// StatesOf returns the per-frame states of an object in frame order.
+func (m *MetaIndex) StatesOf(objectID int64) ([]ObjectState, error) {
+	rows, err := m.states.Select(store.Eq("object", store.Int(objectID)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ObjectState, 0, len(rows))
+	for _, row := range rows {
+		r, err := m.states.Row(row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ObjectState{
+			ObjectID: r[0].I, Frame: int(r[1].I), Found: r[2].B,
+			X: r[3].F, Y: r[4].F, VX: r[5].F, VY: r[6].F,
+			Area:        int(r[7].I),
+			BBox:        [4]int{int(r[8].I), int(r[9].I), int(r[10].I), int(r[11].I)},
+			Orientation: r[12].F, Eccentricity: r[13].F,
+		})
+	}
+	return out, nil
+}
+
+// FeaturesNamed returns all measurements of the named feature.
+func (m *MetaIndex) FeaturesNamed(name string) ([]FeatureValue, error) {
+	rows, err := m.features.Select(store.Eq("name", store.Str(name)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FeatureValue, 0, len(rows))
+	for _, row := range rows {
+		r, err := m.features.Row(row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FeatureValue{
+			VideoID: r[0].I, Frame: int(r[1].I), Name: r[2].S, Value: r[3].F,
+		})
+	}
+	return out, nil
+}
+
+// Stats summarizes the index contents.
+type Stats struct {
+	Videos, Segments, Features, Objects, States, Events int
+}
+
+// Stats returns row counts per layer.
+func (m *MetaIndex) Stats() Stats {
+	return Stats{
+		Videos:   m.videos.Len(),
+		Segments: m.segments.Len(),
+		Features: m.features.Len(),
+		Objects:  m.objects.Len(),
+		States:   m.states.Len(),
+		Events:   m.events.Len(),
+	}
+}
+
+// Serialize writes the meta-index to w.
+func (m *MetaIndex) Serialize(w io.Writer) error { return m.db.Serialize(w) }
+
+// DeserializeMetaIndex reads a meta-index written by Serialize and rebuilds
+// its secondary indexes and ID counters.
+func DeserializeMetaIndex(r io.Reader) (*MetaIndex, error) {
+	db, err := store.Deserialize(r)
+	if err != nil {
+		return nil, err
+	}
+	m := &MetaIndex{db: db, nextID: map[string]int64{}}
+	get := func(name string) *store.Table {
+		if err != nil {
+			return nil
+		}
+		var t *store.Table
+		t, err = db.Table(name)
+		return t
+	}
+	m.videos = get(tblVideos)
+	m.segments = get(tblSegments)
+	m.features = get(tblFeatures)
+	m.objects = get(tblObjects)
+	m.states = get(tblStates)
+	m.events = get(tblEvents)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading meta-index: %w", err)
+	}
+	if err := m.buildIndexes(); err != nil {
+		return nil, err
+	}
+	// Restore ID counters from the maxima.
+	restore := func(t *store.Table, kind string) error {
+		var maxID int64
+		for i := 0; i < t.Len(); i++ {
+			v, err := t.Get(i, 0)
+			if err != nil {
+				return err
+			}
+			if v.I > maxID {
+				maxID = v.I
+			}
+		}
+		m.nextID[kind] = maxID
+		return nil
+	}
+	for _, s := range []struct {
+		t    *store.Table
+		kind string
+	}{
+		{m.videos, "video"}, {m.segments, "segment"},
+		{m.objects, "object"}, {m.events, "event"},
+	} {
+		if err := restore(s.t, s.kind); err != nil {
+			return nil, fmt.Errorf("core: restoring id counters: %w", err)
+		}
+	}
+	return m, nil
+}

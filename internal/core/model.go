@@ -1,0 +1,118 @@
+package core
+
+import "fmt"
+
+// Layer enumerates the four layers of the COBRA model.
+type Layer int
+
+// The four COBRA layers, bottom-up.
+const (
+	LayerRaw Layer = iota
+	LayerFeature
+	LayerObject
+	LayerEvent
+)
+
+// String names the layer.
+func (l Layer) String() string {
+	switch l {
+	case LayerRaw:
+		return "raw"
+	case LayerFeature:
+		return "feature"
+	case LayerObject:
+		return "object"
+	case LayerEvent:
+		return "event"
+	}
+	return fmt.Sprintf("layer(%d)", int(l))
+}
+
+// Video is a raw-data-layer entry: one indexed video document.
+type Video struct {
+	// ID is assigned by the meta-index.
+	ID int64
+	// Name is a human-readable identifier (e.g. "ausopen-final-w-2001").
+	Name string
+	// Path locates the SVF file, if the video is file-backed.
+	Path string
+	// Width, Height, FPS and Frames mirror the container metadata.
+	Width, Height, FPS, Frames int
+}
+
+// Segment is a shot: a contiguous raw-data-layer unit produced by the
+// segment detector, carrying its classification.
+type Segment struct {
+	ID      int64
+	VideoID int64
+	Interval
+	// Class is the shot class name: "tennis", "close-up", "audience",
+	// "other".
+	Class string
+}
+
+// FeatureValue is one feature-layer measurement: a named scalar attached
+// to a frame of a video (e.g. colour entropy, skin ratio).
+type FeatureValue struct {
+	VideoID int64
+	Frame   int
+	Name    string
+	Value   float64
+}
+
+// Object is an object-layer entity: something with a prominent spatial
+// extent, tracked over an interval of a segment (e.g. a player).
+type Object struct {
+	ID        int64
+	VideoID   int64
+	SegmentID int64
+	// Name identifies the role, e.g. "player-near", "player-far".
+	Name string
+	Interval
+}
+
+// ObjectState is the per-frame spatial state of an object: position plus
+// the standard shape features the tennis detector extracts.
+type ObjectState struct {
+	ObjectID int64
+	Frame    int
+	// Found is false when the tracker coasted this frame.
+	Found bool
+	// X, Y is the mass centre.
+	X, Y float64
+	// VX, VY is the velocity estimate in pixels/frame.
+	VX, VY float64
+	// Area is the pixel count of the segmented figure.
+	Area int
+	// BBox is the bounding box (x0, y0, x1, y1).
+	BBox [4]int
+	// Orientation (radians) and Eccentricity of the equivalent ellipse.
+	Orientation, Eccentricity float64
+}
+
+// Event is an event-layer entity: something with a prominent temporal
+// extent, inferred by the rules (e.g. net-play, rally, service).
+type Event struct {
+	ID        int64
+	VideoID   int64
+	SegmentID int64
+	// Kind names the event type: "net-play", "rally", "service".
+	Kind string
+	Interval
+	// ActorID is the object performing the event (0 if none).
+	ActorID int64
+	// Confidence is the rule engine's confidence in [0, 1].
+	Confidence float64
+}
+
+// Scene identifies a playable video scene answering a query: a video plus
+// a frame interval, with the matched event for provenance.
+type Scene struct {
+	Video Video
+	Event Event
+}
+
+// String renders the scene as "video [start,end) kind".
+func (s Scene) String() string {
+	return fmt.Sprintf("%s %s %s", s.Video.Name, s.Event.Interval, s.Event.Kind)
+}

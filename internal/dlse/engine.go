@@ -1,0 +1,267 @@
+// Package dlse implements the digital library search engine that the ICDE
+// 2002 demo presented: one engine combining (1) conceptual webspace queries
+// over the site's object graph, (2) scalable full-text retrieval over the
+// flattened pages, and (3) content-based video retrieval over the
+// FDE-populated meta-index — so that a user can ask for "video scenes of
+// left-handed female players who have won the Australian Open in the past,
+// in which they approach the net".
+package dlse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/webspace"
+)
+
+// Engine is the combined digital-library search engine.
+type Engine struct {
+	space *webspace.Webspace
+	text  *ir.Index
+	video *core.MetaIndex
+	// pageObj maps IR doc IDs back to webspace object IDs.
+	pageObj map[ir.DocID]int64
+	// objDocs maps object IDs to their page doc IDs.
+	objDocs map[int64][]ir.DocID
+}
+
+// New builds the engine over a generated site and a (possibly empty) video
+// meta-index. The site's pages are indexed for full-text retrieval.
+func New(site *webspace.Site, video *core.MetaIndex) (*Engine, error) {
+	if site == nil || site.W == nil {
+		return nil, fmt.Errorf("dlse: nil site")
+	}
+	if video == nil {
+		var err error
+		video, err = core.NewMetaIndex()
+		if err != nil {
+			return nil, err
+		}
+	}
+	e := &Engine{
+		space:   site.W,
+		text:    ir.NewIndex(),
+		video:   video,
+		pageObj: map[ir.DocID]int64{},
+		objDocs: map[int64][]ir.DocID{},
+	}
+	for _, pg := range site.Pages {
+		id, err := e.text.Add(pg.Name, pg.Text)
+		if err != nil {
+			return nil, fmt.Errorf("dlse: indexing page %s: %w", pg.Name, err)
+		}
+		e.pageObj[id] = pg.ObjectID
+		e.objDocs[pg.ObjectID] = append(e.objDocs[pg.ObjectID], id)
+	}
+	e.text.Freeze()
+	return e, nil
+}
+
+// Space returns the conceptual layer.
+func (e *Engine) Space() *webspace.Webspace { return e.space }
+
+// TextIndex returns the full-text layer (also the keyword-only baseline).
+func (e *Engine) TextIndex() *ir.Index { return e.text }
+
+// VideoIndex returns the video meta-index.
+func (e *Engine) VideoIndex() *core.MetaIndex { return e.video }
+
+// Request is a combined query.
+type Request struct {
+	// Class is the target concept class.
+	Class string
+	// Where are conceptual constraints (webspace semantics).
+	Where []webspace.Constraint
+	// SceneKind, when set, fetches video scenes of this event kind from
+	// the videos reached via VideoPath from each result object.
+	SceneKind string
+	// VideoPath walks from the result object to Video objects whose
+	// "name" attribute identifies the indexed video.
+	VideoPath []string
+	// RequireScenes drops results without any matching scene.
+	RequireScenes bool
+	// Text, when set, ranks results by BM25 relevance of their pages.
+	Text string
+	// TextPath, when non-empty, ranks by the pages of the objects reached
+	// via this role path instead of the result object's own pages (e.g.
+	// rank players by their interviews).
+	TextPath []string
+	// TopNFragments, when > 0, uses the optimized top-N text search with
+	// that fragment count instead of the exhaustive scan.
+	TopNFragments int
+	// Limit caps the result count (0 = unlimited).
+	Limit int
+}
+
+// Result is one answer: the concept object, its text score, and the video
+// scenes that satisfy the content-based part of the query.
+type Result struct {
+	Object *webspace.Object
+	Score  float64
+	Scenes []core.Scene
+}
+
+// Query runs a combined query: conceptual selection, then video-scene
+// joining, then text ranking.
+func (e *Engine) Query(req Request) ([]Result, error) {
+	objs, err := e.space.Run(webspace.Query{Class: req.Class, Where: req.Where})
+	if err != nil {
+		return nil, fmt.Errorf("dlse: conceptual part: %w", err)
+	}
+	results := make([]Result, 0, len(objs))
+	for _, o := range objs {
+		results = append(results, Result{Object: o})
+	}
+	if req.SceneKind != "" {
+		if err := e.attachScenes(results, req); err != nil {
+			return nil, err
+		}
+		if req.RequireScenes {
+			kept := results[:0]
+			for _, r := range results {
+				if len(r.Scenes) > 0 {
+					kept = append(kept, r)
+				}
+			}
+			results = kept
+		}
+	}
+	if req.Text != "" {
+		if err := e.rankByText(results, req); err != nil {
+			return nil, err
+		}
+		sort.SliceStable(results, func(i, j int) bool {
+			return results[i].Score > results[j].Score
+		})
+	}
+	if req.Limit > 0 && len(results) > req.Limit {
+		results = results[:req.Limit]
+	}
+	return results, nil
+}
+
+// attachScenes joins each result with the matching event scenes of its
+// linked videos.
+func (e *Engine) attachScenes(results []Result, req Request) error {
+	// All scenes of the kind, grouped by video name, fetched once.
+	scenes, err := e.video.Scenes(req.SceneKind)
+	if err != nil {
+		return fmt.Errorf("dlse: video part: %w", err)
+	}
+	byName := map[string][]core.Scene{}
+	for _, s := range scenes {
+		byName[s.Video.Name] = append(byName[s.Video.Name], s)
+	}
+	for i := range results {
+		vids := e.walkToVideos(results[i].Object, req.VideoPath)
+		for _, vname := range vids {
+			results[i].Scenes = append(results[i].Scenes, byName[vname]...)
+		}
+	}
+	return nil
+}
+
+// walkToVideos follows the role path and collects Video object names.
+func (e *Engine) walkToVideos(o *webspace.Object, path []string) []string {
+	cur := []*webspace.Object{o}
+	for _, role := range path {
+		var next []*webspace.Object
+		for _, c := range cur {
+			for _, id := range c.Links[role] {
+				if t, ok := e.space.Get(id); ok {
+					next = append(next, t)
+				}
+			}
+		}
+		cur = next
+	}
+	var names []string
+	for _, c := range cur {
+		if c.Class == "Video" {
+			if n := c.StringAttr("name"); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	return names
+}
+
+// rankByText scores each result by the best BM25 score among its pages.
+func (e *Engine) rankByText(results []Result, req Request) error {
+	k := e.text.Docs() // retrieve enough hits to cover every page
+	var hits []ir.Hit
+	var err error
+	if req.TopNFragments > 0 {
+		hits, _, err = e.text.SearchTopN(req.Text, k, ir.TopNOptions{Fragments: req.TopNFragments})
+	} else {
+		hits, _, err = e.text.Search(req.Text, k)
+	}
+	if err == ir.ErrEmptyQry {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("dlse: text part: %w", err)
+	}
+	byDoc := map[ir.DocID]float64{}
+	for _, h := range hits {
+		byDoc[h.Doc] = h.Score
+	}
+	for i := range results {
+		var best float64
+		for _, o := range e.walkObjects(results[i].Object, req.TextPath) {
+			for _, d := range e.objDocs[o.ID] {
+				if s := byDoc[d]; s > best {
+					best = s
+				}
+			}
+		}
+		results[i].Score = best
+	}
+	return nil
+}
+
+// walkObjects follows a role path from o (empty path returns o itself).
+func (e *Engine) walkObjects(o *webspace.Object, path []string) []*webspace.Object {
+	cur := []*webspace.Object{o}
+	for _, role := range path {
+		var next []*webspace.Object
+		for _, c := range cur {
+			for _, id := range c.Links[role] {
+				if t, ok := e.space.Get(id); ok {
+					next = append(next, t)
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+// KeywordSearch is the baseline the paper argues against: plain ranked
+// keyword retrieval over the flattened pages, no concepts, no video
+// content. It returns the page names.
+func (e *Engine) KeywordSearch(query string, k int) ([]ir.Hit, error) {
+	hits, _, err := e.text.Search(query, k)
+	return hits, err
+}
+
+// KeywordObjectSearch maps a keyword search back to the objects whose pages
+// matched — the best a keyword engine could do on the motivating query.
+func (e *Engine) KeywordObjectSearch(query string, k int) ([]int64, error) {
+	hits, err := e.KeywordSearch(query, k)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[int64]bool{}
+	var out []int64
+	for _, h := range hits {
+		oid := e.pageObj[h.Doc]
+		if !seen[oid] {
+			seen[oid] = true
+			out = append(out, oid)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,370 @@
+package dlse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/webspace"
+)
+
+// The combined query language of the demo engine:
+//
+//	find Player
+//	  where sex = "female" and handedness = "left" and exists wonFinals
+//	  scenes "net-play" via wonFinals.video
+//	  rank "champion interview"
+//	  limit 10
+//
+// Grammar (keywords case-insensitive):
+//
+//	query  := "find" IDENT [where] [scenes] [rank] [limit]
+//	where  := "where" cond { "and" cond }
+//	cond   := "exists" path
+//	        | path op value
+//	        | "contains" "(" path "," STRING ")"
+//	scenes := "scenes" value "via" path [ "required" ]
+//	rank   := "rank" STRING [ "via" path ]
+//	limit  := "limit" NUMBER
+//	path   := IDENT { "." IDENT }    — last segment is the attribute
+//	op     := "=" | "!=" | "<" | "<=" | ">" | ">="
+//	value  := STRING | NUMBER | "true" | "false" | IDENT
+//
+// Attribute values are coerced using the schema's declared types.
+
+// ParseRequest parses the query text against the schema.
+func ParseRequest(schema *webspace.Schema, src string) (Request, error) {
+	toks, err := lexQuery(src)
+	if err != nil {
+		return Request{}, err
+	}
+	p := &qparser{toks: toks, schema: schema}
+	return p.parse()
+}
+
+type qtok struct {
+	kind string // "ident", "string", "number", "op", "punct"
+	text string
+}
+
+func lexQuery(src string) ([]qtok, error) {
+	var toks []qtok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("dlse: unterminated string at %d", i)
+			}
+			toks = append(toks, qtok{"string", src[i+1 : j]})
+			i = j + 1
+		case c == '(' || c == ')' || c == ',' || c == '.':
+			toks = append(toks, qtok{"punct", string(c)})
+			i++
+		case c == '=' || c == '<' || c == '>' || c == '!':
+			j := i + 1
+			if j < len(src) && src[j] == '=' {
+				j++
+			}
+			op := src[i:j]
+			if op == "!" {
+				return nil, fmt.Errorf("dlse: bad operator at %d", i)
+			}
+			toks = append(toks, qtok{"op", op})
+			i = j
+		case c >= '0' && c <= '9' || c == '-':
+			j := i + 1
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, qtok{"number", src[i:j]})
+			i = j
+		case isIdentChar(c):
+			j := i
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			toks = append(toks, qtok{"ident", src[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("dlse: unexpected character %q at %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+type qparser struct {
+	toks   []qtok
+	i      int
+	schema *webspace.Schema
+}
+
+func (p *qparser) peek() qtok {
+	if p.i >= len(p.toks) {
+		return qtok{"eof", ""}
+	}
+	return p.toks[p.i]
+}
+
+func (p *qparser) next() qtok {
+	t := p.peek()
+	p.i++
+	return t
+}
+
+func (p *qparser) keyword(word string) bool {
+	t := p.peek()
+	if t.kind == "ident" && strings.EqualFold(t.text, word) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *qparser) parse() (Request, error) {
+	var req Request
+	if !p.keyword("find") {
+		return req, fmt.Errorf("dlse: query must start with 'find'")
+	}
+	cls := p.next()
+	if cls.kind != "ident" {
+		return req, fmt.Errorf("dlse: expected class after find")
+	}
+	req.Class = cls.text
+	if _, ok := p.schema.Classes[req.Class]; !ok {
+		return req, fmt.Errorf("dlse: unknown class %q", req.Class)
+	}
+	if p.keyword("where") {
+		for {
+			c, err := p.cond(req.Class)
+			if err != nil {
+				return req, err
+			}
+			req.Where = append(req.Where, c)
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	if p.keyword("scenes") {
+		v := p.next()
+		if v.kind != "string" && v.kind != "ident" {
+			return req, fmt.Errorf("dlse: expected event kind after scenes")
+		}
+		req.SceneKind = v.text
+		if !p.keyword("via") {
+			return req, fmt.Errorf("dlse: scenes needs 'via <path>'")
+		}
+		path, err := p.path()
+		if err != nil {
+			return req, err
+		}
+		req.VideoPath = path
+		if p.keyword("required") {
+			req.RequireScenes = true
+		}
+	}
+	if p.keyword("rank") {
+		v := p.next()
+		if v.kind != "string" {
+			return req, fmt.Errorf("dlse: rank needs a quoted query")
+		}
+		req.Text = v.text
+		if p.keyword("via") {
+			path, err := p.path()
+			if err != nil {
+				return req, err
+			}
+			if err := p.checkPath(req.Class, path, ""); err != nil {
+				return req, err
+			}
+			req.TextPath = path
+		}
+	}
+	if p.keyword("limit") {
+		v := p.next()
+		if v.kind != "number" {
+			return req, fmt.Errorf("dlse: limit needs a number")
+		}
+		n, err := strconv.Atoi(v.text)
+		if err != nil || n < 0 {
+			return req, fmt.Errorf("dlse: bad limit %q", v.text)
+		}
+		req.Limit = n
+	}
+	if p.peek().kind != "eof" {
+		return req, fmt.Errorf("dlse: trailing input near %q", p.peek().text)
+	}
+	return req, nil
+}
+
+// path parses IDENT{.IDENT} and returns the segments.
+func (p *qparser) path() ([]string, error) {
+	t := p.next()
+	if t.kind != "ident" {
+		return nil, fmt.Errorf("dlse: expected path, got %q", t.text)
+	}
+	segs := []string{t.text}
+	for p.peek().kind == "punct" && p.peek().text == "." {
+		p.i++
+		t = p.next()
+		if t.kind != "ident" {
+			return nil, fmt.Errorf("dlse: expected path segment after '.'")
+		}
+		segs = append(segs, t.text)
+	}
+	return segs, nil
+}
+
+// cond parses one constraint and resolves types against the schema.
+func (p *qparser) cond(class string) (webspace.Constraint, error) {
+	if p.keyword("exists") {
+		path, err := p.path()
+		if err != nil {
+			return webspace.Constraint{}, err
+		}
+		if err := p.checkPath(class, path, ""); err != nil {
+			return webspace.Constraint{}, err
+		}
+		return webspace.Constraint{Path: path}, nil
+	}
+	if p.keyword("contains") {
+		if t := p.next(); t.kind != "punct" || t.text != "(" {
+			return webspace.Constraint{}, fmt.Errorf("dlse: contains needs '('")
+		}
+		path, err := p.path()
+		if err != nil {
+			return webspace.Constraint{}, err
+		}
+		if t := p.next(); t.kind != "punct" || t.text != "," {
+			return webspace.Constraint{}, fmt.Errorf("dlse: contains needs ','")
+		}
+		v := p.next()
+		if v.kind != "string" {
+			return webspace.Constraint{}, fmt.Errorf("dlse: contains needs a quoted needle")
+		}
+		if t := p.next(); t.kind != "punct" || t.text != ")" {
+			return webspace.Constraint{}, fmt.Errorf("dlse: contains needs ')'")
+		}
+		rolePath, attr := path[:len(path)-1], path[len(path)-1]
+		if err := p.checkPath(class, rolePath, attr); err != nil {
+			return webspace.Constraint{}, err
+		}
+		return webspace.Constraint{Path: rolePath, Attr: attr, Op: webspace.OpContains, Val: v.text}, nil
+	}
+	path, err := p.path()
+	if err != nil {
+		return webspace.Constraint{}, err
+	}
+	opTok := p.next()
+	if opTok.kind != "op" {
+		return webspace.Constraint{}, fmt.Errorf("dlse: expected operator after %v", path)
+	}
+	op, err := parseOp(opTok.text)
+	if err != nil {
+		return webspace.Constraint{}, err
+	}
+	v := p.next()
+	if v.kind != "string" && v.kind != "number" && v.kind != "ident" {
+		return webspace.Constraint{}, fmt.Errorf("dlse: expected value, got %q", v.text)
+	}
+	rolePath, attr := path[:len(path)-1], path[len(path)-1]
+	if err := p.checkPath(class, rolePath, attr); err != nil {
+		return webspace.Constraint{}, err
+	}
+	val, err := p.coerce(class, rolePath, attr, v)
+	if err != nil {
+		return webspace.Constraint{}, err
+	}
+	return webspace.Constraint{Path: rolePath, Attr: attr, Op: op, Val: val}, nil
+}
+
+func parseOp(s string) (webspace.Op, error) {
+	switch s {
+	case "=", "==":
+		return webspace.OpEq, nil
+	case "!=":
+		return webspace.OpNe, nil
+	case "<":
+		return webspace.OpLt, nil
+	case "<=":
+		return webspace.OpLe, nil
+	case ">":
+		return webspace.OpGt, nil
+	case ">=":
+		return webspace.OpGe, nil
+	}
+	return 0, fmt.Errorf("dlse: unknown operator %q", s)
+}
+
+// checkPath resolves a role path (and optional attribute) from class.
+func (p *qparser) checkPath(class string, path []string, attr string) error {
+	cls := class
+	for _, role := range path {
+		c, ok := p.schema.Classes[cls]
+		if !ok {
+			return fmt.Errorf("dlse: unknown class %q", cls)
+		}
+		a, ok := c.Assocs[role]
+		if !ok {
+			return fmt.Errorf("dlse: class %q has no role %q", cls, role)
+		}
+		cls = a.Target
+	}
+	if attr != "" {
+		if _, ok := p.schema.Classes[cls].Attrs[attr]; !ok {
+			return fmt.Errorf("dlse: class %q has no attribute %q", cls, attr)
+		}
+	}
+	return nil
+}
+
+// coerce converts the token to the attribute's declared type.
+func (p *qparser) coerce(class string, path []string, attr string, v qtok) (any, error) {
+	cls := class
+	for _, role := range path {
+		cls = p.schema.Classes[cls].Assocs[role].Target
+	}
+	at := p.schema.Classes[cls].Attrs[attr]
+	switch at {
+	case webspace.AttrString, webspace.AttrText:
+		return v.text, nil
+	case webspace.AttrInt:
+		n, err := strconv.ParseInt(v.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dlse: attribute %s.%s wants an int, got %q", cls, attr, v.text)
+		}
+		return n, nil
+	case webspace.AttrFloat:
+		f, err := strconv.ParseFloat(v.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dlse: attribute %s.%s wants a float, got %q", cls, attr, v.text)
+		}
+		return f, nil
+	case webspace.AttrBool:
+		switch strings.ToLower(v.text) {
+		case "true":
+			return true, nil
+		case "false":
+			return false, nil
+		}
+		return nil, fmt.Errorf("dlse: attribute %s.%s wants a bool, got %q", cls, attr, v.text)
+	}
+	return nil, fmt.Errorf("dlse: unsupported attribute type %v", at)
+}
+
+// MotivatingQueryText is the textual form of the demo's running example.
+const MotivatingQueryText = `find Player
+where sex = "female" and handedness = "left" and exists wonFinals
+scenes "net-play" via wonFinals.video`

@@ -1,0 +1,263 @@
+// Package eval provides the measurement utilities shared by the
+// experiments: boundary matching with tolerance, interval matching by
+// intersection-over-union, precision/recall/F1, and labelled confusion
+// matrices. All experiment harnesses (bench_test.go) and the evaluation
+// binaries report through these.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PR holds precision/recall counts.
+type PR struct {
+	TP, FP, FN int
+}
+
+// Precision returns TP/(TP+FP), 1 if nothing was predicted.
+func (p PR) Precision() float64 {
+	if p.TP+p.FP == 0 {
+		return 1
+	}
+	return float64(p.TP) / float64(p.TP+p.FP)
+}
+
+// Recall returns TP/(TP+FN), 1 if nothing was expected.
+func (p PR) Recall() float64 {
+	if p.TP+p.FN == 0 {
+		return 1
+	}
+	return float64(p.TP) / float64(p.TP+p.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (p PR) F1() float64 {
+	pr, rc := p.Precision(), p.Recall()
+	if pr+rc == 0 {
+		return 0
+	}
+	return 2 * pr * rc / (pr + rc)
+}
+
+// Add accumulates another count set.
+func (p *PR) Add(o PR) {
+	p.TP += o.TP
+	p.FP += o.FP
+	p.FN += o.FN
+}
+
+// String renders "P=0.97 R=0.95 F1=0.96 (tp=..,fp=..,fn=..)".
+func (p PR) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f (tp=%d fp=%d fn=%d)",
+		p.Precision(), p.Recall(), p.F1(), p.TP, p.FP, p.FN)
+}
+
+// MatchBoundaries greedily matches detected frame positions against true
+// ones within ±tol frames; each truth matches at most one detection.
+func MatchBoundaries(detected, truth []int, tol int) PR {
+	d := append([]int(nil), detected...)
+	tr := append([]int(nil), truth...)
+	sort.Ints(d)
+	sort.Ints(tr)
+	usedT := make([]bool, len(tr))
+	var pr PR
+	for _, x := range d {
+		matched := false
+		for i, y := range tr {
+			if usedT[i] {
+				continue
+			}
+			if abs(x-y) <= tol {
+				usedT[i] = true
+				matched = true
+				break
+			}
+		}
+		if matched {
+			pr.TP++
+		} else {
+			pr.FP++
+		}
+	}
+	for _, u := range usedT {
+		if !u {
+			pr.FN++
+		}
+	}
+	return pr
+}
+
+// Interval is a labelled half-open interval for event matching.
+type Interval struct {
+	Start, End int
+	Label      string
+}
+
+// iou computes interval intersection-over-union.
+func iou(a, b Interval) float64 {
+	lo := max(a.Start, b.Start)
+	hi := min(a.End, b.End)
+	inter := hi - lo
+	if inter <= 0 {
+		return 0
+	}
+	union := (a.End - a.Start) + (b.End - b.Start) - inter
+	return float64(inter) / float64(union)
+}
+
+// MatchIntervals greedily matches detections against truth: a pair matches
+// when labels agree and IoU >= minIoU; each truth matches at most once.
+// Matching is order-stable: detections are taken best-IoU-first.
+func MatchIntervals(detected, truth []Interval, minIoU float64) PR {
+	type cand struct {
+		d, t int
+		iou  float64
+	}
+	var cands []cand
+	for di, d := range detected {
+		for ti, t := range truth {
+			if d.Label != t.Label {
+				continue
+			}
+			if v := iou(d, t); v >= minIoU {
+				cands = append(cands, cand{di, ti, v})
+			}
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].iou > cands[b].iou })
+	usedD := make([]bool, len(detected))
+	usedT := make([]bool, len(truth))
+	var pr PR
+	for _, c := range cands {
+		if usedD[c.d] || usedT[c.t] {
+			continue
+		}
+		usedD[c.d], usedT[c.t] = true, true
+		pr.TP++
+	}
+	for _, u := range usedD {
+		if !u {
+			pr.FP++
+		}
+	}
+	for _, u := range usedT {
+		if !u {
+			pr.FN++
+		}
+	}
+	return pr
+}
+
+// Confusion is a labelled confusion matrix.
+type Confusion struct {
+	Labels []string
+	index  map[string]int
+	// Counts[i][j] counts truth label i classified as label j.
+	Counts [][]int
+}
+
+// NewConfusion creates a matrix over the given labels.
+func NewConfusion(labels ...string) *Confusion {
+	c := &Confusion{Labels: append([]string(nil), labels...), index: map[string]int{}}
+	for i, l := range labels {
+		c.index[l] = i
+	}
+	c.Counts = make([][]int, len(labels))
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, len(labels))
+	}
+	return c
+}
+
+// Observe records one (truth, predicted) pair. Unknown labels are ignored
+// and reported false.
+func (c *Confusion) Observe(truth, predicted string) bool {
+	ti, ok1 := c.index[truth]
+	pi, ok2 := c.index[predicted]
+	if !ok1 || !ok2 {
+		return false
+	}
+	c.Counts[ti][pi]++
+	return true
+}
+
+// Accuracy returns the trace fraction.
+func (c *Confusion) Accuracy() float64 {
+	diag, total := 0, 0
+	for i := range c.Counts {
+		for j, n := range c.Counts[i] {
+			total += n
+			if i == j {
+				diag += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(diag) / float64(total)
+}
+
+// Total returns the number of observations.
+func (c *Confusion) Total() int {
+	t := 0
+	for i := range c.Counts {
+		for _, n := range c.Counts[i] {
+			t += n
+		}
+	}
+	return t
+}
+
+// PerClass returns per-label precision/recall counts (one-vs-rest).
+func (c *Confusion) PerClass() map[string]PR {
+	out := map[string]PR{}
+	for i, l := range c.Labels {
+		var pr PR
+		for j := range c.Labels {
+			n := c.Counts[i][j]
+			m := c.Counts[j][i]
+			if i == j {
+				pr.TP += n
+				continue
+			}
+			pr.FN += n // truth i predicted j
+			pr.FP += m // truth j predicted i
+		}
+		out[l] = pr
+	}
+	return out
+}
+
+// String renders an aligned table with truth as rows.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	w := 9
+	for _, l := range c.Labels {
+		if len(l)+1 > w {
+			w = len(l) + 1
+		}
+	}
+	fmt.Fprintf(&b, "%*s", w, "truth\\pred")
+	for _, l := range c.Labels {
+		fmt.Fprintf(&b, "%*s", w, l)
+	}
+	b.WriteByte('\n')
+	for i, l := range c.Labels {
+		fmt.Fprintf(&b, "%*s", w, l)
+		for j := range c.Labels {
+			fmt.Fprintf(&b, "%*d", w, c.Counts[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

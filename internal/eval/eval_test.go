@@ -1,0 +1,145 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPRBasics(t *testing.T) {
+	pr := PR{TP: 8, FP: 2, FN: 2}
+	if pr.Precision() != 0.8 || pr.Recall() != 0.8 {
+		t.Fatalf("P=%v R=%v", pr.Precision(), pr.Recall())
+	}
+	if f1 := pr.F1(); f1 < 0.8-1e-12 || f1 > 0.8+1e-12 {
+		t.Fatalf("F1=%v", f1)
+	}
+	empty := PR{}
+	if empty.Precision() != 1 || empty.Recall() != 1 {
+		t.Fatal("empty PR should be perfect")
+	}
+	if (PR{FP: 1}).F1() != 0 {
+		t.Fatal("all-wrong F1 should be 0")
+	}
+	var acc PR
+	acc.Add(pr)
+	acc.Add(PR{TP: 1})
+	if acc.TP != 9 || acc.FP != 2 || acc.FN != 2 {
+		t.Fatalf("Add = %+v", acc)
+	}
+	if !strings.Contains(pr.String(), "F1=0.800") {
+		t.Fatalf("String = %s", pr.String())
+	}
+}
+
+func TestMatchBoundaries(t *testing.T) {
+	pr := MatchBoundaries([]int{10, 50, 90}, []int{11, 52, 200}, 3)
+	if pr.TP != 2 || pr.FP != 1 || pr.FN != 1 {
+		t.Fatalf("pr = %+v", pr)
+	}
+	// A truth can match only one detection.
+	pr = MatchBoundaries([]int{10, 11}, []int{10}, 3)
+	if pr.TP != 1 || pr.FP != 1 {
+		t.Fatalf("double match: %+v", pr)
+	}
+	// Exact tolerance boundary.
+	pr = MatchBoundaries([]int{13}, []int{10}, 3)
+	if pr.TP != 1 {
+		t.Fatalf("tol boundary: %+v", pr)
+	}
+	pr = MatchBoundaries([]int{14}, []int{10}, 3)
+	if pr.TP != 0 {
+		t.Fatalf("beyond tol: %+v", pr)
+	}
+	pr = MatchBoundaries(nil, nil, 3)
+	if pr.TP != 0 || pr.FP != 0 || pr.FN != 0 {
+		t.Fatalf("empty: %+v", pr)
+	}
+}
+
+// Property: TP+FP = |detected| and TP+FN = |truth|.
+func TestMatchBoundariesConservation(t *testing.T) {
+	f := func(d, tr []uint8) bool {
+		det := make([]int, len(d))
+		for i, v := range d {
+			det[i] = int(v)
+		}
+		tru := make([]int, len(tr))
+		for i, v := range tr {
+			tru[i] = int(v)
+		}
+		pr := MatchBoundaries(det, tru, 2)
+		return pr.TP+pr.FP == len(det) && pr.TP+pr.FN == len(tru)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchIntervals(t *testing.T) {
+	det := []Interval{
+		{Start: 0, End: 10, Label: "rally"},
+		{Start: 50, End: 60, Label: "net-play"},
+		{Start: 100, End: 110, Label: "rally"},
+	}
+	truth := []Interval{
+		{Start: 1, End: 11, Label: "rally"},    // matches det 0
+		{Start: 50, End: 60, Label: "rally"},   // label mismatch with det 1
+		{Start: 300, End: 310, Label: "rally"}, // unmatched
+	}
+	pr := MatchIntervals(det, truth, 0.5)
+	if pr.TP != 1 || pr.FP != 2 || pr.FN != 2 {
+		t.Fatalf("pr = %+v", pr)
+	}
+}
+
+func TestMatchIntervalsBestIoUFirst(t *testing.T) {
+	// Two detections overlap one truth; the better one must take it.
+	det := []Interval{
+		{Start: 0, End: 4, Label: "e"},  // IoU 4/10
+		{Start: 0, End: 10, Label: "e"}, // IoU 1.0
+	}
+	truth := []Interval{{Start: 0, End: 10, Label: "e"}}
+	pr := MatchIntervals(det, truth, 0.3)
+	if pr.TP != 1 || pr.FP != 1 || pr.FN != 0 {
+		t.Fatalf("pr = %+v", pr)
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	c := NewConfusion("tennis", "close-up", "audience", "other")
+	obs := []struct{ truth, pred string }{
+		{"tennis", "tennis"}, {"tennis", "tennis"}, {"tennis", "other"},
+		{"close-up", "close-up"}, {"audience", "audience"}, {"audience", "close-up"},
+	}
+	for _, o := range obs {
+		if !c.Observe(o.truth, o.pred) {
+			t.Fatalf("observe %v failed", o)
+		}
+	}
+	if c.Observe("volleyball", "tennis") {
+		t.Fatal("unknown label accepted")
+	}
+	if c.Total() != 6 {
+		t.Fatalf("total = %d", c.Total())
+	}
+	if acc := c.Accuracy(); acc != 4.0/6.0 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	pc := c.PerClass()
+	tpr := pc["tennis"]
+	if tpr.TP != 2 || tpr.FN != 1 || tpr.FP != 0 {
+		t.Fatalf("tennis PR = %+v", tpr)
+	}
+	cu := pc["close-up"]
+	if cu.TP != 1 || cu.FP != 1 {
+		t.Fatalf("close-up PR = %+v", cu)
+	}
+	s := c.String()
+	if !strings.Contains(s, "tennis") || !strings.Contains(s, "truth\\pred") {
+		t.Fatalf("table:\n%s", s)
+	}
+	if NewConfusion("a").Accuracy() != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}

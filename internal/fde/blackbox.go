@@ -1,0 +1,95 @@
+package fde
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os/exec"
+	"strconv"
+	"strings"
+
+	"repro/internal/shotdet"
+	"repro/internal/vidfmt"
+)
+
+// BlackBoxSegment adapts an external segment-detector program into a
+// detector implementation, preserving the paper's architecture where the
+// segment detector "is implemented externally" and the FDE merely triggers
+// it. The program receives the video as an SVF stream on stdin and must
+// print one line per shot:
+//
+//	SHOT <start> <end> <class>
+//
+// with class one of tennis, close-up, audience, other. Lines starting with
+// '#' are ignored. cmd/segdet implements this protocol.
+func BlackBoxSegment(path string, args ...string) Impl {
+	return func(ctx *Context) error {
+		data, err := vidfmt.EncodeAll(ctx.Frames, ctx.Video.FPS, 0)
+		if err != nil {
+			return fmt.Errorf("blackbox segdet: encoding input: %w", err)
+		}
+		cmd := exec.Command(path, args...)
+		cmd.Stdin = bytes.NewReader(data)
+		var out, errb bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &errb
+		if err := cmd.Run(); err != nil {
+			return fmt.Errorf("blackbox segdet %s: %w (stderr: %s)", path, err, errb.String())
+		}
+		shots, err := ParseShotProtocol(out.String())
+		if err != nil {
+			return fmt.Errorf("blackbox segdet %s: %w", path, err)
+		}
+		classes := make([]string, len(shots))
+		for i, s := range shots {
+			classes[i] = s.Class.String()
+		}
+		ctx.Set("shots", shots)
+		ctx.Set("classes", classes)
+		return nil
+	}
+}
+
+// ParseShotProtocol parses the SHOT line protocol produced by black-box
+// segment detectors.
+func ParseShotProtocol(s string) ([]shotdet.Shot, error) {
+	var shots []shotdet.Shot
+	sc := bufio.NewScanner(strings.NewReader(s))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 || fields[0] != "SHOT" {
+			return nil, fmt.Errorf("bad protocol line %q", line)
+		}
+		start, err1 := strconv.Atoi(fields[1])
+		end, err2 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || start < 0 || end <= start {
+			return nil, fmt.Errorf("bad shot range in %q", line)
+		}
+		class, err := shotdet.ParseClass(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("bad class in %q: %w", line, err)
+		}
+		shots = append(shots, shotdet.Shot{Start: start, End: end, Class: class})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(shots) == 0 {
+		return nil, fmt.Errorf("black-box detector produced no shots")
+	}
+	return shots, nil
+}
+
+// FormatShotProtocol renders shots in the SHOT line protocol; the inverse
+// of ParseShotProtocol, used by cmd/segdet.
+func FormatShotProtocol(shots []shotdet.Shot) string {
+	var b strings.Builder
+	for _, s := range shots {
+		fmt.Fprintf(&b, "SHOT %d %d %s\n", s.Start, s.End, s.Class)
+	}
+	return b.String()
+}

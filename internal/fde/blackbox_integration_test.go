@@ -1,0 +1,85 @@
+package fde
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/shotdet"
+)
+
+// TestRealSegdetBinary builds the actual cmd/segdet black-box detector and
+// drives it through the FDE, verifying the external-detector architecture
+// of the paper end to end: same shots as the in-process implementation.
+func TestRealSegdetBinary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping binary build")
+	}
+	bin := filepath.Join(t.TempDir(), "segdet")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/segdet")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building segdet: %v\n%s", err, out)
+	}
+
+	v := genVideo(t, 60, 5)
+	doc := coreVideo(v, "bb-integration")
+
+	white, err := NewTennisEngine(DefaultTennisConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wres, err := white.Process(doc, v.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultTennisConfig()
+	cfg.SegmentImpl = BlackBoxSegment(bin)
+	black, err := NewTennisEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := black.Process(doc, v.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ws := wres.mustShots(t)
+	bs := bres.mustShots(t)
+	if len(ws) != len(bs) {
+		t.Fatalf("white-box %d shots, black-box %d", len(ws), len(bs))
+	}
+	// The SHOT protocol carries boundaries and classes, not the
+	// classifier-internal features; compare what crosses the boundary.
+	for i := range ws {
+		if ws[i].Start != bs[i].Start || ws[i].End != bs[i].End || ws[i].Class != bs[i].Class {
+			t.Fatalf("shot %d differs: white %v black %v", i, ws[i], bs[i])
+		}
+	}
+	// Both parses index identically.
+	wi, _ := core.NewMetaIndex()
+	bi, _ := core.NewMetaIndex()
+	if _, err := IndexResult(wres, wi); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := IndexResult(bres, bi); err != nil {
+		t.Fatal(err)
+	}
+	if wi.Stats() != bi.Stats() {
+		t.Fatalf("index stats differ: %+v vs %+v", wi.Stats(), bi.Stats())
+	}
+}
+
+func (r *Result) mustShots(t *testing.T) []shotdet.Shot {
+	t.Helper()
+	v, ok := r.Get("shots")
+	if !ok {
+		t.Fatal("no shots symbol")
+	}
+	shots, ok := v.([]shotdet.Shot)
+	if !ok {
+		t.Fatalf("shots has type %T", v)
+	}
+	return shots
+}

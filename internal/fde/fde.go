@@ -1,0 +1,235 @@
+// Package fde implements the Feature Detector Engine: "to populate the
+// meta-index the feature grammar is used to generate a parser: the Feature
+// Detector Engine (FDE). This FDE triggers the execution of the associated
+// detectors."
+//
+// The engine compiles a feature grammar (internal/grammar) into an
+// executable schedule. Processing a video runs every detector in dependency
+// order over a shared blackboard of symbol values — the parse tree — and
+// records per-detector timing. Re-processing after a detector
+// implementation changes re-runs only the downstream closure of the changed
+// detectors, reusing the cached upstream symbols: the incremental
+// re-indexing that "managing the meta-index ... boils down to".
+package fde
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/grammar"
+)
+
+// Context is the blackboard one video is parsed on. Detector
+// implementations read their required symbols and set their produced ones.
+type Context struct {
+	// Video identifies the document being parsed.
+	Video core.Video
+	// Frames is the decoded raw-data layer.
+	Frames []*frame.Image
+	values map[string]any
+}
+
+// Set publishes a symbol value. Detectors must only set symbols they
+// declare in the grammar; the engine verifies afterwards.
+func (c *Context) Set(symbol string, v any) {
+	c.values[symbol] = v
+}
+
+// Get reads a symbol value published by an upstream detector.
+func (c *Context) Get(symbol string) (any, bool) {
+	v, ok := c.values[symbol]
+	return v, ok
+}
+
+// Impl is a detector implementation bound to a grammar detector.
+type Impl func(ctx *Context) error
+
+// Stats accumulates per-detector execution metrics.
+type Stats struct {
+	// Runs is the number of invocations.
+	Runs int
+	// Total is the cumulative wall-clock time.
+	Total time.Duration
+	// Errors counts failed invocations.
+	Errors int
+}
+
+// Engine is a compiled Feature Detector Engine.
+type Engine struct {
+	g     *grammar.Grammar
+	impls map[string]Impl
+	sched []*grammar.Detector
+	stats map[string]*Stats
+}
+
+// New compiles the grammar into an engine. Every detector must be bound
+// with Bind before Process is called.
+func New(g *grammar.Grammar) (*Engine, error) {
+	sched, err := g.Schedule()
+	if err != nil {
+		return nil, fmt.Errorf("fde: %w", err)
+	}
+	return &Engine{
+		g:     g,
+		impls: map[string]Impl{},
+		sched: sched,
+		stats: map[string]*Stats{},
+	}, nil
+}
+
+// Grammar returns the engine's grammar.
+func (e *Engine) Grammar() *grammar.Grammar { return e.g }
+
+// Bind attaches an implementation to a named detector.
+func (e *Engine) Bind(name string, impl Impl) error {
+	if e.g.Detector(name) == nil {
+		return fmt.Errorf("fde: grammar %s has no detector %q", e.g.Name, name)
+	}
+	if impl == nil {
+		return fmt.Errorf("fde: nil implementation for %q", name)
+	}
+	e.impls[name] = impl
+	return nil
+}
+
+// bound verifies all detectors have implementations.
+func (e *Engine) bound() error {
+	var missing []string
+	for _, d := range e.g.Detectors {
+		if _, ok := e.impls[d.Name]; !ok {
+			missing = append(missing, d.Name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("fde: unbound detectors: %v", missing)
+	}
+	return nil
+}
+
+// Result is the parse of one video: the final blackboard.
+type Result struct {
+	// Video is the parsed document.
+	Video core.Video
+	// Durations records per-detector wall time for this parse.
+	Durations map[string]time.Duration
+	values    map[string]any
+}
+
+// Get reads a symbol from the parse result.
+func (r *Result) Get(symbol string) (any, bool) {
+	v, ok := r.values[symbol]
+	return v, ok
+}
+
+// Symbols lists the populated symbols, sorted.
+func (r *Result) Symbols() []string {
+	out := make([]string, 0, len(r.values))
+	for s := range r.values {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Process parses one video: all detectors run in dependency order.
+func (e *Engine) Process(v core.Video, frames []*frame.Image) (*Result, error) {
+	if err := e.bound(); err != nil {
+		return nil, err
+	}
+	ctx := &Context{Video: v, Frames: frames, values: map[string]any{}}
+	for _, a := range e.g.Atoms {
+		ctx.values[a] = v // atoms carry the document itself
+	}
+	res := &Result{Video: v, Durations: map[string]time.Duration{}, values: ctx.values}
+	for _, d := range e.sched {
+		if err := e.runDetector(d, ctx, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Reprocess re-parses a video after the named detectors changed: only the
+// downstream closure re-runs; upstream symbols come from the prior result.
+// The prior result is not modified.
+func (e *Engine) Reprocess(prior *Result, frames []*frame.Image, changed ...string) (*Result, error) {
+	if err := e.bound(); err != nil {
+		return nil, err
+	}
+	affected, err := e.g.Affected(changed...)
+	if err != nil {
+		return nil, fmt.Errorf("fde: %w", err)
+	}
+	affectedSet := map[string]bool{}
+	for _, a := range affected {
+		affectedSet[a] = true
+	}
+	// Start from a copy of the prior blackboard with the affected
+	// detectors' products removed.
+	values := map[string]any{}
+	for k, v := range prior.values {
+		values[k] = v
+	}
+	for _, d := range e.g.Detectors {
+		if affectedSet[d.Name] {
+			for _, p := range d.Produces {
+				delete(values, p)
+			}
+		}
+	}
+	ctx := &Context{Video: prior.Video, Frames: frames, values: values}
+	res := &Result{Video: prior.Video, Durations: map[string]time.Duration{}, values: values}
+	for _, d := range e.sched {
+		if !affectedSet[d.Name] {
+			continue
+		}
+		if err := e.runDetector(d, ctx, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func (e *Engine) runDetector(d *grammar.Detector, ctx *Context, res *Result) error {
+	// Verify the detector's inputs are present (the grammar guarantees the
+	// order; this catches impls that forgot to Set their products).
+	for _, r := range d.Requires {
+		if _, ok := ctx.values[r]; !ok {
+			return fmt.Errorf("fde: detector %s: required symbol %q missing", d.Name, r)
+		}
+	}
+	st := e.stats[d.Name]
+	if st == nil {
+		st = &Stats{}
+		e.stats[d.Name] = st
+	}
+	start := time.Now()
+	err := e.impls[d.Name](ctx)
+	dur := time.Since(start)
+	st.Runs++
+	st.Total += dur
+	res.Durations[d.Name] = dur
+	if err != nil {
+		st.Errors++
+		return fmt.Errorf("fde: detector %s: %w", d.Name, err)
+	}
+	for _, p := range d.Produces {
+		if _, ok := ctx.values[p]; !ok {
+			return fmt.Errorf("fde: detector %s did not produce symbol %q", d.Name, p)
+		}
+	}
+	return nil
+}
+
+// Stats returns accumulated per-detector metrics keyed by detector name.
+func (e *Engine) Stats() map[string]Stats {
+	out := make(map[string]Stats, len(e.stats))
+	for k, v := range e.stats {
+		out[k] = *v
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package fde
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/frame"
+	"repro/internal/grammar"
+	"repro/internal/rules"
+	"repro/internal/shotdet"
+	"repro/internal/track"
+)
+
+// TennisEvent is one event inferred by the tennis FDE, with absolute frame
+// numbers in the video.
+type TennisEvent struct {
+	// ShotIdx is the index of the containing shot in the "shots" symbol.
+	ShotIdx int
+	// Kind is the event name ("net-play", "rally", "service").
+	Kind string
+	// Start and End are absolute frame numbers, half-open.
+	Start, End int
+	// Object is the actor ("near" or "far").
+	Object string
+	// Confidence is the rule engine confidence.
+	Confidence float64
+}
+
+// TennisConfig tunes the tennis FDE instantiation.
+type TennisConfig struct {
+	// Shot tunes the segment detector.
+	Shot shotdet.Config
+	// Classifier tunes the shot classifier; if its CourtColor is zero it
+	// is estimated from the video (EstimateCourtColor), which is what the
+	// original system did.
+	Classifier shotdet.ClassifierConfig
+	// Track tunes the tennis detector.
+	Track track.Config
+	// Rules is the event rule set; nil selects rules.TennisRules.
+	Rules []rules.Rule
+	// SegmentImpl optionally replaces the in-process segment detector,
+	// e.g. with a black-box adapter over cmd/segdet (see BlackBoxSegment).
+	SegmentImpl Impl
+}
+
+// DefaultTennisConfig returns the standard configuration.
+func DefaultTennisConfig() TennisConfig {
+	return TennisConfig{
+		Shot:       shotdet.DefaultConfig(),
+		Classifier: shotdet.ClassifierConfig{},
+		Track:      track.DefaultConfig(),
+	}
+}
+
+// NewTennisEngine compiles the tennis feature grammar (Figure 1) and binds
+// the detector implementations: the segment detector, the tennis
+// player-tracking detector and the three event-rule detectors.
+func NewTennisEngine(cfg TennisConfig) (*Engine, error) {
+	e, err := New(grammar.Tennis())
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Rules == nil {
+		cfg.Rules = rules.TennisRules()
+	}
+	segImpl := cfg.SegmentImpl
+	if segImpl == nil {
+		segImpl = whiteBoxSegment(cfg)
+	}
+	if err := e.Bind("segment", segImpl); err != nil {
+		return nil, err
+	}
+	if err := e.Bind("tennis", tennisDetector(cfg)); err != nil {
+		return nil, err
+	}
+	for _, b := range []struct{ det, kind string }{
+		{"netplay", "net-play"}, {"rally", "rally"}, {"service", "service"},
+	} {
+		if err := e.Bind(b.det, eventDetector(cfg, b.det, b.kind)); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// whiteBoxSegment is the in-process segment detector: shot boundaries plus
+// classification, published as the "shots" and "classes" symbols.
+func whiteBoxSegment(cfg TennisConfig) Impl {
+	return func(ctx *Context) error {
+		ccfg := cfg.Classifier
+		if ccfg.CourtColor == (frame.RGB{}) {
+			if est, ok := shotdet.EstimateCourtColor(ctx.Frames, cfg.Shot.Bins, 0.3); ok {
+				ccfg.CourtColor = est
+			}
+		}
+		cls := shotdet.NewClassifier(ccfg)
+		shots := shotdet.SegmentAndClassify(ctx.Frames, cfg.Shot, cls)
+		classes := make([]string, len(shots))
+		for i, s := range shots {
+			classes[i] = s.Class.String()
+		}
+		ctx.Set("shots", shots)
+		ctx.Set("classes", classes)
+		return nil
+	}
+}
+
+// tennisDetector tracks the players within every shot classified "tennis"
+// (the grammar guard), publishing per-shot tracking results and the rule
+// state series.
+func tennisDetector(cfg TennisConfig) Impl {
+	return func(ctx *Context) error {
+		shotsV, _ := ctx.Get("shots")
+		shots, ok := shotsV.([]shotdet.Shot)
+		if !ok {
+			return fmt.Errorf("symbol shots has type %T", shotsV)
+		}
+		players := map[int]track.ShotResult{}
+		trajectories := map[int]rules.Series{}
+		shapes := map[int][]frame.Shape{}
+		for i, s := range shots {
+			if s.Class != shotdet.ClassTennis {
+				continue // guard: class==tennis
+			}
+			res := track.TrackShot(ctx.Frames[s.Start:s.End], cfg.Track)
+			players[i] = res
+			trajectories[i] = TrackToSeries(res)
+			var shp []frame.Shape
+			for _, o := range res.Near.Obs {
+				shp = append(shp, o.Shape)
+			}
+			shapes[i] = shp
+		}
+		ctx.Set("players", players)
+		ctx.Set("trajectories", trajectories)
+		ctx.Set("shapes", shapes)
+		return nil
+	}
+}
+
+// eventDetector evaluates the rule of the given kind over every tennis
+// shot's trajectories, publishing []TennisEvent under the detector's
+// produced symbol (event_netplay, event_rally, event_service).
+func eventDetector(cfg TennisConfig, det, kind string) Impl {
+	symbol := "event_" + map[string]string{
+		"netplay": "netplay", "rally": "rally", "service": "service",
+	}[det]
+	return func(ctx *Context) error {
+		trajV, _ := ctx.Get("trajectories")
+		trajectories, ok := trajV.(map[int]rules.Series)
+		if !ok {
+			return fmt.Errorf("symbol trajectories has type %T", trajV)
+		}
+		shotsV, _ := ctx.Get("shots")
+		shots, ok := shotsV.([]shotdet.Shot)
+		if !ok {
+			return fmt.Errorf("symbol shots has type %T", shotsV)
+		}
+		var ruleSet []rules.Rule
+		for _, r := range cfg.Rules {
+			if r.Kind == kind {
+				ruleSet = append(ruleSet, r)
+			}
+		}
+		events := []TennisEvent{}
+		if len(ruleSet) > 0 {
+			geom := rules.StandardGeometry(ctx.Video.Width, ctx.Video.Height)
+			eng, err := rules.NewEngine(ruleSet, geom)
+			if err != nil {
+				return err
+			}
+			for shotIdx, series := range trajectories {
+				s := shots[shotIdx]
+				for _, d := range eng.Detect(series, s.Len()) {
+					events = append(events, TennisEvent{
+						ShotIdx: shotIdx, Kind: d.Kind,
+						Start: s.Start + d.Start, End: s.Start + d.End,
+						Object: d.Object, Confidence: d.Confidence,
+					})
+				}
+			}
+		}
+		ctx.Set(symbol, events)
+		return nil
+	}
+}
+
+// TrackToSeries converts tennis-detector output into the state series the
+// rule engine consumes.
+func TrackToSeries(res track.ShotResult) rules.Series {
+	conv := func(tr track.Track) []rules.State {
+		out := make([]rules.State, len(tr.Obs))
+		for i, o := range tr.Obs {
+			out[i] = rules.State{
+				Found: o.Found, X: o.X, Y: o.Y, VX: o.VX, VY: o.VY,
+				Area: o.Shape.Area, Orientation: o.Shape.Orientation,
+				Eccentricity: o.Shape.Eccentricity, Aspect: o.Shape.AspectRatio(),
+			}
+		}
+		return out
+	}
+	return rules.Series{"near": conv(res.Near), "far": conv(res.Far)}
+}
+
+// IndexResult materializes a tennis parse into the meta-index: segments,
+// objects with their per-frame states, and events. It returns the assigned
+// video ID.
+func IndexResult(res *Result, idx *core.MetaIndex) (int64, error) {
+	vid, err := idx.AddVideo(res.Video)
+	if err != nil {
+		return 0, err
+	}
+	shotsV, ok := res.Get("shots")
+	if !ok {
+		return 0, fmt.Errorf("fde: result has no shots symbol")
+	}
+	shots, ok := shotsV.([]shotdet.Shot)
+	if !ok {
+		return 0, fmt.Errorf("fde: shots symbol has type %T", shotsV)
+	}
+	segIDs := make([]int64, len(shots))
+	for i, s := range shots {
+		id, err := idx.AddSegment(core.Segment{
+			VideoID:  vid,
+			Interval: core.Interval{Start: s.Start, End: s.End},
+			Class:    s.Class.String(),
+		})
+		if err != nil {
+			return 0, err
+		}
+		segIDs[i] = id
+	}
+	// Objects and states.
+	objIDs := map[int]map[string]int64{} // shotIdx -> role -> objectID
+	if playersV, ok := res.Get("players"); ok {
+		players, ok := playersV.(map[int]track.ShotResult)
+		if !ok {
+			return 0, fmt.Errorf("fde: players symbol has type %T", playersV)
+		}
+		for shotIdx, pr := range players {
+			s := shots[shotIdx]
+			objIDs[shotIdx] = map[string]int64{}
+			for role, tr := range map[string]track.Track{"near": pr.Near, "far": pr.Far} {
+				if len(tr.Obs) == 0 {
+					continue
+				}
+				oid, err := idx.AddObject(core.Object{
+					VideoID: vid, SegmentID: segIDs[shotIdx],
+					Name:     "player-" + role,
+					Interval: core.Interval{Start: s.Start, End: s.End},
+				})
+				if err != nil {
+					return 0, err
+				}
+				objIDs[shotIdx][role] = oid
+				for _, o := range tr.Obs {
+					st := core.ObjectState{
+						ObjectID: oid, Frame: s.Start + o.Frame, Found: o.Found,
+						X: o.X, Y: o.Y, VX: o.VX, VY: o.VY,
+						Area:        o.Shape.Area,
+						BBox:        [4]int{o.Shape.BBox.X0, o.Shape.BBox.Y0, o.Shape.BBox.X1, o.Shape.BBox.Y1},
+						Orientation: o.Shape.Orientation, Eccentricity: o.Shape.Eccentricity,
+					}
+					if err := idx.AddState(st); err != nil {
+						return 0, err
+					}
+				}
+			}
+		}
+	}
+	// Events from all three event symbols.
+	for _, sym := range []string{"event_netplay", "event_rally", "event_service"} {
+		evV, ok := res.Get(sym)
+		if !ok {
+			continue
+		}
+		evs, ok := evV.([]TennisEvent)
+		if !ok {
+			return 0, fmt.Errorf("fde: %s symbol has type %T", sym, evV)
+		}
+		for _, ev := range evs {
+			var actor int64
+			if m := objIDs[ev.ShotIdx]; m != nil {
+				actor = m[ev.Object]
+			}
+			if _, err := idx.AddEvent(core.Event{
+				VideoID: vid, SegmentID: segIDs[ev.ShotIdx], Kind: ev.Kind,
+				Interval: core.Interval{Start: ev.Start, End: ev.End},
+				ActorID:  actor, Confidence: ev.Confidence,
+			}); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return vid, nil
+}

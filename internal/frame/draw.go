@@ -1,0 +1,96 @@
+package frame
+
+import "math/rand"
+
+// Drawing primitives. These exist so the synthetic broadcast generator
+// (internal/synth) and the package tests can paint scenes without any
+// external imaging dependency.
+
+// FillRect paints the rectangle r (clipped to the image) with colour c.
+func (im *Image) FillRect(r Rect, c RGB) {
+	r = r.Clip(im)
+	for y := r.Y0; y < r.Y1; y++ {
+		o := im.Offset(r.X0, y)
+		for x := r.X0; x < r.X1; x++ {
+			im.Pix[o], im.Pix[o+1], im.Pix[o+2] = c.R, c.G, c.B
+			o += 3
+		}
+	}
+}
+
+// FillEllipse paints the axis-aligned ellipse centred at (cx, cy) with
+// horizontal radius rx and vertical radius ry.
+func (im *Image) FillEllipse(cx, cy, rx, ry float64, c RGB) {
+	if rx <= 0 || ry <= 0 {
+		return
+	}
+	x0 := int(cx - rx)
+	x1 := int(cx + rx + 1)
+	y0 := int(cy - ry)
+	y1 := int(cy + ry + 1)
+	for y := y0; y < y1; y++ {
+		for x := x0; x < x1; x++ {
+			dx := (float64(x) - cx) / rx
+			dy := (float64(y) - cy) / ry
+			if dx*dx+dy*dy <= 1 {
+				im.Set(x, y, c)
+			}
+		}
+	}
+}
+
+// HLine draws a horizontal line segment of the given thickness.
+func (im *Image) HLine(x0, x1, y, thickness int, c RGB) {
+	im.FillRect(Rect{x0, y, x1, y + thickness}, c)
+}
+
+// VLine draws a vertical line segment of the given thickness.
+func (im *Image) VLine(x, y0, y1, thickness int, c RGB) {
+	im.FillRect(Rect{x, y0, x + thickness, y1}, c)
+}
+
+// AddNoise perturbs every channel of every pixel by a uniform value in
+// [-amp, amp], clamping to [0, 255]. rng must not be nil.
+func (im *Image) AddNoise(rng *rand.Rand, amp int) {
+	if amp <= 0 {
+		return
+	}
+	for i := range im.Pix {
+		v := int(im.Pix[i]) + rng.Intn(2*amp+1) - amp
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		im.Pix[i] = uint8(v)
+	}
+}
+
+// SpeckleNoise replaces a fraction p of pixels with uniformly random
+// colours; used to paint high-entropy audience textures.
+func (im *Image) SpeckleNoise(rng *rand.Rand, p float64) {
+	n := im.W * im.H
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			o := 3 * i
+			im.Pix[o] = uint8(rng.Intn(256))
+			im.Pix[o+1] = uint8(rng.Intn(256))
+			im.Pix[o+2] = uint8(rng.Intn(256))
+		}
+	}
+}
+
+// FillGradient paints a vertical gradient from top colour a to bottom
+// colour b across the rectangle r.
+func (im *Image) FillGradient(r Rect, a, b RGB) {
+	r = r.Clip(im)
+	if r.H() == 0 {
+		return
+	}
+	for y := r.Y0; y < r.Y1; y++ {
+		t := float64(y-r.Y0) / float64(r.H())
+		c := Lerp(a, b, t)
+		im.HLine(r.X0, r.X1, y, 1, c)
+	}
+}

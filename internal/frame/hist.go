@@ -1,0 +1,261 @@
+package frame
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a colour histogram with B bins per channel, quantizing the
+// RGB cube into B×B×B cells. It is the primary feature used by the segment
+// detector: shot boundaries are detected from the distance between the
+// histograms of neighbouring frames.
+type Histogram struct {
+	// Bins is the number of quantization levels per channel.
+	Bins int
+	// Counts has Bins*Bins*Bins entries indexed by
+	// (rBin*Bins+gBin)*Bins+bBin.
+	Counts []float64
+	// Total is the number of pixels accumulated.
+	Total float64
+}
+
+// NewHistogram allocates an empty histogram with the given number of bins
+// per channel. bins must be in [2, 256].
+func NewHistogram(bins int) *Histogram {
+	if bins < 2 || bins > 256 {
+		panic(fmt.Sprintf("frame: invalid histogram bins %d", bins))
+	}
+	return &Histogram{Bins: bins, Counts: make([]float64, bins*bins*bins)}
+}
+
+// binOf maps an 8-bit channel value to its bin index.
+func (h *Histogram) binOf(v uint8) int {
+	return int(v) * h.Bins / 256
+}
+
+// Index returns the flat bin index for a colour.
+func (h *Histogram) Index(c RGB) int {
+	return (h.binOf(c.R)*h.Bins+h.binOf(c.G))*h.Bins + h.binOf(c.B)
+}
+
+// Add accumulates one pixel.
+func (h *Histogram) Add(c RGB) {
+	h.Counts[h.Index(c)]++
+	h.Total++
+}
+
+// AddImage accumulates every pixel of the image.
+func (h *Histogram) AddImage(im *Image) {
+	for i := 0; i < len(im.Pix); i += 3 {
+		h.Counts[h.Index(RGB{im.Pix[i], im.Pix[i+1], im.Pix[i+2]})]++
+	}
+	h.Total += float64(im.W * im.H)
+}
+
+// AddRegion accumulates the pixels of im inside r (clipped to the image).
+func (h *Histogram) AddRegion(im *Image, r Rect) {
+	r = r.Clip(im)
+	for y := r.Y0; y < r.Y1; y++ {
+		o := im.Offset(r.X0, y)
+		for x := r.X0; x < r.X1; x++ {
+			h.Counts[h.Index(RGB{im.Pix[o], im.Pix[o+1], im.Pix[o+2]})]++
+			o += 3
+		}
+	}
+	h.Total += float64(r.Area())
+}
+
+// HistogramOf computes the full-image histogram with the given bins.
+func HistogramOf(im *Image, bins int) *Histogram {
+	h := NewHistogram(bins)
+	h.AddImage(im)
+	return h
+}
+
+// Normalized returns a copy of the histogram whose counts sum to 1.
+// An empty histogram normalizes to all zeros.
+func (h *Histogram) Normalized() *Histogram {
+	out := NewHistogram(h.Bins)
+	out.Total = 1
+	if h.Total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out.Counts[i] = c / h.Total
+	}
+	return out
+}
+
+// L1Dist returns the L1 (sum of absolute differences) distance between two
+// normalized views of the histograms, in [0, 2]. Histograms must have the
+// same number of bins.
+func (h *Histogram) L1Dist(other *Histogram) float64 {
+	mustSameBins(h, other)
+	var d float64
+	ht, ot := h.Total, other.Total
+	if ht == 0 {
+		ht = 1
+	}
+	if ot == 0 {
+		ot = 1
+	}
+	for i := range h.Counts {
+		d += math.Abs(h.Counts[i]/ht - other.Counts[i]/ot)
+	}
+	return d
+}
+
+// ChiSquare returns the chi-square distance between normalized histograms:
+// sum (a-b)^2/(a+b) over bins where a+b > 0. It lies in [0, 2].
+func (h *Histogram) ChiSquare(other *Histogram) float64 {
+	mustSameBins(h, other)
+	var d float64
+	ht, ot := h.Total, other.Total
+	if ht == 0 {
+		ht = 1
+	}
+	if ot == 0 {
+		ot = 1
+	}
+	for i := range h.Counts {
+		a := h.Counts[i] / ht
+		b := other.Counts[i] / ot
+		if s := a + b; s > 0 {
+			d += (a - b) * (a - b) / s
+		}
+	}
+	return d
+}
+
+// Intersection returns the histogram intersection similarity of the
+// normalized histograms, in [0, 1]; 1 means identical distributions.
+func (h *Histogram) Intersection(other *Histogram) float64 {
+	mustSameBins(h, other)
+	var s float64
+	ht, ot := h.Total, other.Total
+	if ht == 0 {
+		ht = 1
+	}
+	if ot == 0 {
+		ot = 1
+	}
+	for i := range h.Counts {
+		s += math.Min(h.Counts[i]/ht, other.Counts[i]/ot)
+	}
+	return s
+}
+
+// Peak returns the most populated bin's representative colour (the centre
+// of the quantization cell) and its normalized share of all pixels.
+func (h *Histogram) Peak() (RGB, float64) {
+	best, bestIdx := -1.0, 0
+	for i, c := range h.Counts {
+		if c > best {
+			best, bestIdx = c, i
+		}
+	}
+	share := 0.0
+	if h.Total > 0 {
+		share = best / h.Total
+	}
+	return h.binCenter(bestIdx), share
+}
+
+// binCenter maps a flat bin index back to the centre colour of its cell.
+func (h *Histogram) binCenter(idx int) RGB {
+	b := idx % h.Bins
+	idx /= h.Bins
+	g := idx % h.Bins
+	r := idx / h.Bins
+	half := 256 / (2 * h.Bins)
+	toVal := func(bin int) uint8 {
+		v := bin*256/h.Bins + half
+		if v > 255 {
+			v = 255
+		}
+		return uint8(v)
+	}
+	return RGB{toVal(r), toVal(g), toVal(b)}
+}
+
+// Entropy returns the Shannon entropy (bits) of the normalized histogram.
+// Higher entropy means a more uniform colour distribution (e.g. audience
+// shots); low entropy means one colour dominates (e.g. court shots).
+func (h *Histogram) Entropy() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var e float64
+	for _, c := range h.Counts {
+		if c > 0 {
+			p := c / h.Total
+			e -= p * math.Log2(p)
+		}
+	}
+	return e
+}
+
+func mustSameBins(a, b *Histogram) {
+	if a.Bins != b.Bins {
+		panic(fmt.Sprintf("frame: histogram bin mismatch %d vs %d", a.Bins, b.Bins))
+	}
+}
+
+// GrayHistogram is a 256-bin luminance histogram, used for the entropy,
+// mean and variance characteristics the shot classifier relies on.
+type GrayHistogram struct {
+	Counts [256]float64
+	Total  float64
+}
+
+// GrayHistogramOf computes the luminance histogram of an image.
+func GrayHistogramOf(im *Image) *GrayHistogram {
+	h := &GrayHistogram{}
+	for i := 0; i < len(im.Pix); i += 3 {
+		y := Luma(RGB{im.Pix[i], im.Pix[i+1], im.Pix[i+2]})
+		h.Counts[int(y)]++
+	}
+	h.Total = float64(im.W * im.H)
+	return h
+}
+
+// Mean returns the mean luminance in [0, 255].
+func (h *GrayHistogram) Mean() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var s float64
+	for v, c := range h.Counts {
+		s += float64(v) * c
+	}
+	return s / h.Total
+}
+
+// Variance returns the luminance variance.
+func (h *GrayHistogram) Variance() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	m := h.Mean()
+	var s float64
+	for v, c := range h.Counts {
+		d := float64(v) - m
+		s += d * d * c
+	}
+	return s / h.Total
+}
+
+// Entropy returns the Shannon entropy (bits) of the luminance distribution.
+func (h *GrayHistogram) Entropy() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var e float64
+	for _, c := range h.Counts {
+		if c > 0 {
+			p := c / h.Total
+			e -= p * math.Log2(p)
+		}
+	}
+	return e
+}

@@ -1,0 +1,219 @@
+// Package frame provides the raster and low-level feature primitives used
+// by every video detector in the COBRA pipeline: images, colour-space
+// conversions, histograms, first-order statistics, skin-colour and
+// dominant-colour models, binary masks with connected components and
+// morphology, and moment-based shape descriptors (mass centre, area,
+// bounding box, orientation, eccentricity).
+//
+// The package corresponds to the "feature layer" primitives of the COBRA
+// video data model: everything here is computed directly from raw pixels
+// and consumed by the segment detector (internal/shotdet), the tennis
+// detector (internal/track) and the event rules (internal/rules).
+package frame
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RGB is a packed 8-bit-per-channel colour.
+type RGB struct {
+	R, G, B uint8
+}
+
+// Image is an interleaved 8-bit RGB raster. Pixels are stored row-major,
+// three bytes per pixel. The zero value is an empty image; use New to
+// allocate a usable one.
+type Image struct {
+	W, H int
+	// Pix holds interleaved RGB bytes; len(Pix) == 3*W*H.
+	Pix []uint8
+}
+
+// New allocates a black image of the given dimensions.
+// Width and height must be positive.
+func New(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("frame: invalid dimensions %dx%d", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]uint8, 3*w*h)}
+}
+
+// ErrBounds is returned by checked accessors when coordinates fall outside
+// the image.
+var ErrBounds = errors.New("frame: coordinates out of bounds")
+
+// Offset returns the index into Pix of the pixel at (x, y).
+// It performs no bounds checking.
+func (im *Image) Offset(x, y int) int { return 3 * (y*im.W + x) }
+
+// In reports whether (x, y) lies inside the image.
+func (im *Image) In(x, y int) bool {
+	return x >= 0 && y >= 0 && x < im.W && y < im.H
+}
+
+// At returns the colour at (x, y). Out-of-bounds coordinates return black.
+func (im *Image) At(x, y int) RGB {
+	if !im.In(x, y) {
+		return RGB{}
+	}
+	o := im.Offset(x, y)
+	return RGB{im.Pix[o], im.Pix[o+1], im.Pix[o+2]}
+}
+
+// Set writes the colour at (x, y). Out-of-bounds coordinates are ignored.
+func (im *Image) Set(x, y int, c RGB) {
+	if !im.In(x, y) {
+		return
+	}
+	o := im.Offset(x, y)
+	im.Pix[o], im.Pix[o+1], im.Pix[o+2] = c.R, c.G, c.B
+}
+
+// Clone returns a deep copy of the image.
+func (im *Image) Clone() *Image {
+	out := New(im.W, im.H)
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// Fill paints the whole image with a single colour.
+func (im *Image) Fill(c RGB) {
+	for i := 0; i < len(im.Pix); i += 3 {
+		im.Pix[i], im.Pix[i+1], im.Pix[i+2] = c.R, c.G, c.B
+	}
+}
+
+// Rect is an integer rectangle, half-open on the right and bottom:
+// it spans x in [X0, X1) and y in [Y0, Y1).
+type Rect struct {
+	X0, Y0, X1, Y1 int
+}
+
+// Canon returns the rectangle with swapped edges fixed so X0<=X1, Y0<=Y1.
+func (r Rect) Canon() Rect {
+	if r.X0 > r.X1 {
+		r.X0, r.X1 = r.X1, r.X0
+	}
+	if r.Y0 > r.Y1 {
+		r.Y0, r.Y1 = r.Y1, r.Y0
+	}
+	return r
+}
+
+// W returns the rectangle width (zero if inverted).
+func (r Rect) W() int {
+	if r.X1 < r.X0 {
+		return 0
+	}
+	return r.X1 - r.X0
+}
+
+// H returns the rectangle height (zero if inverted).
+func (r Rect) H() int {
+	if r.Y1 < r.Y0 {
+		return 0
+	}
+	return r.Y1 - r.Y0
+}
+
+// Area returns the number of pixels covered by the rectangle.
+func (r Rect) Area() int { return r.W() * r.H() }
+
+// Empty reports whether the rectangle covers no pixels.
+func (r Rect) Empty() bool { return r.W() == 0 || r.H() == 0 }
+
+// Clip intersects the rectangle with the image bounds of im.
+func (r Rect) Clip(im *Image) Rect {
+	r = r.Canon()
+	if r.X0 < 0 {
+		r.X0 = 0
+	}
+	if r.Y0 < 0 {
+		r.Y0 = 0
+	}
+	if r.X1 > im.W {
+		r.X1 = im.W
+	}
+	if r.Y1 > im.H {
+		r.Y1 = im.H
+	}
+	if r.X0 > r.X1 {
+		r.X0 = r.X1
+	}
+	if r.Y0 > r.Y1 {
+		r.Y0 = r.Y1
+	}
+	return r
+}
+
+// Contains reports whether the point (x, y) lies inside the rectangle.
+func (r Rect) Contains(x, y int) bool {
+	return x >= r.X0 && x < r.X1 && y >= r.Y0 && y < r.Y1
+}
+
+// Intersect returns the intersection of two rectangles (possibly empty).
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{max(r.X0, s.X0), max(r.Y0, s.Y0), min(r.X1, s.X1), min(r.Y1, s.Y1)}
+	if out.X1 < out.X0 {
+		out.X1 = out.X0
+	}
+	if out.Y1 < out.Y0 {
+		out.Y1 = out.Y0
+	}
+	return out
+}
+
+// Union returns the smallest rectangle containing both r and s.
+// If either is empty the other is returned.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{min(r.X0, s.X0), min(r.Y0, s.Y0), max(r.X1, s.X1), max(r.Y1, s.Y1)}
+}
+
+// Center returns the centre point of the rectangle in floating point.
+func (r Rect) Center() (float64, float64) {
+	return float64(r.X0+r.X1) / 2, float64(r.Y0+r.Y1) / 2
+}
+
+// Bounds returns the rectangle covering the whole image.
+func (im *Image) Bounds() Rect { return Rect{0, 0, im.W, im.H} }
+
+// Equal reports whether two images have identical dimensions and pixels.
+func (im *Image) Equal(other *Image) bool {
+	if im.W != other.W || im.H != other.H {
+		return false
+	}
+	for i := range im.Pix {
+		if im.Pix[i] != other.Pix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns the mean absolute per-channel difference between two images
+// of identical dimensions, in [0, 255]. It returns an error if dimensions
+// differ.
+func (im *Image) Diff(other *Image) (float64, error) {
+	if im.W != other.W || im.H != other.H {
+		return 0, fmt.Errorf("frame: dimension mismatch %dx%d vs %dx%d", im.W, im.H, other.W, other.H)
+	}
+	var sum uint64
+	for i := range im.Pix {
+		d := int(im.Pix[i]) - int(other.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += uint64(d)
+	}
+	if len(im.Pix) == 0 {
+		return 0, nil
+	}
+	return float64(sum) / float64(len(im.Pix)), nil
+}

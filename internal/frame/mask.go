@@ -1,0 +1,219 @@
+package frame
+
+// Mask is a binary raster, used for player segmentation: after court-colour
+// subtraction the foreground pixels form a mask whose largest connected
+// component is taken to be the player.
+type Mask struct {
+	W, H int
+	Bits []bool
+}
+
+// NewMask allocates an all-false mask.
+func NewMask(w, h int) *Mask {
+	return &Mask{W: w, H: h, Bits: make([]bool, w*h)}
+}
+
+// In reports whether (x, y) lies inside the mask.
+func (m *Mask) In(x, y int) bool {
+	return x >= 0 && y >= 0 && x < m.W && y < m.H
+}
+
+// Get returns the bit at (x, y); out of bounds reads return false.
+func (m *Mask) Get(x, y int) bool {
+	if !m.In(x, y) {
+		return false
+	}
+	return m.Bits[y*m.W+x]
+}
+
+// Set writes the bit at (x, y); out of bounds writes are ignored.
+func (m *Mask) Set(x, y int, v bool) {
+	if !m.In(x, y) {
+		return
+	}
+	m.Bits[y*m.W+x] = v
+}
+
+// Count returns the number of set bits.
+func (m *Mask) Count() int {
+	n := 0
+	for _, b := range m.Bits {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the mask.
+func (m *Mask) Clone() *Mask {
+	out := NewMask(m.W, m.H)
+	copy(out.Bits, m.Bits)
+	return out
+}
+
+// Erode applies one pass of 4-neighbour binary erosion: a pixel stays set
+// only if it and all four direct neighbours are set. Border pixels treat
+// out-of-bounds neighbours as unset, so erosion shrinks regions touching
+// the border.
+func (m *Mask) Erode() *Mask {
+	out := NewMask(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			if m.Get(x, y) && m.Get(x-1, y) && m.Get(x+1, y) && m.Get(x, y-1) && m.Get(x, y+1) {
+				out.Bits[y*m.W+x] = true
+			}
+		}
+	}
+	return out
+}
+
+// Dilate applies one pass of 4-neighbour binary dilation: a pixel becomes
+// set if it or any direct neighbour is set.
+func (m *Mask) Dilate() *Mask {
+	out := NewMask(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			if m.Get(x, y) || m.Get(x-1, y) || m.Get(x+1, y) || m.Get(x, y-1) || m.Get(x, y+1) {
+				out.Bits[y*m.W+x] = true
+			}
+		}
+	}
+	return out
+}
+
+// Open performs erosion followed by dilation, removing isolated noise
+// pixels while approximately preserving larger regions.
+func (m *Mask) Open() *Mask { return m.Erode().Dilate() }
+
+// Close performs dilation followed by erosion, filling small holes.
+func (m *Mask) Close() *Mask { return m.Dilate().Erode() }
+
+// Component is one 4-connected region of set pixels.
+type Component struct {
+	// Label is the 1-based component identifier.
+	Label int
+	// Area is the number of pixels in the component.
+	Area int
+	// BBox is the tight bounding rectangle.
+	BBox Rect
+	// SumX and SumY accumulate coordinates for centroid computation.
+	SumX, SumY int64
+}
+
+// Centroid returns the component's mass centre.
+func (c Component) Centroid() (float64, float64) {
+	if c.Area == 0 {
+		return 0, 0
+	}
+	return float64(c.SumX) / float64(c.Area), float64(c.SumY) / float64(c.Area)
+}
+
+// Components labels all 4-connected regions of set pixels using an
+// iterative flood fill (BFS) and returns them. labels, if non-nil, receives
+// the per-pixel label (0 for background). Components are returned in label
+// order, which follows raster-scan discovery order.
+func (m *Mask) Components() []Component {
+	labels := make([]int32, m.W*m.H)
+	var comps []Component
+	var queue []int32
+	for start := 0; start < len(m.Bits); start++ {
+		if !m.Bits[start] || labels[start] != 0 {
+			continue
+		}
+		label := int32(len(comps) + 1)
+		comp := Component{
+			Label: int(label),
+			BBox:  Rect{m.W, m.H, 0, 0},
+		}
+		queue = queue[:0]
+		queue = append(queue, int32(start))
+		labels[start] = label
+		for len(queue) > 0 {
+			p := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			x := int(p) % m.W
+			y := int(p) / m.W
+			comp.Area++
+			comp.SumX += int64(x)
+			comp.SumY += int64(y)
+			if x < comp.BBox.X0 {
+				comp.BBox.X0 = x
+			}
+			if y < comp.BBox.Y0 {
+				comp.BBox.Y0 = y
+			}
+			if x+1 > comp.BBox.X1 {
+				comp.BBox.X1 = x + 1
+			}
+			if y+1 > comp.BBox.Y1 {
+				comp.BBox.Y1 = y + 1
+			}
+			tryPush := func(nx, ny int) {
+				if nx < 0 || ny < 0 || nx >= m.W || ny >= m.H {
+					return
+				}
+				np := int32(ny*m.W + nx)
+				if m.Bits[np] && labels[np] == 0 {
+					labels[np] = label
+					queue = append(queue, np)
+				}
+			}
+			tryPush(x-1, y)
+			tryPush(x+1, y)
+			tryPush(x, y-1)
+			tryPush(x, y+1)
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Largest returns the largest connected component and true, or a zero
+// component and false if the mask is empty.
+func (m *Mask) Largest() (Component, bool) {
+	comps := m.Components()
+	if len(comps) == 0 {
+		return Component{}, false
+	}
+	best := comps[0]
+	for _, c := range comps[1:] {
+		if c.Area > best.Area {
+			best = c
+		}
+	}
+	return best, true
+}
+
+// SubMask returns the portion of the mask within r (clipped) as a new mask
+// whose origin is r's top-left corner.
+func (m *Mask) SubMask(r Rect) *Mask {
+	r = r.Canon()
+	if r.X0 < 0 {
+		r.X0 = 0
+	}
+	if r.Y0 < 0 {
+		r.Y0 = 0
+	}
+	if r.X1 > m.W {
+		r.X1 = m.W
+	}
+	if r.Y1 > m.H {
+		r.Y1 = m.H
+	}
+	if r.X1 < r.X0 {
+		r.X1 = r.X0
+	}
+	if r.Y1 < r.Y0 {
+		r.Y1 = r.Y0
+	}
+	out := NewMask(r.W(), r.H())
+	for y := r.Y0; y < r.Y1; y++ {
+		for x := r.X0; x < r.X1; x++ {
+			if m.Bits[y*m.W+x] {
+				out.Bits[(y-r.Y0)*out.W+(x-r.X0)] = true
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,411 @@
+// Package hmm implements discrete hidden Markov models with scaled
+// forward/backward, Viterbi decoding and Baum-Welch training, plus a
+// k-means codebook for quantizing continuous feature vectors into
+// observation symbols.
+//
+// The COBRA system's companion work ("Content-based video retrieval by
+// integrating spatio-temporal and stochastic recognition of events",
+// reference [2] of the demo paper) recognizes tennis strokes (serve,
+// forehand, backhand, volley, smash) by feeding quantized player-shape
+// features into per-class HMMs and picking the class with the highest
+// likelihood; this package provides that machinery.
+package hmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model is a discrete HMM with N hidden states and M observation symbols.
+type Model struct {
+	// N is the number of hidden states, M the observation alphabet size.
+	N, M int
+	// Pi is the initial state distribution (length N).
+	Pi []float64
+	// A is the state transition matrix (N×N, rows sum to 1).
+	A [][]float64
+	// B is the emission matrix (N×M, rows sum to 1).
+	B [][]float64
+}
+
+// New returns a model with uniform distributions.
+func New(n, m int) *Model {
+	h := &Model{N: n, M: m, Pi: make([]float64, n)}
+	h.A = make([][]float64, n)
+	h.B = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		h.Pi[i] = 1 / float64(n)
+		h.A[i] = make([]float64, n)
+		h.B[i] = make([]float64, m)
+		for j := 0; j < n; j++ {
+			h.A[i][j] = 1 / float64(n)
+		}
+		for k := 0; k < m; k++ {
+			h.B[i][k] = 1 / float64(m)
+		}
+	}
+	return h
+}
+
+// NewRandom returns a model with randomly perturbed distributions; random
+// initialization breaks the symmetry that traps Baum-Welch on the uniform
+// start.
+func NewRandom(n, m int, rng *rand.Rand) *Model {
+	h := New(n, m)
+	perturb := func(row []float64) {
+		var sum float64
+		for i := range row {
+			row[i] = 0.1 + rng.Float64()
+			sum += row[i]
+		}
+		for i := range row {
+			row[i] /= sum
+		}
+	}
+	perturb(h.Pi)
+	for i := 0; i < n; i++ {
+		perturb(h.A[i])
+		perturb(h.B[i])
+	}
+	return h
+}
+
+// Errors returned by the package.
+var (
+	ErrEmptySequence = errors.New("hmm: empty observation sequence")
+	ErrBadSymbol     = errors.New("hmm: observation symbol out of range")
+	ErrNoData        = errors.New("hmm: no training data")
+)
+
+// Validate checks the stochastic constraints.
+func (h *Model) Validate() error {
+	if h.N <= 0 || h.M <= 0 {
+		return fmt.Errorf("hmm: invalid dimensions N=%d M=%d", h.N, h.M)
+	}
+	checkRow := func(row []float64, what string) error {
+		var sum float64
+		for _, v := range row {
+			if v < 0 || math.IsNaN(v) {
+				return fmt.Errorf("hmm: negative/NaN probability in %s", what)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("hmm: %s sums to %g, want 1", what, sum)
+		}
+		return nil
+	}
+	if err := checkRow(h.Pi, "Pi"); err != nil {
+		return err
+	}
+	for i := range h.A {
+		if err := checkRow(h.A[i], fmt.Sprintf("A[%d]", i)); err != nil {
+			return err
+		}
+		if err := checkRow(h.B[i], fmt.Sprintf("B[%d]", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *Model) checkObs(obs []int) error {
+	if len(obs) == 0 {
+		return ErrEmptySequence
+	}
+	for _, o := range obs {
+		if o < 0 || o >= h.M {
+			return fmt.Errorf("%w: %d (M=%d)", ErrBadSymbol, o, h.M)
+		}
+	}
+	return nil
+}
+
+// forwardScaled runs the scaled forward pass, returning per-step alpha
+// matrices and scale factors. logProb = -sum(log c_t).
+func (h *Model) forwardScaled(obs []int) (alpha [][]float64, scales []float64) {
+	T := len(obs)
+	alpha = make([][]float64, T)
+	scales = make([]float64, T)
+	alpha[0] = make([]float64, h.N)
+	var c float64
+	for i := 0; i < h.N; i++ {
+		alpha[0][i] = h.Pi[i] * h.B[i][obs[0]]
+		c += alpha[0][i]
+	}
+	if c == 0 {
+		c = math.SmallestNonzeroFloat64
+	}
+	scales[0] = c
+	for i := 0; i < h.N; i++ {
+		alpha[0][i] /= c
+	}
+	for t := 1; t < T; t++ {
+		alpha[t] = make([]float64, h.N)
+		c = 0
+		for j := 0; j < h.N; j++ {
+			var s float64
+			for i := 0; i < h.N; i++ {
+				s += alpha[t-1][i] * h.A[i][j]
+			}
+			alpha[t][j] = s * h.B[j][obs[t]]
+			c += alpha[t][j]
+		}
+		if c == 0 {
+			c = math.SmallestNonzeroFloat64
+		}
+		scales[t] = c
+		for j := 0; j < h.N; j++ {
+			alpha[t][j] /= c
+		}
+	}
+	return alpha, scales
+}
+
+// LogLikelihood returns log P(obs | model) using the scaled forward pass.
+func (h *Model) LogLikelihood(obs []int) (float64, error) {
+	if err := h.checkObs(obs); err != nil {
+		return 0, err
+	}
+	_, scales := h.forwardScaled(obs)
+	var lp float64
+	for _, c := range scales {
+		lp += math.Log(c)
+	}
+	return lp, nil
+}
+
+// Viterbi returns the most likely hidden state path and its log
+// probability.
+func (h *Model) Viterbi(obs []int) ([]int, float64, error) {
+	if err := h.checkObs(obs); err != nil {
+		return nil, 0, err
+	}
+	T := len(obs)
+	logA := make([][]float64, h.N)
+	logB := make([][]float64, h.N)
+	for i := 0; i < h.N; i++ {
+		logA[i] = make([]float64, h.N)
+		logB[i] = make([]float64, h.M)
+		for j := 0; j < h.N; j++ {
+			logA[i][j] = safeLog(h.A[i][j])
+		}
+		for k := 0; k < h.M; k++ {
+			logB[i][k] = safeLog(h.B[i][k])
+		}
+	}
+	delta := make([][]float64, T)
+	psi := make([][]int, T)
+	delta[0] = make([]float64, h.N)
+	psi[0] = make([]int, h.N)
+	for i := 0; i < h.N; i++ {
+		delta[0][i] = safeLog(h.Pi[i]) + logB[i][obs[0]]
+	}
+	for t := 1; t < T; t++ {
+		delta[t] = make([]float64, h.N)
+		psi[t] = make([]int, h.N)
+		for j := 0; j < h.N; j++ {
+			best, bestI := math.Inf(-1), 0
+			for i := 0; i < h.N; i++ {
+				if v := delta[t-1][i] + logA[i][j]; v > best {
+					best, bestI = v, i
+				}
+			}
+			delta[t][j] = best + logB[j][obs[t]]
+			psi[t][j] = bestI
+		}
+	}
+	best, bestI := math.Inf(-1), 0
+	for i := 0; i < h.N; i++ {
+		if delta[T-1][i] > best {
+			best, bestI = delta[T-1][i], i
+		}
+	}
+	path := make([]int, T)
+	path[T-1] = bestI
+	for t := T - 2; t >= 0; t-- {
+		path[t] = psi[t+1][path[t+1]]
+	}
+	return path, best, nil
+}
+
+func safeLog(v float64) float64 {
+	if v <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(v)
+}
+
+// TrainConfig tunes Baum-Welch.
+type TrainConfig struct {
+	// MaxIters caps the EM iterations (default 50).
+	MaxIters int
+	// Tol stops training when the total log-likelihood improves by less
+	// than Tol (default 1e-4).
+	Tol float64
+	// Smoothing is added to every accumulator to avoid zero probabilities
+	// (default 1e-6).
+	Smoothing float64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.MaxIters == 0 {
+		c.MaxIters = 50
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-4
+	}
+	if c.Smoothing == 0 {
+		c.Smoothing = 1e-6
+	}
+	return c
+}
+
+// BaumWelch trains the model in place on multiple observation sequences,
+// returning the final total log-likelihood and iteration count.
+func (h *Model) BaumWelch(seqs [][]int, cfg TrainConfig) (float64, int, error) {
+	cfg = cfg.withDefaults()
+	if len(seqs) == 0 {
+		return 0, 0, ErrNoData
+	}
+	for _, s := range seqs {
+		if err := h.checkObs(s); err != nil {
+			return 0, 0, err
+		}
+	}
+	prevLL := math.Inf(-1)
+	iters := 0
+	for iter := 0; iter < cfg.MaxIters; iter++ {
+		iters = iter + 1
+		piAcc := make([]float64, h.N)
+		aNum := make([][]float64, h.N)
+		aDen := make([]float64, h.N)
+		bNum := make([][]float64, h.N)
+		bDen := make([]float64, h.N)
+		for i := 0; i < h.N; i++ {
+			aNum[i] = make([]float64, h.N)
+			bNum[i] = make([]float64, h.M)
+		}
+		var totalLL float64
+		for _, obs := range seqs {
+			T := len(obs)
+			alpha, scales := h.forwardScaled(obs)
+			for _, c := range scales {
+				totalLL += math.Log(c)
+			}
+			// Scaled backward pass.
+			beta := make([][]float64, T)
+			beta[T-1] = make([]float64, h.N)
+			for i := 0; i < h.N; i++ {
+				beta[T-1][i] = 1 / scales[T-1]
+			}
+			for t := T - 2; t >= 0; t-- {
+				beta[t] = make([]float64, h.N)
+				for i := 0; i < h.N; i++ {
+					var s float64
+					for j := 0; j < h.N; j++ {
+						s += h.A[i][j] * h.B[j][obs[t+1]] * beta[t+1][j]
+					}
+					beta[t][i] = s / scales[t]
+				}
+			}
+			// Accumulate gamma and xi.
+			for t := 0; t < T; t++ {
+				var norm float64
+				gamma := make([]float64, h.N)
+				for i := 0; i < h.N; i++ {
+					gamma[i] = alpha[t][i] * beta[t][i]
+					norm += gamma[i]
+				}
+				if norm == 0 {
+					continue
+				}
+				for i := 0; i < h.N; i++ {
+					g := gamma[i] / norm
+					if t == 0 {
+						piAcc[i] += g
+					}
+					bNum[i][obs[t]] += g
+					bDen[i] += g
+					if t < T-1 {
+						aDen[i] += g
+					}
+				}
+				if t < T-1 {
+					var xiNorm float64
+					xi := make([][]float64, h.N)
+					for i := 0; i < h.N; i++ {
+						xi[i] = make([]float64, h.N)
+						for j := 0; j < h.N; j++ {
+							xi[i][j] = alpha[t][i] * h.A[i][j] * h.B[j][obs[t+1]] * beta[t+1][j]
+							xiNorm += xi[i][j]
+						}
+					}
+					if xiNorm > 0 {
+						for i := 0; i < h.N; i++ {
+							for j := 0; j < h.N; j++ {
+								aNum[i][j] += xi[i][j] / xiNorm
+							}
+						}
+					}
+				}
+			}
+		}
+		// Re-estimate with smoothing.
+		var piSum float64
+		for i := 0; i < h.N; i++ {
+			piAcc[i] += cfg.Smoothing
+			piSum += piAcc[i]
+		}
+		for i := 0; i < h.N; i++ {
+			h.Pi[i] = piAcc[i] / piSum
+			var rowSum float64
+			for j := 0; j < h.N; j++ {
+				aNum[i][j] += cfg.Smoothing
+				rowSum += aNum[i][j]
+			}
+			for j := 0; j < h.N; j++ {
+				h.A[i][j] = aNum[i][j] / rowSum
+			}
+			var bSum float64
+			for k := 0; k < h.M; k++ {
+				bNum[i][k] += cfg.Smoothing
+				bSum += bNum[i][k]
+			}
+			for k := 0; k < h.M; k++ {
+				h.B[i][k] = bNum[i][k] / bSum
+			}
+		}
+		if totalLL-prevLL < cfg.Tol && iter > 0 {
+			prevLL = totalLL
+			break
+		}
+		prevLL = totalLL
+	}
+	return prevLL, iters, nil
+}
+
+// Sample generates an observation sequence of length T from the model.
+func (h *Model) Sample(T int, rng *rand.Rand) []int {
+	obs := make([]int, T)
+	state := sampleFrom(h.Pi, rng)
+	for t := 0; t < T; t++ {
+		obs[t] = sampleFrom(h.B[state], rng)
+		state = sampleFrom(h.A[state], rng)
+	}
+	return obs
+}
+
+func sampleFrom(dist []float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	var cum float64
+	for i, p := range dist {
+		cum += p
+		if r < cum {
+			return i
+		}
+	}
+	return len(dist) - 1
+}

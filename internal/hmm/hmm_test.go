@@ -1,0 +1,311 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewModelsValid(t *testing.T) {
+	if err := New(3, 5).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := NewRandom(4, 6, rng).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	m := New(2, 2)
+	m.Pi[0] = 0.9 // sums to 1.4
+	if err := m.Validate(); err == nil {
+		t.Fatal("bad Pi accepted")
+	}
+	m = New(2, 2)
+	m.A[0][0] = -0.5
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative prob accepted")
+	}
+}
+
+func TestLogLikelihoodKnownModel(t *testing.T) {
+	// Deterministic model: always state 0, always emits symbol 0.
+	m := New(1, 2)
+	m.B[0] = []float64{1, 0}
+	ll, err := m.LogLikelihood([]int{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ll) > 1e-9 {
+		t.Fatalf("certain sequence ll = %v, want 0", ll)
+	}
+	// Impossible observation: probability ~0.
+	ll, _ = m.LogLikelihood([]int{1})
+	if ll > -100 {
+		t.Fatalf("impossible sequence ll = %v, want very negative", ll)
+	}
+}
+
+func TestLogLikelihoodTwoState(t *testing.T) {
+	// Hand-computable: P(obs=[0]) = pi0*b0(0) + pi1*b1(0) = .5*.8+.5*.3 = .55
+	m := New(2, 2)
+	m.B[0] = []float64{0.8, 0.2}
+	m.B[1] = []float64{0.3, 0.7}
+	ll, err := m.LogLikelihood([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ll-math.Log(0.55)) > 1e-9 {
+		t.Fatalf("ll = %v, want log(0.55)", ll)
+	}
+}
+
+func TestObservationValidation(t *testing.T) {
+	m := New(2, 3)
+	if _, err := m.LogLikelihood(nil); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+	if _, err := m.LogLikelihood([]int{0, 3}); err == nil {
+		t.Fatal("out-of-range symbol accepted")
+	}
+	if _, _, err := m.Viterbi([]int{-1}); err == nil {
+		t.Fatal("negative symbol accepted")
+	}
+}
+
+func TestViterbiRecoversStates(t *testing.T) {
+	// Two nearly-deterministic states with distinct emissions.
+	m := New(2, 2)
+	m.Pi = []float64{1, 0}
+	m.A = [][]float64{{0.9, 0.1}, {0.1, 0.9}}
+	m.B = [][]float64{{0.95, 0.05}, {0.05, 0.95}}
+	obs := []int{0, 0, 0, 1, 1, 1, 0, 0}
+	path, lp, err := m.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 0, 0, 1, 1, 1, 0, 0}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+	if math.IsInf(lp, -1) {
+		t.Fatal("viterbi logprob is -inf")
+	}
+}
+
+func TestBaumWelchImprovesLikelihood(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Ground-truth generator model.
+	gen := New(2, 4)
+	gen.Pi = []float64{1, 0}
+	gen.A = [][]float64{{0.8, 0.2}, {0.3, 0.7}}
+	gen.B = [][]float64{{0.7, 0.2, 0.05, 0.05}, {0.05, 0.05, 0.2, 0.7}}
+	var seqs [][]int
+	for i := 0; i < 30; i++ {
+		seqs = append(seqs, gen.Sample(25, rng))
+	}
+	m := NewRandom(2, 4, rng)
+	before := totalLL(t, m, seqs)
+	ll, iters, err := m.BaumWelch(seqs, TrainConfig{MaxIters: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters == 0 {
+		t.Fatal("no iterations run")
+	}
+	after := totalLL(t, m, seqs)
+	if after <= before {
+		t.Fatalf("training did not improve likelihood: %v -> %v", before, after)
+	}
+	// The reported LL is evaluated before the final re-estimation step, so
+	// the returned model can only be at least as good.
+	if after < ll-1e-6 {
+		t.Fatalf("recomputed ll %v below reported %v", after, ll)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("trained model invalid: %v", err)
+	}
+}
+
+func totalLL(t *testing.T, m *Model, seqs [][]int) float64 {
+	t.Helper()
+	var s float64
+	for _, q := range seqs {
+		ll, err := m.LogLikelihood(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s += ll
+	}
+	return s
+}
+
+func TestBaumWelchNoData(t *testing.T) {
+	m := New(2, 2)
+	if _, _, err := m.BaumWelch(nil, TrainConfig{}); err != ErrNoData {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: trained models always satisfy stochastic constraints.
+func TestBaumWelchStochasticProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gen := NewRandom(3, 5, rng)
+		var seqs [][]int
+		for i := 0; i < 5; i++ {
+			seqs = append(seqs, gen.Sample(15, rng))
+		}
+		m := NewRandom(3, 5, rng)
+		if _, _, err := m.BaumWelch(seqs, TrainConfig{MaxIters: 10}); err != nil {
+			return false
+		}
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleRespectsAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewRandom(3, 4, rng)
+	obs := m.Sample(100, rng)
+	if len(obs) != 100 {
+		t.Fatalf("sampled %d", len(obs))
+	}
+	for _, o := range obs {
+		if o < 0 || o >= 4 {
+			t.Fatalf("symbol %d out of range", o)
+		}
+	}
+}
+
+func TestStrokeClassifierAccuracy(t *testing.T) {
+	train := StrokeDataset(30, 0.05, 11)
+	test := StrokeDataset(20, 0.05, 99)
+	cls, err := TrainClassifier(train, ClassifierConfig{
+		States: 4, Symbols: StrokeAlphabet, Seed: 5,
+		Train: TrainConfig{MaxIters: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	for class, seqs := range test {
+		for _, q := range seqs {
+			got, _, _, err := cls.Classify(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got == class {
+				correct++
+			}
+			total++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.9 {
+		t.Fatalf("stroke accuracy %.2f, want >= 0.9", acc)
+	}
+}
+
+func TestClassifierScoresComplete(t *testing.T) {
+	train := StrokeDataset(10, 0.05, 21)
+	cls, err := TrainClassifier(train, ClassifierConfig{Symbols: StrokeAlphabet, Seed: 1, Train: TrainConfig{MaxIters: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls.Classes()) != len(StrokeClasses) {
+		t.Fatalf("classes = %v", cls.Classes())
+	}
+	_, _, scores, err := cls.Classify(GenerateStroke("serve", rand.New(rand.NewSource(2)), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(StrokeClasses) {
+		t.Fatalf("scores = %v", scores)
+	}
+	if cls.Model("serve") == nil || cls.Model("cartwheel") != nil {
+		t.Fatal("Model lookup broken")
+	}
+}
+
+func TestTrainClassifierErrors(t *testing.T) {
+	if _, err := TrainClassifier(nil, ClassifierConfig{Symbols: 4}); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if _, err := TrainClassifier(map[string][][]int{"a": {{0}}}, ClassifierConfig{}); err == nil {
+		t.Fatal("missing Symbols accepted")
+	}
+	if _, err := TrainClassifier(map[string][][]int{"a": {}}, ClassifierConfig{Symbols: 4}); err == nil {
+		t.Fatal("class without sequences accepted")
+	}
+}
+
+func TestCodebookQuantization(t *testing.T) {
+	// Three well-separated clusters.
+	var data [][]float64
+	rng := rand.New(rand.NewSource(4))
+	centers := [][]float64{{0, 0}, {10, 10}, {-8, 6}}
+	for i := 0; i < 300; i++ {
+		c := centers[i%3]
+		data = append(data, []float64{c[0] + rng.NormFloat64()*0.5, c[1] + rng.NormFloat64()*0.5})
+	}
+	cb, err := FitCodebook(data, 3, 30, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Size() != 3 {
+		t.Fatalf("size = %d", cb.Size())
+	}
+	// Points near each true centre must share a codeword, distinct from
+	// the others.
+	codes := map[int]int{}
+	for i, c := range centers {
+		codes[i] = cb.Encode(c)
+	}
+	if codes[0] == codes[1] || codes[1] == codes[2] || codes[0] == codes[2] {
+		t.Fatalf("clusters conflated: %v", codes)
+	}
+	series := cb.EncodeSeries(data[:6])
+	if len(series) != 6 {
+		t.Fatalf("series len = %d", len(series))
+	}
+}
+
+func TestCodebookErrors(t *testing.T) {
+	if _, err := FitCodebook(nil, 3, 10, 1); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if _, err := FitCodebook([][]float64{{1}}, 5, 10, 1); err == nil {
+		t.Fatal("k > n accepted")
+	}
+	if _, err := FitCodebook([][]float64{{1, 2}, {1}}, 1, 10, 1); err == nil {
+		t.Fatal("ragged data accepted")
+	}
+}
+
+func TestStrokeDatasetDeterministic(t *testing.T) {
+	a := StrokeDataset(5, 0.1, 42)
+	b := StrokeDataset(5, 0.1, 42)
+	for class := range a {
+		for i := range a[class] {
+			if len(a[class][i]) != len(b[class][i]) {
+				t.Fatal("dataset not deterministic")
+			}
+			for j := range a[class][i] {
+				if a[class][i][j] != b[class][i][j] {
+					t.Fatal("dataset not deterministic")
+				}
+			}
+		}
+	}
+	if GenerateStroke("moonwalk", rand.New(rand.NewSource(1)), 0) != nil {
+		t.Fatal("unknown stroke generated")
+	}
+}

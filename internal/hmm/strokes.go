@@ -1,0 +1,64 @@
+package hmm
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Stroke classes recognized by the companion paper's stochastic recognizer.
+var StrokeClasses = []string{"backhand", "forehand", "serve", "smash", "volley"}
+
+// StrokeAlphabet is the observation alphabet size of the synthetic stroke
+// generator: quantized arm/racket pose codes.
+const StrokeAlphabet = 10
+
+// strokePatterns defines, per stroke, the canonical pose-code progression
+// the synthetic generator follows. The patterns mimic how quantized player
+// silhouette features evolve through a stroke: each stroke visits a
+// distinct sequence of pose codes with class-specific dwell times.
+var strokePatterns = map[string][]int{
+	"serve":    {0, 1, 2, 3, 4, 3},
+	"smash":    {0, 2, 3, 4, 4, 2},
+	"forehand": {5, 6, 7, 6, 5},
+	"backhand": {5, 8, 9, 8, 5},
+	"volley":   {6, 7, 7, 6},
+}
+
+// GenerateStroke produces one noisy observation sequence for the given
+// stroke class: the canonical pattern with randomized dwell times and a
+// noise probability of emitting a random pose code.
+func GenerateStroke(class string, rng *rand.Rand, noise float64) []int {
+	pattern, ok := strokePatterns[class]
+	if !ok {
+		return nil
+	}
+	var obs []int
+	for _, code := range pattern {
+		dwell := 2 + rng.Intn(3) // 2-4 frames per pose
+		for d := 0; d < dwell; d++ {
+			c := code
+			if rng.Float64() < noise {
+				c = rng.Intn(StrokeAlphabet)
+			}
+			obs = append(obs, c)
+		}
+	}
+	return obs
+}
+
+// StrokeDataset generates a labelled dataset: perClass sequences for every
+// stroke class, deterministic for a seed.
+func StrokeDataset(perClass int, noise float64, seed int64) map[string][][]int {
+	rng := rand.New(rand.NewSource(seed))
+	out := map[string][][]int{}
+	classes := append([]string(nil), StrokeClasses...)
+	sort.Strings(classes)
+	for _, class := range classes {
+		seqs := make([][]int, perClass)
+		for i := range seqs {
+			seqs[i] = GenerateStroke(class, rng, noise)
+		}
+		out[class] = seqs
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DocID identifies an indexed document.
+type DocID int32
+
+// Posting is one (document, term frequency) pair.
+type Posting struct {
+	Doc DocID
+	TF  int32
+}
+
+// postingList holds a term's postings in two orders: docOrder for boolean
+// operations, impactOrder (descending TF) for top-N early termination.
+type postingList struct {
+	docOrder    []Posting
+	impactOrder []Posting // built lazily by Freeze
+}
+
+// Index is an in-memory inverted index with BM25 ranking.
+type Index struct {
+	terms   map[string]*postingList
+	docs    []docInfo
+	totalLn int64
+	frozen  bool
+}
+
+type docInfo struct {
+	Name string
+	Len  int32 // analyzed token count
+}
+
+// BM25 parameters (standard Robertson values).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// Errors returned by the package.
+var (
+	ErrFrozen    = errors.New("ir: index is frozen")
+	ErrNotFrozen = errors.New("ir: index must be frozen before searching")
+	ErrEmptyQry  = errors.New("ir: query has no indexable terms")
+)
+
+// NewIndex creates an empty index.
+func NewIndex() *Index {
+	return &Index{terms: map[string]*postingList{}}
+}
+
+// Add indexes a document under the given name and returns its ID.
+// Documents cannot be added after Freeze.
+func (ix *Index) Add(name, text string) (DocID, error) {
+	if ix.frozen {
+		return 0, ErrFrozen
+	}
+	toks := Analyze(text)
+	id := DocID(len(ix.docs))
+	ix.docs = append(ix.docs, docInfo{Name: name, Len: int32(len(toks))})
+	ix.totalLn += int64(len(toks))
+	tf := map[string]int32{}
+	for _, t := range toks {
+		tf[t]++
+	}
+	for term, f := range tf {
+		pl := ix.terms[term]
+		if pl == nil {
+			pl = &postingList{}
+			ix.terms[term] = pl
+		}
+		pl.docOrder = append(pl.docOrder, Posting{Doc: id, TF: f})
+	}
+	return id, nil
+}
+
+// Freeze finalizes the index: impact-ordered lists are built and the index
+// becomes searchable. Adding after Freeze fails.
+func (ix *Index) Freeze() {
+	if ix.frozen {
+		return
+	}
+	for _, pl := range ix.terms {
+		pl.impactOrder = append([]Posting(nil), pl.docOrder...)
+		sort.SliceStable(pl.impactOrder, func(a, b int) bool {
+			return pl.impactOrder[a].TF > pl.impactOrder[b].TF
+		})
+	}
+	ix.frozen = true
+}
+
+// Docs returns the number of indexed documents.
+func (ix *Index) Docs() int { return len(ix.docs) }
+
+// Terms returns the vocabulary size.
+func (ix *Index) Terms() int { return len(ix.terms) }
+
+// DocName returns the name a document was indexed under.
+func (ix *Index) DocName(id DocID) (string, error) {
+	if int(id) < 0 || int(id) >= len(ix.docs) {
+		return "", fmt.Errorf("ir: no document %d", id)
+	}
+	return ix.docs[id].Name, nil
+}
+
+// avgDocLen returns the mean analyzed document length.
+func (ix *Index) avgDocLen() float64 {
+	if len(ix.docs) == 0 {
+		return 0
+	}
+	return float64(ix.totalLn) / float64(len(ix.docs))
+}
+
+// idf returns the BM25 idf of a term (0 for unknown terms).
+func (ix *Index) idf(term string) float64 {
+	pl := ix.terms[term]
+	if pl == nil {
+		return 0
+	}
+	n := float64(len(ix.docs))
+	df := float64(len(pl.docOrder))
+	return math.Log(1 + (n-df+0.5)/(df+0.5))
+}
+
+// bm25 scores one posting.
+func (ix *Index) bm25(term string, p Posting) float64 {
+	idf := ix.idf(term)
+	if idf == 0 {
+		return 0
+	}
+	tf := float64(p.TF)
+	dl := float64(ix.docs[p.Doc].Len)
+	denom := tf + bm25K1*(1-bm25B+bm25B*dl/ix.avgDocLen())
+	return idf * tf * (bm25K1 + 1) / denom
+}
+
+// Hit is one ranked retrieval result.
+type Hit struct {
+	Doc   DocID
+	Name  string
+	Score float64
+}
+
+// SearchStats reports the work a query performed, the currency of the
+// top-N optimization experiments.
+type SearchStats struct {
+	// PostingsScored counts scored (doc, term) pairs.
+	PostingsScored int
+	// DocsTouched counts distinct documents receiving any score.
+	DocsTouched int
+	// Terminated reports whether early termination fired before the lists
+	// were exhausted.
+	Terminated bool
+}
+
+// Search runs an exhaustive ranked BM25 query (disjunctive semantics) and
+// returns the top k hits.
+func (ix *Index) Search(query string, k int) ([]Hit, SearchStats, error) {
+	if !ix.frozen {
+		return nil, SearchStats{}, ErrNotFrozen
+	}
+	terms := Analyze(query)
+	if len(terms) == 0 {
+		return nil, SearchStats{}, ErrEmptyQry
+	}
+	var stats SearchStats
+	scores := map[DocID]float64{}
+	for _, term := range dedupe(terms) {
+		pl := ix.terms[term]
+		if pl == nil {
+			continue
+		}
+		for _, p := range pl.docOrder {
+			scores[p.Doc] += ix.bm25(term, p)
+			stats.PostingsScored++
+		}
+	}
+	stats.DocsTouched = len(scores)
+	return topK(ix, scores, k), stats, nil
+}
+
+// SearchBoolean returns the documents containing every query term
+// (conjunctive), unranked, in docID order.
+func (ix *Index) SearchBoolean(query string) ([]DocID, error) {
+	if !ix.frozen {
+		return nil, ErrNotFrozen
+	}
+	terms := dedupe(Analyze(query))
+	if len(terms) == 0 {
+		return nil, ErrEmptyQry
+	}
+	// Intersect shortest-first.
+	sort.Slice(terms, func(a, b int) bool {
+		return ix.df(terms[a]) < ix.df(terms[b])
+	})
+	pl := ix.terms[terms[0]]
+	if pl == nil {
+		return nil, nil
+	}
+	cur := make([]DocID, 0, len(pl.docOrder))
+	for _, p := range pl.docOrder {
+		cur = append(cur, p.Doc)
+	}
+	for _, term := range terms[1:] {
+		pl := ix.terms[term]
+		if pl == nil {
+			return nil, nil
+		}
+		cur = intersect(cur, pl.docOrder)
+		if len(cur) == 0 {
+			return nil, nil
+		}
+	}
+	return cur, nil
+}
+
+func (ix *Index) df(term string) int {
+	if pl := ix.terms[term]; pl != nil {
+		return len(pl.docOrder)
+	}
+	return 0
+}
+
+func intersect(a []DocID, b []Posting) []DocID {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j].Doc:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j].Doc:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func dedupe(terms []string) []string {
+	seen := map[string]bool{}
+	out := terms[:0]
+	for _, t := range terms {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// topK ranks the score map and returns the best k hits, ties broken by
+// ascending DocID for determinism.
+func topK(ix *Index, scores map[DocID]float64, k int) []Hit {
+	hits := make([]Hit, 0, len(scores))
+	for d, s := range scores {
+		hits = append(hits, Hit{Doc: d, Name: ix.docs[d].Name, Score: s})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Score != hits[b].Score {
+			return hits[a].Score > hits[b].Score
+		}
+		return hits[a].Doc < hits[b].Doc
+	})
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}

@@ -1,0 +1,66 @@
+// Package ir implements scalable full-text indexing and retrieval: an
+// in-memory inverted index (the original ran on Monet, a main-memory DBMS)
+// with BM25 ranking and the top-N query optimization of the system's IR
+// component (Blok et al., reference [1] of the demo paper): impact-ordered,
+// horizontally fragmented posting lists processed best-first with safe
+// early termination, trading a controlled amount of work for top-N quality.
+package ir
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases the text and splits it into maximal runs of letters
+// and digits. Purely ASCII-agnostic: any Unicode letter/digit counts.
+func Tokenize(text string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// stopwords is a compact English stopword list; function words carry no
+// retrieval signal and bloat the index.
+var stopwords = map[string]bool{}
+
+func init() {
+	for _, w := range strings.Fields(`
+a an and are as at be but by for from had has have he her his i if in into
+is it its me my no not of on or our she so that the their them then there
+these they this to was we were what when where which who will with you your
+`) {
+		stopwords[w] = true
+	}
+}
+
+// IsStopword reports whether the (lowercased) token is a stopword.
+func IsStopword(tok string) bool { return stopwords[tok] }
+
+// Analyze runs the full text-analysis chain: tokenize, drop stopwords,
+// stem. This is the canonical document/query preprocessing.
+func Analyze(text string) []string {
+	toks := Tokenize(text)
+	out := toks[:0]
+	for _, t := range toks {
+		if IsStopword(t) {
+			continue
+		}
+		out = append(out, Stem(t))
+	}
+	return out
+}

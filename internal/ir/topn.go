@@ -1,0 +1,299 @@
+package ir
+
+// Top-N optimization (Blok et al.): posting lists are kept impact-ordered
+// (descending term frequency) and horizontally fragmented. Safe mode
+// consumes fragments best-first and stops as soon as the top N provably
+// cannot change (a no-random-access bound in the style of NRA); budget mode
+// processes the first MaxFragments fragment rounds round-robin across the
+// query terms and stops regardless — the "quality/time trade-off" studied
+// in the paper, where answer quality is traded for response time.
+
+// TopNOptions tunes the optimized search.
+type TopNOptions struct {
+	// Fragments is the number of horizontal fragments per posting list
+	// (default 16). More fragments mean finer-grained stopping checks.
+	Fragments int
+	// MaxFragments, when > 0, switches to budget mode: only the first
+	// MaxFragments fragment rounds are processed (each round takes one
+	// fragment from every term's list), and quality may drop below 1.
+	MaxFragments int
+}
+
+func (o TopNOptions) withDefaults() TopNOptions {
+	if o.Fragments <= 0 {
+		o.Fragments = 16
+	}
+	return o
+}
+
+// termState tracks one query term's impact-ordered list during processing.
+type termState struct {
+	term string
+	list []Posting
+	pos  int     // next unprocessed posting
+	step int     // fragment size
+	ub   float64 // score ceiling of the next unprocessed posting
+}
+
+// SearchTopN runs the fragment-at-a-time top-N algorithm and returns the
+// top k hits. With MaxFragments == 0 the result provably equals Search's
+// top k (safe termination); with a budget it may be an approximation.
+func (ix *Index) SearchTopN(query string, k int, opts TopNOptions) ([]Hit, SearchStats, error) {
+	if !ix.frozen {
+		return nil, SearchStats{}, ErrNotFrozen
+	}
+	if k <= 0 {
+		k = 10
+	}
+	opts = opts.withDefaults()
+	terms := dedupe(Analyze(query))
+	if len(terms) == 0 {
+		return nil, SearchStats{}, ErrEmptyQry
+	}
+	var states []*termState
+	for _, t := range terms {
+		pl := ix.terms[t]
+		if pl == nil || len(pl.impactOrder) == 0 {
+			continue
+		}
+		step := (len(pl.impactOrder) + opts.Fragments - 1) / opts.Fragments
+		st := &termState{term: t, list: pl.impactOrder, step: step}
+		st.ub = ix.scoreCeiling(t, st.list[0].TF)
+		states = append(states, st)
+	}
+	var stats SearchStats
+	if len(states) == 0 {
+		return nil, stats, nil
+	}
+	scores := map[DocID]float64{}
+	if opts.MaxFragments > 0 {
+		ix.runBudget(states, scores, &stats, opts.MaxFragments)
+	} else {
+		ix.runSafe(states, scores, &stats, k)
+	}
+	stats.DocsTouched = len(scores)
+	return topK(ix, scores, k), stats, nil
+}
+
+// runBudget processes fragment rounds round-robin across terms: round r
+// takes the r-th fragment of every list. This is the horizontal
+// fragmentation schedule whose prefix defines the quality/time trade-off.
+func (ix *Index) runBudget(states []*termState, scores map[DocID]float64, stats *SearchStats, budget int) {
+	for round := 0; round < budget; round++ {
+		progressed := false
+		for _, st := range states {
+			if st.pos >= len(st.list) {
+				continue
+			}
+			progressed = true
+			ix.processFragment(st, scores, stats)
+		}
+		if !progressed {
+			return // all lists exhausted before the budget ran out
+		}
+	}
+	for _, st := range states {
+		if st.pos < len(st.list) {
+			stats.Terminated = true
+			return
+		}
+	}
+}
+
+// runSafe processes fragments best-first (highest remaining ceiling) and
+// stops when no document outside the current top k can still climb into it.
+func (ix *Index) runSafe(states []*termState, scores map[DocID]float64, stats *SearchStats, k int) {
+	// The termination test walks the whole score map; running it after
+	// every fragment would cost more than the postings it saves, so it
+	// runs every checkEvery fragments.
+	const checkEvery = 4
+	for round := 1; ; round++ {
+		// Pick the state with the highest remaining ceiling.
+		var best *termState
+		for _, st := range states {
+			if st.pos >= len(st.list) {
+				continue
+			}
+			if best == nil || st.ub > best.ub {
+				best = st
+			}
+		}
+		if best == nil {
+			return // exhausted: exact result
+		}
+		ix.processFragment(best, scores, stats)
+		if round%checkEvery != 0 {
+			continue
+		}
+		// Ceiling of everything still unprocessed.
+		var ceiling float64
+		for _, st := range states {
+			if st.pos < len(st.list) {
+				ceiling += st.ub
+			}
+		}
+		if ceiling == 0 {
+			return
+		}
+		if len(scores) >= k {
+			kth, trail := kthAndTrail(scores, k)
+			// A document outside the current top k (score <= trail) can
+			// reach at most trail+ceiling; an unseen document at most
+			// ceiling. If neither can pass the k-th score, stop.
+			if kth >= trail+ceiling {
+				stats.Terminated = true
+				return
+			}
+		}
+	}
+}
+
+// processFragment scores the next fragment of st and updates its ceiling.
+func (ix *Index) processFragment(st *termState, scores map[DocID]float64, stats *SearchStats) {
+	end := st.pos + st.step
+	if end > len(st.list) {
+		end = len(st.list)
+	}
+	for _, p := range st.list[st.pos:end] {
+		scores[p.Doc] += ix.bm25(st.term, p)
+		stats.PostingsScored++
+	}
+	st.pos = end
+	if st.pos < len(st.list) {
+		st.ub = ix.scoreCeiling(st.term, st.list[st.pos].TF)
+	} else {
+		st.ub = 0
+	}
+}
+
+// scoreCeiling bounds the BM25 score any posting with the given TF can
+// reach for the term (monotone in TF; the length-normalized denominator is
+// minimized at zero document length).
+func (ix *Index) scoreCeiling(term string, tf int32) float64 {
+	idf := ix.idf(term)
+	f := float64(tf)
+	return idf * f * (bm25K1 + 1) / (f + bm25K1*(1-bm25B))
+}
+
+// kthAndTrail returns the k-th largest score and the largest score outside
+// the top k, in one O(n log k) pass over the score map.
+func kthAndTrail(scores map[DocID]float64, k int) (kth, trail float64) {
+	// top is a min-heap of the k largest scores seen so far.
+	top := make([]float64, 0, k)
+	for _, s := range scores {
+		if len(top) < k {
+			top = append(top, s)
+			siftUp(top)
+			continue
+		}
+		if s > top[0] {
+			evicted := top[0]
+			top[0] = s
+			siftDown(top)
+			if evicted > trail {
+				trail = evicted
+			}
+		} else if s > trail {
+			trail = s
+		}
+	}
+	return top[0], trail
+}
+
+func siftUp(h []float64) {
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func siftDown(h []float64) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && h[l] < h[smallest] {
+			smallest = l
+		}
+		if r < len(h) && h[r] < h[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}
+
+// Overlap returns |a ∩ b| / max(|a|,|b|) over hit documents: the raw set
+// agreement between two top-N lists.
+func Overlap(a, b []Hit) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	set := map[DocID]bool{}
+	for _, h := range a {
+		set[h.Doc] = true
+	}
+	inter := 0
+	for _, h := range b {
+		if set[h.Doc] {
+			inter++
+		}
+	}
+	den := len(a)
+	if len(b) > den {
+		den = len(b)
+	}
+	return float64(inter) / float64(den)
+}
+
+// ScoreQuality compares an approximate top-N against the exhaustive ranking
+// by realized score mass: the sum of the true (exhaustive) scores of the
+// returned documents divided by the true score sum of the ideal top N.
+// 1.0 means the approximation lost nothing that affects result value; the
+// measure is insensitive to reorderings among equal scores, unlike Overlap.
+func ScoreQuality(ix *Index, query string, k int, approx []Hit) (float64, error) {
+	full, _, err := ix.Search(query, 0) // all matching docs, ranked
+	if err != nil {
+		return 0, err
+	}
+	if len(full) == 0 {
+		return 1, nil
+	}
+	truth := make(map[DocID]float64, len(full))
+	for _, h := range full {
+		truth[h.Doc] = h.Score
+	}
+	var ideal float64
+	n := k
+	if n > len(full) {
+		n = len(full)
+	}
+	for _, h := range full[:n] {
+		ideal += h.Score
+	}
+	if ideal == 0 {
+		return 1, nil
+	}
+	var got float64
+	m := 0
+	for _, h := range approx {
+		if m >= k {
+			break
+		}
+		got += truth[h.Doc]
+		m++
+	}
+	q := got / ideal
+	if q > 1 {
+		q = 1 // FP accumulation order can nudge above 1
+	}
+	return q, nil
+}

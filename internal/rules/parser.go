@@ -1,0 +1,467 @@
+// Package rules implements the object/event grammars of the COBRA model:
+// "these grammars are aimed at formalizing the descriptions of high-level
+// concepts, as well as facilitating their extraction based on
+// spatio-temporal reasoning". A small rule language describes events as
+// per-frame conditions over tracked object states and court zones that must
+// hold for a minimum duration; the engine evaluates the rules over the
+// tennis detector's output and emits event-layer entities (net-play, rally,
+// service), exactly the role of the white-box detectors inside the FDE.
+//
+// # Rule language
+//
+//	rule    := "event" IDENT "when" expr "for" NUMBER
+//	expr    := term { "or" term }
+//	term    := factor { "and" factor }
+//	factor  := "not" factor | "(" expr ")" | pred
+//	pred    := "in" "(" IDENT "," IDENT ")"
+//	         | attr "(" IDENT ")" cmp NUMBER
+//	attr    := "x" | "y" | "vx" | "vy" | "speed" | "area"
+//	         | "orientation" | "eccentricity" | "aspect"
+//	cmp     := "<" | "<=" | ">" | ">=" | "==" | "!="
+//
+// Example:
+//
+//	event net-play when in(near, netzone) for 10
+//	event rally    when speed(near) >= 0.8 and in(near, nearbase) for 12
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Expr is a per-frame boolean condition over object states.
+type Expr interface {
+	eval(ctx *evalCtx) bool
+	// objects appends the object names the expression references.
+	objects(set map[string]bool)
+	String() string
+}
+
+// Rule is one parsed event rule.
+type Rule struct {
+	// Kind is the event name produced by the rule.
+	Kind string
+	// Cond is the per-frame condition.
+	Cond Expr
+	// MinLen is the minimum run length (frames) for a detection.
+	MinLen int
+	// Object is the primary (actor) object: the first object referenced.
+	Object string
+	// Objects lists every referenced object, sorted. The condition only
+	// holds on frames where all of them are tracked; without this guard a
+	// negated predicate ("not in(...)") would hold vacuously whenever the
+	// tracker loses the object.
+	Objects []string
+}
+
+// String renders the rule in source form.
+func (r Rule) String() string {
+	return fmt.Sprintf("event %s when %s for %d", r.Kind, r.Cond, r.MinLen)
+}
+
+// token kinds
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tLParen
+	tRParen
+	tComma
+	tCmp
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '#': // comment to end of line
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case unicode.IsSpace(rune(c)):
+			l.pos++
+		case c == '(':
+			l.emit(tLParen, "(")
+		case c == ')':
+			l.emit(tRParen, ")")
+		case c == ',':
+			l.emit(tComma, ",")
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			start := l.pos
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+			}
+			op := l.src[start:l.pos]
+			if op == "=" || op == "!" {
+				return nil, fmt.Errorf("rules: invalid operator %q at %d", op, start)
+			}
+			l.toks = append(l.toks, token{tCmp, op, start})
+		case unicode.IsDigit(rune(c)) || c == '-' || c == '.':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tNumber, l.src[start:l.pos], start})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tIdent, l.src[start:l.pos], start})
+		default:
+			return nil, fmt.Errorf("rules: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{tEOF, "", l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(k tokKind, s string) {
+	l.toks = append(l.toks, token{k, s, l.pos})
+	l.pos += len(s)
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expectIdent(word string) error {
+	t := p.next()
+	if t.kind != tIdent || t.text != word {
+		return fmt.Errorf("rules: expected %q at %d, got %q", word, t.pos, t.text)
+	}
+	return nil
+}
+
+// Parse parses a rule program: a sequence of event rules.
+func Parse(src string) ([]Rule, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []Rule
+	for p.cur().kind != tEOF {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("rules: empty rule program")
+	}
+	return out, nil
+}
+
+// MustParse parses or panics; for static rule sets in source code.
+func MustParse(src string) []Rule {
+	rs, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+func (p *parser) rule() (Rule, error) {
+	if err := p.expectIdent("event"); err != nil {
+		return Rule{}, err
+	}
+	name := p.next()
+	if name.kind != tIdent {
+		return Rule{}, fmt.Errorf("rules: expected event name at %d", name.pos)
+	}
+	if err := p.expectIdent("when"); err != nil {
+		return Rule{}, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return Rule{}, err
+	}
+	if err := p.expectIdent("for"); err != nil {
+		return Rule{}, err
+	}
+	n := p.next()
+	if n.kind != tNumber {
+		return Rule{}, fmt.Errorf("rules: expected duration at %d", n.pos)
+	}
+	minLen, err := strconv.Atoi(n.text)
+	if err != nil || minLen <= 0 {
+		return Rule{}, fmt.Errorf("rules: invalid duration %q at %d", n.text, n.pos)
+	}
+	objs := map[string]bool{}
+	cond.objects(objs)
+	if len(objs) == 0 {
+		return Rule{}, fmt.Errorf("rules: rule %q references no objects", name.text)
+	}
+	all := make([]string, 0, len(objs))
+	for o := range objs {
+		all = append(all, o)
+	}
+	sort.Strings(all)
+	// Primary object: lexicographically first for determinism; rule
+	// authors reference the actor first and alphabetic order matches the
+	// near/far naming used throughout.
+	return Rule{Kind: name.text, Cond: cond, MinLen: minLen, Object: all[0], Objects: all}, nil
+}
+
+func (p *parser) expr() (Expr, error) {
+	left, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tIdent && p.cur().text == "or" {
+		p.next()
+		right, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		left = orExpr{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) term() (Expr, error) {
+	left, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tIdent && p.cur().text == "and" {
+		p.next()
+		right, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		left = andExpr{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) factor() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tLParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next().kind != tRParen {
+			return nil, fmt.Errorf("rules: missing ) near %d", t.pos)
+		}
+		return e, nil
+	case t.kind == tIdent && t.text == "not":
+		p.next()
+		e, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{e}, nil
+	case t.kind == tIdent && t.text == "in":
+		p.next()
+		if p.next().kind != tLParen {
+			return nil, fmt.Errorf("rules: expected ( after in at %d", t.pos)
+		}
+		obj := p.next()
+		if obj.kind != tIdent {
+			return nil, fmt.Errorf("rules: expected object name at %d", obj.pos)
+		}
+		if p.next().kind != tComma {
+			return nil, fmt.Errorf("rules: expected , in in() at %d", obj.pos)
+		}
+		zone := p.next()
+		if zone.kind != tIdent {
+			return nil, fmt.Errorf("rules: expected zone name at %d", zone.pos)
+		}
+		if p.next().kind != tRParen {
+			return nil, fmt.Errorf("rules: missing ) after in() at %d", zone.pos)
+		}
+		return inZone{Obj: obj.text, Zone: zone.text}, nil
+	case t.kind == tIdent:
+		if !validAttr(t.text) {
+			return nil, fmt.Errorf("rules: unknown attribute %q at %d", t.text, t.pos)
+		}
+		p.next()
+		if p.next().kind != tLParen {
+			return nil, fmt.Errorf("rules: expected ( after %s at %d", t.text, t.pos)
+		}
+		obj := p.next()
+		if obj.kind != tIdent {
+			return nil, fmt.Errorf("rules: expected object name at %d", obj.pos)
+		}
+		if p.next().kind != tRParen {
+			return nil, fmt.Errorf("rules: missing ) after attribute at %d", obj.pos)
+		}
+		op := p.next()
+		if op.kind != tCmp {
+			return nil, fmt.Errorf("rules: expected comparison at %d", op.pos)
+		}
+		num := p.next()
+		if num.kind != tNumber {
+			return nil, fmt.Errorf("rules: expected number at %d", num.pos)
+		}
+		v, err := strconv.ParseFloat(num.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("rules: bad number %q at %d", num.text, num.pos)
+		}
+		return cmpExpr{Attr: t.text, Obj: obj.text, Op: op.text, Val: v}, nil
+	default:
+		return nil, fmt.Errorf("rules: unexpected token %q at %d", t.text, t.pos)
+	}
+}
+
+var attrs = map[string]bool{
+	"x": true, "y": true, "vx": true, "vy": true, "speed": true,
+	"area": true, "orientation": true, "eccentricity": true, "aspect": true,
+}
+
+func validAttr(name string) bool { return attrs[name] }
+
+// AST node types.
+
+type andExpr struct{ l, r Expr }
+
+func (e andExpr) eval(ctx *evalCtx) bool { return e.l.eval(ctx) && e.r.eval(ctx) }
+func (e andExpr) objects(s map[string]bool) {
+	e.l.objects(s)
+	e.r.objects(s)
+}
+func (e andExpr) String() string { return fmt.Sprintf("(%s and %s)", e.l, e.r) }
+
+type orExpr struct{ l, r Expr }
+
+func (e orExpr) eval(ctx *evalCtx) bool { return e.l.eval(ctx) || e.r.eval(ctx) }
+func (e orExpr) objects(s map[string]bool) {
+	e.l.objects(s)
+	e.r.objects(s)
+}
+func (e orExpr) String() string { return fmt.Sprintf("(%s or %s)", e.l, e.r) }
+
+type notExpr struct{ e Expr }
+
+func (e notExpr) eval(ctx *evalCtx) bool    { return !e.e.eval(ctx) }
+func (e notExpr) objects(s map[string]bool) { e.e.objects(s) }
+func (e notExpr) String() string            { return fmt.Sprintf("not %s", e.e) }
+
+type inZone struct{ Obj, Zone string }
+
+func (e inZone) eval(ctx *evalCtx) bool {
+	st, ok := ctx.state(e.Obj)
+	if !ok || !st.Found {
+		return false
+	}
+	z, ok := ctx.geom.zone(e.Zone)
+	if !ok {
+		return false
+	}
+	return z(st.X, st.Y)
+}
+func (e inZone) objects(s map[string]bool) { s[e.Obj] = true }
+func (e inZone) String() string            { return fmt.Sprintf("in(%s, %s)", e.Obj, e.Zone) }
+
+type cmpExpr struct {
+	Attr, Obj, Op string
+	Val           float64
+}
+
+func (e cmpExpr) eval(ctx *evalCtx) bool {
+	st, ok := ctx.state(e.Obj)
+	if !ok || !st.Found {
+		return false
+	}
+	var v float64
+	switch e.Attr {
+	case "x":
+		v = st.X
+	case "y":
+		v = st.Y
+	case "vx":
+		v = st.VX
+	case "vy":
+		v = st.VY
+	case "speed":
+		v = ctx.speed(e.Obj)
+	case "area":
+		v = float64(st.Area)
+	case "orientation":
+		v = st.Orientation
+	case "eccentricity":
+		v = st.Eccentricity
+	case "aspect":
+		v = st.Aspect
+	}
+	switch e.Op {
+	case "<":
+		return v < e.Val
+	case "<=":
+		return v <= e.Val
+	case ">":
+		return v > e.Val
+	case ">=":
+		return v >= e.Val
+	case "==":
+		return v == e.Val
+	case "!=":
+		return v != e.Val
+	}
+	return false
+}
+func (e cmpExpr) objects(s map[string]bool) { s[e.Obj] = true }
+func (e cmpExpr) String() string {
+	val := strconv.FormatFloat(e.Val, 'g', -1, 64)
+	return fmt.Sprintf("%s(%s) %s %s", e.Attr, e.Obj, e.Op, val)
+}
+
+// Validate checks zone names used by the rules against a geometry.
+func Validate(rs []Rule, g Geometry) error {
+	var missing []string
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case andExpr:
+			walk(v.l)
+			walk(v.r)
+		case orExpr:
+			walk(v.l)
+			walk(v.r)
+		case notExpr:
+			walk(v.e)
+		case inZone:
+			if _, ok := g.zone(v.Zone); !ok {
+				missing = append(missing, v.Zone)
+			}
+		}
+	}
+	for _, r := range rs {
+		walk(r.Cond)
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("rules: unknown zones: %s", strings.Join(missing, ", "))
+	}
+	return nil
+}

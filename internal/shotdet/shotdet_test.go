@@ -1,0 +1,290 @@
+package shotdet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/frame"
+	"repro/internal/synth"
+)
+
+func genVideo(t *testing.T, seed int64, shots int) *synth.Video {
+	t.Helper()
+	cfg := synth.DefaultConfig(seed)
+	cfg.Shots = shots
+	v, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestDetectBoundariesExact(t *testing.T) {
+	v := genVideo(t, 21, 8)
+	got := DetectBoundaries(v.Frames, DefaultConfig())
+	want := v.Truth.Boundaries()
+	if len(got) != len(want) {
+		t.Fatalf("detected %d boundaries, want %d (got %v want %v)", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i].Frame != want[i] {
+			t.Errorf("boundary %d at frame %d, want %d", i, got[i].Frame, want[i])
+		}
+		if got[i].Gradual {
+			t.Errorf("hard cut %d reported gradual", i)
+		}
+	}
+}
+
+func TestAdaptiveThresholdDetects(t *testing.T) {
+	v := genVideo(t, 22, 6)
+	cfg := DefaultConfig()
+	cfg.Adaptive = true
+	got := DetectBoundaries(v.Frames, cfg)
+	want := v.Truth.Boundaries()
+	if len(got) != len(want) {
+		t.Fatalf("adaptive detected %d boundaries, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Frame != want[i] {
+			t.Errorf("adaptive boundary %d at %d, want %d", i, got[i].Frame, want[i])
+		}
+	}
+}
+
+func TestChiSquareMetricDetects(t *testing.T) {
+	v := genVideo(t, 23, 6)
+	cfg := DefaultConfig()
+	cfg.Metric = MetricChiSquare
+	got := DetectBoundaries(v.Frames, cfg)
+	if len(got) != len(v.Truth.Boundaries()) {
+		t.Fatalf("chi2 detected %d boundaries, want %d", len(got), len(v.Truth.Boundaries()))
+	}
+}
+
+func TestNoFalseCutsOnSingleShot(t *testing.T) {
+	cfg := synth.DefaultConfig(31)
+	frames, _, _, _, err := synth.RenderTennisShot(cfg, "rally", 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DetectBoundaries(frames, DefaultConfig()); len(got) != 0 {
+		t.Fatalf("false cuts on continuous shot: %v", got)
+	}
+}
+
+func TestMinShotLenSuppression(t *testing.T) {
+	// Two hard cuts 3 frames apart; MinShotLen 6 must suppress the second.
+	a := frame.New(32, 32)
+	a.Fill(frame.RGB{R: 200, G: 0, B: 0})
+	b := frame.New(32, 32)
+	b.Fill(frame.RGB{R: 0, G: 200, B: 0})
+	c := frame.New(32, 32)
+	c.Fill(frame.RGB{R: 0, G: 0, B: 200})
+	var frames []*frame.Image
+	for i := 0; i < 10; i++ {
+		frames = append(frames, a.Clone())
+	}
+	for i := 0; i < 3; i++ {
+		frames = append(frames, b.Clone())
+	}
+	for i := 0; i < 10; i++ {
+		frames = append(frames, c.Clone())
+	}
+	got := DetectBoundaries(frames, DefaultConfig())
+	if len(got) != 1 || got[0].Frame != 10 {
+		t.Fatalf("got %v, want single cut at 10", got)
+	}
+}
+
+func TestGradualTransitionDetected(t *testing.T) {
+	// A 10-frame top-to-bottom wipe between two scenes; each step replaces
+	// ~10% of pixels, keeping the per-frame distance below the hard
+	// threshold while the cumulative distance crosses it.
+	colA := frame.RGB{R: 30, G: 120, B: 50}
+	colB := frame.RGB{R: 90, G: 90, B: 160}
+	a := frame.New(48, 48)
+	a.Fill(colA)
+	b := frame.New(48, 48)
+	b.Fill(colB)
+	var frames []*frame.Image
+	for i := 0; i < 15; i++ {
+		frames = append(frames, a.Clone())
+	}
+	const dn = 10
+	for i := 1; i <= dn; i++ {
+		im := a.Clone()
+		im.FillRect(frame.Rect{X0: 0, Y0: 0, X1: 48, Y1: 48 * i / dn}, colB)
+		frames = append(frames, im)
+	}
+	for i := 0; i < 15; i++ {
+		frames = append(frames, b.Clone())
+	}
+	cfg := DefaultConfig()
+	cfg.GradualLow = 0.05
+	got := DetectBoundaries(frames, cfg)
+	if len(got) != 1 {
+		t.Fatalf("got %d boundaries %v, want exactly 1", len(got), got)
+	}
+	bd := got[0]
+	if !bd.Gradual {
+		t.Fatalf("wipe misdetected as hard cut at %d", bd.Frame)
+	}
+	if bd.Frame < 15 || bd.Frame > 15+dn+1 {
+		t.Fatalf("gradual boundary at %d, want within wipe [15,%d]", bd.Frame, 15+dn+1)
+	}
+	// Without GradualLow the wipe must be invisible.
+	if got := DetectBoundaries(frames, DefaultConfig()); len(got) != 0 {
+		t.Fatalf("wipe triggered hard-cut detector: %v", got)
+	}
+}
+
+func TestSegmentCoversAllFrames(t *testing.T) {
+	v := genVideo(t, 25, 7)
+	shots := Segment(v.Frames, DefaultConfig())
+	pos := 0
+	for _, s := range shots {
+		if s.Start != pos {
+			t.Fatalf("shot starts at %d, want %d", s.Start, pos)
+		}
+		pos = s.End
+	}
+	if pos != len(v.Frames) {
+		t.Fatalf("shots cover %d frames of %d", pos, len(v.Frames))
+	}
+}
+
+func TestSegmentEmptyInput(t *testing.T) {
+	if shots := Segment(nil, DefaultConfig()); len(shots) != 0 {
+		t.Fatalf("empty video produced shots: %v", shots)
+	}
+}
+
+func TestClassifyShotsMatchTruth(t *testing.T) {
+	v := genVideo(t, 26, 12)
+	cls := NewClassifier(DefaultClassifierConfig(synth.CourtColor))
+	shots := SegmentAndClassify(v.Frames, DefaultConfig(), cls)
+	if len(shots) != len(v.Truth.Shots) {
+		t.Fatalf("detected %d shots, want %d", len(shots), len(v.Truth.Shots))
+	}
+	for i, s := range shots {
+		want := v.Truth.Shots[i].Class.String()
+		if s.Class.String() != want {
+			t.Errorf("shot %d [%d,%d): classified %s, want %s (features %+v)",
+				i, s.Start, s.End, s.Class, want, s.Features)
+		}
+	}
+}
+
+func TestClassifierRules(t *testing.T) {
+	cls := NewClassifier(DefaultClassifierConfig(synth.CourtColor))
+	cases := []struct {
+		f    Features
+		want Class
+	}{
+		{Features{CourtShare: 0.6}, ClassTennis},
+		{Features{CourtShare: 0.1, SkinRatio: 0.3, SkinBlob: 0.2}, ClassCloseUp},
+		{Features{CourtShare: 0.1, SkinRatio: 0.02, Entropy: 9}, ClassAudience},
+		{Features{CourtShare: 0.1, SkinRatio: 0.02, Entropy: 3}, ClassOther},
+		// Court dominates even with skin present (player close to camera
+		// on court).
+		{Features{CourtShare: 0.5, SkinRatio: 0.2, SkinBlob: 0.1}, ClassTennis},
+		// Crowd skin is speckle: plenty of skin pixels but no single blob,
+		// so high entropy wins.
+		{Features{SkinRatio: 0.2, SkinBlob: 0.004, Entropy: 8}, ClassAudience},
+	}
+	for i, c := range cases {
+		if got := cls.Classify(c.f); got != c.want {
+			t.Errorf("case %d: got %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestClassifyShotDegenerateRanges(t *testing.T) {
+	v := genVideo(t, 27, 3)
+	cls := NewClassifier(DefaultClassifierConfig(synth.CourtColor))
+	if c, _ := cls.ClassifyShot(v.Frames, 5, 5); c != ClassOther {
+		t.Fatal("empty range should classify as other")
+	}
+	if c, _ := cls.ClassifyShot(v.Frames, -10, 1); c == ClassOther {
+		t.Fatal("clamped range lost the first tennis frame")
+	}
+}
+
+func TestEstimateCourtColor(t *testing.T) {
+	v := genVideo(t, 28, 10)
+	got, ok := EstimateCourtColor(v.Frames, 8, 0.3)
+	if !ok {
+		t.Fatal("no court colour estimated")
+	}
+	if frame.ColorDist(got, synth.CourtColor) > 40 {
+		t.Fatalf("estimated court colour %v too far from true %v", got, synth.CourtColor)
+	}
+}
+
+func TestEstimateCourtColorCloseUpHeavyVideo(t *testing.T) {
+	// Regression: in videos where close-ups outnumber playing shots, the
+	// near-grey close-up background used to outvote the court colour (its
+	// gradient midpoint cell can hold >30% of pixels). The saturation gate
+	// must keep the estimate on the chromatic court surface.
+	cfg := synth.DefaultConfig(501)
+	cfg.Shots = 6
+	v, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := EstimateCourtColor(v.Frames, 8, 0.3)
+	if !ok {
+		t.Fatal("no court colour estimated")
+	}
+	if frame.ColorDist(got, synth.CourtColor) > 40 {
+		t.Fatalf("estimate %v drifted to a non-court colour (true %v)", got, synth.CourtColor)
+	}
+	// And classification downstream of the estimate stays correct.
+	cls := NewClassifier(DefaultClassifierConfig(got))
+	for i, s := range v.Truth.Shots {
+		c, _ := cls.ClassifyShot(v.Frames, s.Start, s.End)
+		if c.String() != s.Class.String() {
+			t.Errorf("shot %d: classified %s, want %s", i, c, s.Class)
+		}
+	}
+}
+
+func TestEstimateCourtColorNoDominant(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	frames := make([]*frame.Image, 10)
+	for i := range frames {
+		im := frame.New(32, 32)
+		im.SpeckleNoise(rng, 1)
+		frames[i] = im
+	}
+	if _, ok := EstimateCourtColor(frames, 8, 0.3); ok {
+		t.Fatal("court colour found in pure noise")
+	}
+}
+
+func TestClassStringParse(t *testing.T) {
+	for _, c := range []Class{ClassTennis, ClassCloseUp, ClassAudience, ClassOther} {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("round trip %v failed: %v %v", c, got, err)
+		}
+	}
+	if _, err := ParseClass("nonsense"); err == nil {
+		t.Fatal("bad class accepted")
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if MetricL1.String() != "l1" || MetricChiSquare.String() != "chi2" {
+		t.Fatal("metric names wrong")
+	}
+}
+
+func TestStreamingDetectorFirstFrame(t *testing.T) {
+	d := NewDetector(DefaultConfig())
+	im := frame.New(16, 16)
+	if _, ok := d.Feed(im); ok {
+		t.Fatal("first frame yielded a boundary")
+	}
+}

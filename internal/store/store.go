@@ -1,0 +1,549 @@
+// Package store implements an embedded, column-oriented record store: the
+// meta-index backend of the reproduction. The original system kept its
+// meta-data in Monet, a main-memory DBMS built around vertical
+// fragmentation (one binary association table per attribute); this package
+// reproduces that flavour with typed column vectors, predicate scans,
+// secondary hash and sorted indexes, and a compact binary persistence
+// format — everything the Feature Detector Engine and the digital-library
+// query planner need from their database layer.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Type enumerates column types.
+type Type uint8
+
+// Supported column types.
+const (
+	TInt Type = iota
+	TFloat
+	TString
+	TBool
+)
+
+// String names the type.
+func (t Type) String() string {
+	switch t {
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TString:
+		return "string"
+	case TBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Value is a dynamically typed cell value.
+type Value struct {
+	T Type
+	I int64
+	F float64
+	S string
+	B bool
+}
+
+// Int, Float, Str and Bool construct Values.
+func Int(v int64) Value     { return Value{T: TInt, I: v} }
+func Float(v float64) Value { return Value{T: TFloat, F: v} }
+func Str(v string) Value    { return Value{T: TString, S: v} }
+func Bool(v bool) Value     { return Value{T: TBool, B: v} }
+
+// String renders the value.
+func (v Value) String() string {
+	switch v.T {
+	case TInt:
+		return fmt.Sprintf("%d", v.I)
+	case TFloat:
+		return fmt.Sprintf("%g", v.F)
+	case TString:
+		return v.S
+	case TBool:
+		return fmt.Sprintf("%t", v.B)
+	}
+	return "?"
+}
+
+// Equal compares two values of the same type; differing types are unequal.
+func (v Value) Equal(o Value) bool {
+	if v.T != o.T {
+		return false
+	}
+	switch v.T {
+	case TInt:
+		return v.I == o.I
+	case TFloat:
+		return v.F == o.F
+	case TString:
+		return v.S == o.S
+	case TBool:
+		return v.B == o.B
+	}
+	return false
+}
+
+// Less orders two values of the same type (bool: false < true).
+func (v Value) Less(o Value) bool {
+	switch v.T {
+	case TInt:
+		return v.I < o.I
+	case TFloat:
+		return v.F < o.F
+	case TString:
+		return v.S < o.S
+	case TBool:
+		return !v.B && o.B
+	}
+	return false
+}
+
+// Column declares one attribute of a table.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema declares a table.
+type Schema struct {
+	Name    string
+	Columns []Column
+}
+
+// Col returns the index of the named column, or -1.
+func (s Schema) Col(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Errors returned by the package.
+var (
+	ErrNoColumn  = errors.New("store: no such column")
+	ErrNoTable   = errors.New("store: no such table")
+	ErrTypeClash = errors.New("store: value type does not match column type")
+	ErrArity     = errors.New("store: row arity does not match schema")
+	ErrRowRange  = errors.New("store: row index out of range")
+	ErrDupTable  = errors.New("store: table already exists")
+	ErrNoIndex   = errors.New("store: no index on column")
+)
+
+// colData is one vertically fragmented attribute vector.
+type colData struct {
+	typ  Type
+	ints []int64
+	flts []float64
+	strs []string
+	bls  []bool
+}
+
+func (c *colData) append(v Value) error {
+	if v.T != c.typ {
+		return fmt.Errorf("%w: got %s want %s", ErrTypeClash, v.T, c.typ)
+	}
+	switch c.typ {
+	case TInt:
+		c.ints = append(c.ints, v.I)
+	case TFloat:
+		c.flts = append(c.flts, v.F)
+	case TString:
+		c.strs = append(c.strs, v.S)
+	case TBool:
+		c.bls = append(c.bls, v.B)
+	}
+	return nil
+}
+
+func (c *colData) get(i int) Value {
+	switch c.typ {
+	case TInt:
+		return Int(c.ints[i])
+	case TFloat:
+		return Float(c.flts[i])
+	case TString:
+		return Str(c.strs[i])
+	default:
+		return Bool(c.bls[i])
+	}
+}
+
+func (c *colData) len() int {
+	switch c.typ {
+	case TInt:
+		return len(c.ints)
+	case TFloat:
+		return len(c.flts)
+	case TString:
+		return len(c.strs)
+	default:
+		return len(c.bls)
+	}
+}
+
+// Table is a columnar table with optional secondary indexes.
+type Table struct {
+	schema Schema
+	cols   []colData
+	n      int
+
+	hashIdx     map[int]map[string][]int // colIdx -> key -> rows
+	sortedIdx   map[int][]int            // colIdx -> row order
+	sortedDirty map[int]bool             // sorted indexes needing rebuild
+}
+
+// NewTable allocates an empty table for the schema.
+func NewTable(s Schema) (*Table, error) {
+	if s.Name == "" {
+		return nil, errors.New("store: table needs a name")
+	}
+	if len(s.Columns) == 0 {
+		return nil, errors.New("store: table needs at least one column")
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return nil, errors.New("store: column needs a name")
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("store: duplicate column %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	t := &Table{schema: s, cols: make([]colData, len(s.Columns))}
+	for i, c := range s.Columns {
+		t.cols[i].typ = c.Type
+	}
+	return t, nil
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return t.n }
+
+// Append adds one row; values must match the schema's arity and types.
+func (t *Table) Append(row ...Value) error {
+	if len(row) != len(t.cols) {
+		return fmt.Errorf("%w: got %d want %d", ErrArity, len(row), len(t.cols))
+	}
+	for i, v := range row {
+		if v.T != t.cols[i].typ {
+			return fmt.Errorf("%w: column %q got %s want %s",
+				ErrTypeClash, t.schema.Columns[i].Name, v.T, t.cols[i].typ)
+		}
+	}
+	for i, v := range row {
+		if err := t.cols[i].append(v); err != nil {
+			return err
+		}
+	}
+	rowIdx := t.n
+	t.n++
+	// Maintain indexes incrementally.
+	for ci, m := range t.hashIdx {
+		k := t.cols[ci].get(rowIdx).String()
+		m[k] = append(m[k], rowIdx)
+	}
+	// Sorted indexes are rebuilt lazily on first use after a write; eager
+	// maintenance would cost O(n log n) per appended row during bulk loads.
+	for ci := range t.sortedIdx {
+		t.sortedDirty[ci] = true
+	}
+	return nil
+}
+
+// Get returns the value at (row, col).
+func (t *Table) Get(row, col int) (Value, error) {
+	if row < 0 || row >= t.n {
+		return Value{}, fmt.Errorf("%w: %d of %d", ErrRowRange, row, t.n)
+	}
+	if col < 0 || col >= len(t.cols) {
+		return Value{}, fmt.Errorf("%w: %d", ErrNoColumn, col)
+	}
+	return t.cols[col].get(row), nil
+}
+
+// GetByName returns the value at (row, named column).
+func (t *Table) GetByName(row int, col string) (Value, error) {
+	ci := t.schema.Col(col)
+	if ci < 0 {
+		return Value{}, fmt.Errorf("%w: %q", ErrNoColumn, col)
+	}
+	return t.Get(row, ci)
+}
+
+// Row materializes a full row.
+func (t *Table) Row(i int) ([]Value, error) {
+	if i < 0 || i >= t.n {
+		return nil, fmt.Errorf("%w: %d of %d", ErrRowRange, i, t.n)
+	}
+	out := make([]Value, len(t.cols))
+	for c := range t.cols {
+		out[c] = t.cols[c].get(i)
+	}
+	return out, nil
+}
+
+// Pred is a column predicate for Select.
+type Pred struct {
+	Col string
+	Op  Op
+	Val Value
+}
+
+// Op enumerates predicate operators.
+type Op uint8
+
+// Predicate operators.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String names the operator.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// eval applies the operator.
+func (p Pred) eval(v Value) bool {
+	switch p.Op {
+	case OpEq:
+		return v.Equal(p.Val)
+	case OpNe:
+		return !v.Equal(p.Val)
+	case OpLt:
+		return v.Less(p.Val)
+	case OpLe:
+		return v.Less(p.Val) || v.Equal(p.Val)
+	case OpGt:
+		return p.Val.Less(v)
+	case OpGe:
+		return p.Val.Less(v) || v.Equal(p.Val)
+	}
+	return false
+}
+
+// Eq, Ne, Lt, Le, Gt, Ge build predicates.
+func Eq(col string, v Value) Pred { return Pred{col, OpEq, v} }
+func Ne(col string, v Value) Pred { return Pred{col, OpNe, v} }
+func Lt(col string, v Value) Pred { return Pred{col, OpLt, v} }
+func Le(col string, v Value) Pred { return Pred{col, OpLe, v} }
+func Gt(col string, v Value) Pred { return Pred{col, OpGt, v} }
+func Ge(col string, v Value) Pred { return Pred{col, OpGe, v} }
+
+// Select returns the row indexes satisfying all predicates (conjunction).
+// Equality predicates use a hash index when one exists; range predicates
+// use a sorted index when one exists; remaining predicates are applied as
+// filters over the candidate set.
+func (t *Table) Select(preds ...Pred) ([]int, error) {
+	// Validate predicates and locate columns.
+	cis := make([]int, len(preds))
+	for i, p := range preds {
+		ci := t.schema.Col(p.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("%w: %q", ErrNoColumn, p.Col)
+		}
+		if p.Val.T != t.cols[ci].typ {
+			return nil, fmt.Errorf("%w: predicate on %q got %s want %s",
+				ErrTypeClash, p.Col, p.Val.T, t.cols[ci].typ)
+		}
+		cis[i] = ci
+	}
+	// Pick the most selective indexed predicate as the access path.
+	candidates := []int(nil) // nil means "all rows"
+	used := -1
+	for i, p := range preds {
+		ci := cis[i]
+		if p.Op == OpEq {
+			if m, ok := t.hashIdx[ci]; ok {
+				candidates = m[p.Val.String()]
+				used = i
+				break
+			}
+		}
+	}
+	if used < 0 {
+		for i, p := range preds {
+			ci := cis[i]
+			if _, ok := t.sortedIdx[ci]; ok && p.Op != OpNe {
+				if t.sortedDirty[ci] {
+					t.rebuildSorted(ci)
+				}
+				candidates = t.rangeFromSorted(ci, t.sortedIdx[ci], p)
+				used = i
+				break
+			}
+		}
+	}
+	var out []int
+	scan := func(row int) {
+		for i, p := range preds {
+			if i == used {
+				continue
+			}
+			if !p.eval(t.cols[cis[i]].get(row)) {
+				return
+			}
+		}
+		out = append(out, row)
+	}
+	if used >= 0 {
+		for _, row := range candidates {
+			scan(row)
+		}
+		sort.Ints(out)
+		return out, nil
+	}
+	for row := 0; row < t.n; row++ {
+		scan(row)
+	}
+	return out, nil
+}
+
+// rangeFromSorted answers a range/eq predicate from a sorted index.
+func (t *Table) rangeFromSorted(ci int, ord []int, p Pred) []int {
+	col := &t.cols[ci]
+	// Binary search boundaries over ord.
+	lower := sort.Search(len(ord), func(k int) bool {
+		return !col.get(ord[k]).Less(p.Val) // first >= val
+	})
+	upper := sort.Search(len(ord), func(k int) bool {
+		return p.Val.Less(col.get(ord[k])) // first > val
+	})
+	var lo, hi int
+	switch p.Op {
+	case OpEq:
+		lo, hi = lower, upper
+	case OpLt:
+		lo, hi = 0, lower
+	case OpLe:
+		lo, hi = 0, upper
+	case OpGt:
+		lo, hi = upper, len(ord)
+	case OpGe:
+		lo, hi = lower, len(ord)
+	default:
+		lo, hi = 0, len(ord)
+	}
+	out := make([]int, hi-lo)
+	copy(out, ord[lo:hi])
+	return out
+}
+
+// CreateHashIndex builds (or rebuilds) a hash index on the column,
+// accelerating equality predicates.
+func (t *Table) CreateHashIndex(col string) error {
+	ci := t.schema.Col(col)
+	if ci < 0 {
+		return fmt.Errorf("%w: %q", ErrNoColumn, col)
+	}
+	m := make(map[string][]int)
+	for row := 0; row < t.n; row++ {
+		k := t.cols[ci].get(row).String()
+		m[k] = append(m[k], row)
+	}
+	if t.hashIdx == nil {
+		t.hashIdx = map[int]map[string][]int{}
+	}
+	t.hashIdx[ci] = m
+	return nil
+}
+
+// CreateSortedIndex builds (or rebuilds) a sorted index on the column,
+// accelerating range predicates.
+func (t *Table) CreateSortedIndex(col string) error {
+	ci := t.schema.Col(col)
+	if ci < 0 {
+		return fmt.Errorf("%w: %q", ErrNoColumn, col)
+	}
+	if t.sortedIdx == nil {
+		t.sortedIdx = map[int][]int{}
+	}
+	if t.sortedDirty == nil {
+		t.sortedDirty = map[int]bool{}
+	}
+	t.rebuildSorted(ci)
+	return nil
+}
+
+func (t *Table) rebuildSorted(ci int) {
+	ord := make([]int, t.n)
+	for i := range ord {
+		ord[i] = i
+	}
+	col := &t.cols[ci]
+	sort.SliceStable(ord, func(a, b int) bool {
+		return col.get(ord[a]).Less(col.get(ord[b]))
+	})
+	t.sortedIdx[ci] = ord
+	t.sortedDirty[ci] = false
+}
+
+// DB is a named collection of tables.
+type DB struct {
+	tables map[string]*Table
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB { return &DB{tables: map[string]*Table{}} }
+
+// Create adds a new table for the schema.
+func (db *DB) Create(s Schema) (*Table, error) {
+	if _, ok := db.tables[s.Name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDupTable, s.Name)
+	}
+	t, err := NewTable(s)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[s.Name] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// Names returns the sorted table names.
+func (db *DB) Names() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,325 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/frame"
+)
+
+// Scene palette. The Australian Open of the paper's era was played on green
+// Rebound Ace; the colours below are chosen so the detector features
+// (dominant colour, skin ratio, entropy) separate the classes the same way
+// they do on real footage.
+var (
+	// CourtColor is the playing-surface colour whose statistics the tennis
+	// detector estimates for player segmentation.
+	CourtColor = frame.RGB{R: 40, G: 150, B: 60}
+	// SurroundColor is the darker apron around the court.
+	SurroundColor = frame.RGB{R: 22, G: 96, B: 40}
+	// LineColor paints the court lines.
+	LineColor = frame.RGB{R: 245, G: 245, B: 245}
+	// SkinColor is the face/limb colour used in close-ups and player heads.
+	SkinColor = frame.RGB{R: 205, G: 140, B: 110}
+	// NearShirt and FarShirt are the player kit colours.
+	NearShirt = frame.RGB{R: 220, G: 40, B: 40}
+	FarShirt  = frame.RGB{R: 240, G: 220, B: 60}
+)
+
+// Geom describes the fixed broadcast-camera court geometry for a given
+// frame size. The event rules (internal/rules) use the same geometry to
+// define court zones, mirroring how the original system hard-wired the
+// calibrated camera of the tournament broadcast.
+type Geom struct {
+	// Court is the playing-surface rectangle.
+	Court frame.Rect
+	// NetY is the y coordinate of the net band.
+	NetY int
+	// NearBaselineY and FarBaselineY are the baseline y coordinates.
+	NearBaselineY, FarBaselineY int
+}
+
+// CourtGeometry returns the canonical geometry for a w×h frame.
+func CourtGeometry(w, h int) Geom {
+	court := frame.Rect{
+		X0: w * 3 / 16, Y0: h / 4,
+		X1: w * 13 / 16, Y1: h * 15 / 16,
+	}
+	return Geom{
+		Court:         court,
+		NetY:          (court.Y0 + court.Y1) / 2,
+		NearBaselineY: court.Y1 - court.H()/10,
+		FarBaselineY:  court.Y0 + court.H()/10,
+	}
+}
+
+// NetZoneDepth returns the half-depth (in pixels) of the zone around the
+// net considered "at the net" for the near player.
+func (g Geom) NetZoneDepth() float64 { return float64(g.Court.H()) * 0.18 }
+
+// renderCourt paints the static playing scene: apron, court, lines, net.
+func renderCourt(im *frame.Image, g Geom) {
+	im.Fill(SurroundColor)
+	im.FillRect(g.Court, CourtColor)
+	// Baselines, sidelines, centre service line, net band.
+	im.HLine(g.Court.X0, g.Court.X1, g.FarBaselineY, 1, LineColor)
+	im.HLine(g.Court.X0, g.Court.X1, g.NearBaselineY, 2, LineColor)
+	im.VLine(g.Court.X0, g.Court.Y0, g.Court.Y1, 1, LineColor)
+	im.VLine(g.Court.X1-1, g.Court.Y0, g.Court.Y1, 1, LineColor)
+	mid := (g.Court.X0 + g.Court.X1) / 2
+	im.VLine(mid, g.FarBaselineY, g.NearBaselineY, 1, LineColor)
+	im.HLine(g.Court.X0-2, g.Court.X1+2, g.NetY, 2, frame.RGB{R: 30, G: 30, B: 40})
+	im.HLine(g.Court.X0-2, g.Court.X1+2, g.NetY-1, 1, frame.RGB{R: 250, G: 250, B: 250})
+}
+
+// renderPlayer paints a player blob: a vertical body ellipse in the shirt
+// colour with a skin-coloured head. scale shrinks the far player for the
+// broadcast perspective.
+func renderPlayer(im *frame.Image, p Point, shirt frame.RGB, scale float64) {
+	bodyRx := 4.5 * scale
+	bodyRy := 9.0 * scale
+	headR := 2.8 * scale
+	im.FillEllipse(p.X, p.Y, bodyRx, bodyRy, shirt)
+	im.FillEllipse(p.X, p.Y-bodyRy-headR*0.6, headR, headR, SkinColor)
+	// Legs: two thin darker strips below the body.
+	leg := frame.RGB{R: 40, G: 40, B: 60}
+	im.FillRect(frame.Rect{
+		X0: int(p.X - bodyRx/2), Y0: int(p.Y + bodyRy*0.6),
+		X1: int(p.X - bodyRx/2 + 1.5*scale), Y1: int(p.Y + bodyRy + 4*scale),
+	}, leg)
+	im.FillRect(frame.Rect{
+		X0: int(p.X + bodyRx/2 - 1.5*scale), Y0: int(p.Y + bodyRy*0.6),
+		X1: int(p.X + bodyRx/2), Y1: int(p.Y + bodyRy + 4*scale),
+	}, leg)
+}
+
+// script describes a motion plan for a tennis shot. Position functions
+// take the frame index t in [0, n) and total length n, returning the body
+// centre for that frame; events lists the truth intervals (relative to the
+// shot start) the script realizes.
+type script struct {
+	name   string
+	near   func(rng *rand.Rand, g Geom, t, n int) Point
+	far    func(rng *rand.Rand, g Geom, t, n int) Point
+	events func(g Geom, n int) []EventTruth
+}
+
+// lateralSwing returns an oscillating x position across the court width.
+func lateralSwing(g Geom, t int, period, phase, margin float64) float64 {
+	w := float64(g.Court.W()) - 2*margin
+	c := float64(g.Court.X0) + margin + w/2
+	return c + (w/2)*math.Sin(2*math.Pi*float64(t)/period+phase)
+}
+
+// rallyScript keeps both players swinging along their baselines: a rally.
+func rallyScript() script {
+	return script{
+		name: "rally",
+		near: func(rng *rand.Rand, g Geom, t, n int) Point {
+			return Point{X: lateralSwing(g, t, 46, 0, 14), Y: float64(g.NearBaselineY) - 4}
+		},
+		far: func(rng *rand.Rand, g Geom, t, n int) Point {
+			return Point{X: lateralSwing(g, t, 52, math.Pi/2, 18), Y: float64(g.FarBaselineY) + 5}
+		},
+		events: func(g Geom, n int) []EventTruth {
+			return []EventTruth{{Kind: EventRally, Start: 0, End: n, Player: 0}}
+		},
+	}
+}
+
+// netApproachScript rallies for the first 40% of the shot, then moves the
+// near player up to the net where they stay: a net-play event.
+func netApproachScript() script {
+	return script{
+		name: "net-approach",
+		near: func(rng *rand.Rand, g Geom, t, n int) Point {
+			x := lateralSwing(g, t, 46, 0, 16)
+			baseY := float64(g.NearBaselineY) - 4
+			netY := float64(g.NetY) + g.NetZoneDepth()*0.45
+			approachStart := int(float64(n) * 0.4)
+			approachEnd := int(float64(n) * 0.6)
+			switch {
+			case t < approachStart:
+				return Point{X: x, Y: baseY}
+			case t < approachEnd:
+				f := float64(t-approachStart) / float64(approachEnd-approachStart)
+				return Point{X: x, Y: baseY + f*(netY-baseY)}
+			default:
+				return Point{X: x, Y: netY}
+			}
+		},
+		far: func(rng *rand.Rand, g Geom, t, n int) Point {
+			return Point{X: lateralSwing(g, t, 40, math.Pi, 18), Y: float64(g.FarBaselineY) + 5}
+		},
+		events: func(g Geom, n int) []EventTruth {
+			approachEnd := int(float64(n) * 0.6)
+			return []EventTruth{
+				{Kind: EventRally, Start: 0, End: int(float64(n) * 0.4), Player: 0},
+				{Kind: EventNetPlay, Start: approachEnd, End: n, Player: 0},
+			}
+		},
+	}
+}
+
+// serviceScript holds the near player stationary at the baseline corner
+// for the first third (the service stance), then rallies.
+func serviceScript() script {
+	return script{
+		name: "service",
+		near: func(rng *rand.Rand, g Geom, t, n int) Point {
+			stand := int(float64(n) * 0.35)
+			cornerX := float64(g.Court.X0) + float64(g.Court.W())*0.3
+			if t < stand {
+				return Point{X: cornerX, Y: float64(g.NearBaselineY) - 4}
+			}
+			// After the serve, swing from the corner.
+			tt := t - stand
+			return Point{
+				X: cornerX + float64(g.Court.W())*0.25*math.Sin(2*math.Pi*float64(tt)/40),
+				Y: float64(g.NearBaselineY) - 4,
+			}
+		},
+		far: func(rng *rand.Rand, g Geom, t, n int) Point {
+			return Point{X: lateralSwing(g, t, 48, 0, 20), Y: float64(g.FarBaselineY) + 5}
+		},
+		events: func(g Geom, n int) []EventTruth {
+			stand := int(float64(n) * 0.35)
+			return []EventTruth{
+				{Kind: EventService, Start: 0, End: stand, Player: 0},
+				{Kind: EventRally, Start: stand, End: n, Player: 0},
+			}
+		},
+	}
+}
+
+// Scripts returns the available tennis-shot scripts by name.
+func Scripts() []string { return []string{"rally", "net-approach", "service"} }
+
+func scriptByName(name string) (script, bool) {
+	switch name {
+	case "rally":
+		return rallyScript(), true
+	case "net-approach":
+		return netApproachScript(), true
+	case "service":
+		return serviceScript(), true
+	}
+	return script{}, false
+}
+
+func pickScript(rng *rand.Rand) script {
+	switch rng.Intn(3) {
+	case 0:
+		return rallyScript()
+	case 1:
+		return netApproachScript()
+	default:
+		return serviceScript()
+	}
+}
+
+// renderTennisShot renders n frames of a playing shot under the given
+// script, returning the frames, both ground-truth trajectories and the
+// script's event intervals (shot-relative).
+func renderTennisShot(rng *rand.Rand, cfg Config, g Geom, sc script, n int) (frames []*frame.Image, near, far []Point, events []EventTruth) {
+	frames = make([]*frame.Image, n)
+	near = make([]Point, n)
+	far = make([]Point, n)
+	for t := 0; t < n; t++ {
+		im := frame.New(cfg.W, cfg.H)
+		renderCourt(im, g)
+		np := sc.near(rng, g, t, n)
+		fp := sc.far(rng, g, t, n)
+		near[t], far[t] = np, fp
+		renderPlayer(im, fp, FarShirt, 0.62)
+		renderPlayer(im, np, NearShirt, 1.0)
+		im.AddNoise(rng, cfg.Noise)
+		frames[t] = im
+	}
+	return frames, near, far, sc.events(g, n)
+}
+
+// RenderTennisShot renders a standalone tennis shot with the named script.
+// It exists for targeted tests and the tracking/event benchmarks.
+func RenderTennisShot(cfg Config, scriptName string, n int) (frames []*frame.Image, near, far []Point, events []EventTruth, err error) {
+	sc, ok := scriptByName(scriptName)
+	if !ok {
+		return nil, nil, nil, nil, errUnknownScript(scriptName)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := CourtGeometry(cfg.W, cfg.H)
+	frames, near, far, events = renderTennisShot(rng, cfg, g, sc, n)
+	return frames, near, far, events, nil
+}
+
+type errUnknownScript string
+
+func (e errUnknownScript) Error() string { return "synth: unknown script " + string(e) }
+
+// renderCloseUpShot paints a slowly moving face filling much of the frame,
+// over a blurred-stand gradient: high skin ratio, no court colour.
+func renderCloseUpShot(rng *rand.Rand, cfg Config, n int) []*frame.Image {
+	frames := make([]*frame.Image, n)
+	bgTop := frame.RGB{R: 70, G: 60, B: 90}
+	bgBot := frame.RGB{R: 120, G: 100, B: 80}
+	cx0 := float64(cfg.W) / 2
+	cy0 := float64(cfg.H) * 0.55
+	shirt := frame.RGB{R: uint8(60 + rng.Intn(120)), G: uint8(60 + rng.Intn(120)), B: uint8(140 + rng.Intn(100))}
+	for t := 0; t < n; t++ {
+		im := frame.New(cfg.W, cfg.H)
+		im.FillGradient(im.Bounds(), bgTop, bgBot)
+		cx := cx0 + 3*math.Sin(float64(t)/9)
+		cy := cy0 + 2*math.Cos(float64(t)/13)
+		faceR := float64(cfg.H) * 0.28
+		// Shoulders.
+		im.FillEllipse(cx, cy+faceR*1.5, faceR*1.7, faceR*0.9, shirt)
+		// Face with simple features.
+		im.FillEllipse(cx, cy, faceR*0.8, faceR, SkinColor)
+		eye := frame.RGB{R: 30, G: 25, B: 25}
+		im.FillEllipse(cx-faceR*0.3, cy-faceR*0.2, faceR*0.09, faceR*0.07, eye)
+		im.FillEllipse(cx+faceR*0.3, cy-faceR*0.2, faceR*0.09, faceR*0.07, eye)
+		im.FillEllipse(cx, cy+faceR*0.45, faceR*0.25, faceR*0.07, frame.RGB{R: 150, G: 70, B: 70})
+		// Hair.
+		im.FillEllipse(cx, cy-faceR*0.75, faceR*0.85, faceR*0.45, frame.RGB{R: 60, G: 40, B: 25})
+		im.AddNoise(rng, cfg.Noise)
+		frames[t] = im
+	}
+	return frames
+}
+
+// renderAudienceShot paints a dense random crowd texture: maximal colour
+// entropy, negligible court colour and moderate skin speckle.
+func renderAudienceShot(rng *rand.Rand, cfg Config, n int) []*frame.Image {
+	frames := make([]*frame.Image, n)
+	// Base crowd texture is static across the shot with per-frame jitter,
+	// like a real locked-off crowd camera.
+	base := frame.New(cfg.W, cfg.H)
+	base.Fill(frame.RGB{R: 70, G: 70, B: 75})
+	base.SpeckleNoise(rng, 0.85)
+	for t := 0; t < n; t++ {
+		im := base.Clone()
+		im.AddNoise(rng, cfg.Noise+3)
+		frames[t] = im
+	}
+	return frames
+}
+
+// renderOtherShot paints miscellaneous footage (graphics/stadium pans):
+// a gradient with drifting bright bars; low skin, low court colour, low
+// entropy relative to audience shots.
+func renderOtherShot(rng *rand.Rand, cfg Config, n int) []*frame.Image {
+	frames := make([]*frame.Image, n)
+	top := frame.RGB{R: uint8(rng.Intn(80)), G: uint8(rng.Intn(80)), B: uint8(120 + rng.Intn(100))}
+	bot := frame.RGB{R: uint8(130 + rng.Intn(60)), G: uint8(130 + rng.Intn(60)), B: uint8(150 + rng.Intn(80))}
+	bar := frame.RGB{R: 230, G: 230, B: 240}
+	for t := 0; t < n; t++ {
+		im := frame.New(cfg.W, cfg.H)
+		im.FillGradient(im.Bounds(), top, bot)
+		x := (t * 2) % cfg.W
+		im.FillRect(frame.Rect{X0: x, Y0: cfg.H / 6, X1: x + 6, Y1: cfg.H / 3}, bar)
+		im.HLine(0, cfg.W, cfg.H*3/4, 3, frame.RGB{R: 200, G: 200, B: 30})
+		im.AddNoise(rng, cfg.Noise)
+		frames[t] = im
+	}
+	return frames
+}

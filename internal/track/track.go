@@ -1,0 +1,514 @@
+// Package track implements the paper's "tennis detector": it segments and
+// tracks the tennis players within a playing shot and extracts the shape
+// features of the segmented player's binary representation.
+//
+// Following the paper: "Using estimated statistics of the tennis field
+// color, the algorithm does the initial quadratic segmentation of the first
+// image of a video sequence classified as a playing shot. In the next
+// frames, we predict the player position and search for a similar region in
+// the neighborhood of the initially detected player." The "quadratic
+// segmentation" is realized as a quadtree split: homogeneous blocks
+// matching a background colour model are discarded wholesale, heterogeneous
+// blocks are subdivided, and only leaf blocks are tested per pixel.
+//
+// Per frame the detector emits the player's position, dominant colour, and
+// the standard shape features (mass centre, area, bounding box,
+// orientation, eccentricity) via frame.Shape.
+package track
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/frame"
+)
+
+// Config tunes segmentation and tracking.
+type Config struct {
+	// CourtK is the std-deviation multiplier for background membership
+	// (default 3).
+	CourtK float64
+	// MinStd floors the per-channel deviation of background clusters so
+	// sensor noise does not create foreground (default 6).
+	MinStd float64
+	// LumaMin and LumaMax bound foreground luminance: pixels brighter than
+	// LumaMax are court lines / net tape, darker than LumaMin net band or
+	// shadow (defaults 50 and 225).
+	LumaMin, LumaMax float64
+	// QuadMinBlock is the smallest quadtree block subdivided; blocks at or
+	// below this size are tested per pixel (default 8).
+	QuadMinBlock int
+	// SearchRadius is the half-size of the prediction search window
+	// (default 24).
+	SearchRadius int
+	// MinArea is the smallest component accepted as the (near) player;
+	// the far player uses MinArea/4 (default 24).
+	MinArea int
+	// GridBlocks is the background-estimation grid resolution per axis
+	// (default 8).
+	GridBlocks int
+	// ClusterTol is the mean-colour distance within which two grid blocks
+	// belong to the same background cluster (default 35).
+	ClusterTol float64
+	// MinClusterBlocks is the minimum number of grid blocks for a cluster
+	// to count as background (default 4).
+	MinClusterBlocks int
+	// MaxCoast is how many consecutive frames a tracker may coast on its
+	// prediction without any matching component before it reports lost
+	// (default 10).
+	MaxCoast int
+}
+
+// DefaultConfig returns tuned defaults for 160x120 broadcast frames.
+func DefaultConfig() Config {
+	return Config{
+		CourtK:           3,
+		MinStd:           6,
+		LumaMin:          50,
+		LumaMax:          225,
+		QuadMinBlock:     8,
+		SearchRadius:     24,
+		MinArea:          24,
+		GridBlocks:       8,
+		ClusterTol:       35,
+		MinClusterBlocks: 4,
+		MaxCoast:         10,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.CourtK == 0 {
+		c.CourtK = d.CourtK
+	}
+	if c.MinStd == 0 {
+		c.MinStd = d.MinStd
+	}
+	if c.LumaMin == 0 {
+		c.LumaMin = d.LumaMin
+	}
+	if c.LumaMax == 0 {
+		c.LumaMax = d.LumaMax
+	}
+	if c.QuadMinBlock == 0 {
+		c.QuadMinBlock = d.QuadMinBlock
+	}
+	if c.SearchRadius == 0 {
+		c.SearchRadius = d.SearchRadius
+	}
+	if c.MinArea == 0 {
+		c.MinArea = d.MinArea
+	}
+	if c.GridBlocks == 0 {
+		c.GridBlocks = d.GridBlocks
+	}
+	if c.ClusterTol == 0 {
+		c.ClusterTol = d.ClusterTol
+	}
+	if c.MinClusterBlocks == 0 {
+		c.MinClusterBlocks = d.MinClusterBlocks
+	}
+	if c.MaxCoast == 0 {
+		c.MaxCoast = d.MaxCoast
+	}
+	return c
+}
+
+// Background is a set of colour clusters covering the static scene (court
+// surface, apron, stands); pixels matching any cluster are not foreground.
+type Background struct {
+	Clusters []frame.ColorStats
+}
+
+// Match reports whether the colour belongs to any background cluster.
+func (b *Background) Match(c frame.RGB, k, minStd float64) bool {
+	for i := range b.Clusters {
+		if b.Clusters[i].Within(c, k, minStd) {
+			return true
+		}
+	}
+	return false
+}
+
+// EstimateBackground builds the background colour model from one frame by
+// clustering the mean colours of a GridBlocks×GridBlocks partition. Large
+// homogeneous clusters (the court and its surround) become background;
+// small ones (players, lines) are ignored. This realizes the "estimated
+// statistics of the tennis field color" of the paper without requiring a
+// calibrated court model.
+func EstimateBackground(im *frame.Image, cfg Config) Background {
+	cfg = cfg.withDefaults()
+	n := cfg.GridBlocks
+	type blockInfo struct {
+		stats frame.ColorStats
+	}
+	blocks := make([]blockInfo, 0, n*n)
+	bw, bh := im.W/n, im.H/n
+	for by := 0; by < n; by++ {
+		for bx := 0; bx < n; bx++ {
+			r := frame.Rect{X0: bx * bw, Y0: by * bh, X1: (bx + 1) * bw, Y1: (by + 1) * bh}
+			blocks = append(blocks, blockInfo{stats: frame.StatsOfRegion(im, r)})
+		}
+	}
+	// Greedy clustering by mean colour.
+	type cluster struct {
+		members []frame.ColorStats
+		mean    frame.RGB
+	}
+	var clusters []*cluster
+	for _, b := range blocks {
+		m := b.stats.Mean()
+		var best *cluster
+		bestD := cfg.ClusterTol
+		for _, cl := range clusters {
+			if d := frame.ColorDist(m, cl.mean); d <= bestD {
+				best, bestD = cl, d
+			}
+		}
+		if best == nil {
+			clusters = append(clusters, &cluster{members: []frame.ColorStats{b.stats}, mean: m})
+			continue
+		}
+		best.members = append(best.members, b.stats)
+		// Update the running mean colour.
+		var sr, sg, sb float64
+		for _, s := range best.members {
+			sr += s.MeanR
+			sg += s.MeanG
+			sb += s.MeanB
+		}
+		k := float64(len(best.members))
+		best.mean = frame.RGB{R: uint8(sr / k), G: uint8(sg / k), B: uint8(sb / k)}
+	}
+	var bg Background
+	for _, cl := range clusters {
+		if len(cl.members) < cfg.MinClusterBlocks {
+			continue
+		}
+		bg.Clusters = append(bg.Clusters, mergeStats(cl.members))
+	}
+	return bg
+}
+
+// mergeStats pools per-block statistics into one cluster model.
+func mergeStats(ss []frame.ColorStats) frame.ColorStats {
+	var out frame.ColorStats
+	var n float64
+	for _, s := range ss {
+		w := float64(s.N)
+		out.MeanR += s.MeanR * w
+		out.MeanG += s.MeanG * w
+		out.MeanB += s.MeanB * w
+		n += w
+	}
+	if n == 0 {
+		return out
+	}
+	out.MeanR /= n
+	out.MeanG /= n
+	out.MeanB /= n
+	// Pooled deviation: within-block variance plus between-block spread.
+	var vr, vg, vb float64
+	for _, s := range ss {
+		w := float64(s.N) / n
+		vr += w * (s.StdR*s.StdR + (s.MeanR-out.MeanR)*(s.MeanR-out.MeanR))
+		vg += w * (s.StdG*s.StdG + (s.MeanG-out.MeanG)*(s.MeanG-out.MeanG))
+		vb += w * (s.StdB*s.StdB + (s.MeanB-out.MeanB)*(s.MeanB-out.MeanB))
+	}
+	out.StdR, out.StdG, out.StdB = math.Sqrt(vr), math.Sqrt(vg), math.Sqrt(vb)
+	out.N = int(n)
+	return out
+}
+
+// foregroundPixel reports whether one pixel is foreground under the model.
+func foregroundPixel(c frame.RGB, bg *Background, cfg *Config) bool {
+	l := frame.Luma(c)
+	if l < cfg.LumaMin || l > cfg.LumaMax {
+		return false
+	}
+	return !bg.Match(c, cfg.CourtK, cfg.MinStd)
+}
+
+// QuadSegment performs the quadtree ("quadratic") segmentation of the
+// region r: blocks whose colour statistics match a background cluster are
+// discarded whole; heterogeneous blocks are split until QuadMinBlock, then
+// tested per pixel. The returned mask has the dimensions of im, with
+// foreground only inside r.
+func QuadSegment(im *frame.Image, bg Background, r frame.Rect, cfg Config) *frame.Mask {
+	cfg = cfg.withDefaults()
+	mask := frame.NewMask(im.W, im.H)
+	r = r.Clip(im)
+	var split func(b frame.Rect)
+	split = func(b frame.Rect) {
+		if b.Empty() {
+			return
+		}
+		if b.W() > cfg.QuadMinBlock || b.H() > cfg.QuadMinBlock {
+			s := frame.StatsOfRegion(im, b)
+			// A block is all-background if its mean matches a cluster and
+			// it is internally homogeneous.
+			if blockIsBackground(s, &bg, &cfg) {
+				return
+			}
+			mx := (b.X0 + b.X1) / 2
+			my := (b.Y0 + b.Y1) / 2
+			split(frame.Rect{X0: b.X0, Y0: b.Y0, X1: mx, Y1: my})
+			split(frame.Rect{X0: mx, Y0: b.Y0, X1: b.X1, Y1: my})
+			split(frame.Rect{X0: b.X0, Y0: my, X1: mx, Y1: b.Y1})
+			split(frame.Rect{X0: mx, Y0: my, X1: b.X1, Y1: b.Y1})
+			return
+		}
+		for y := b.Y0; y < b.Y1; y++ {
+			for x := b.X0; x < b.X1; x++ {
+				if foregroundPixel(im.At(x, y), &bg, &cfg) {
+					mask.Set(x, y, true)
+				}
+			}
+		}
+	}
+	split(r)
+	return mask
+}
+
+// blockIsBackground tests whether a whole block can be pruned.
+func blockIsBackground(s frame.ColorStats, bg *Background, cfg *Config) bool {
+	if s.N == 0 {
+		return true
+	}
+	m := s.Mean()
+	if !bg.Match(m, cfg.CourtK, cfg.MinStd) {
+		return false
+	}
+	// Internally heterogeneous blocks may hide a small player against a
+	// matching mean; require low spread to prune.
+	lim := 2.5 * cfg.MinStd
+	return s.StdR < lim && s.StdG < lim && s.StdB < lim
+}
+
+// Observation is the per-frame output of the tennis detector for one
+// player.
+type Observation struct {
+	// Frame is the frame index within the shot.
+	Frame int
+	// Found reports whether the player was re-acquired this frame; when
+	// false, X/Y hold the coasted prediction and Shape is zero.
+	Found bool
+	// X, Y is the player's mass centre.
+	X, Y float64
+	// VX, VY is the instantaneous velocity estimate (pixels/frame).
+	VX, VY float64
+	// Shape holds the standard shape features of the segmented player.
+	Shape frame.Shape
+	// Dominant is the player's dominant (shirt) colour.
+	Dominant frame.RGB
+}
+
+// Track is the trajectory of one player across a shot.
+type Track struct {
+	// Obs has one entry per processed frame.
+	Obs []Observation
+	// LostFrames counts frames where the player was not re-acquired.
+	LostFrames int
+}
+
+// Found returns the number of frames with a positive acquisition.
+func (t *Track) Found() int { return len(t.Obs) - t.LostFrames }
+
+// Positions returns the (x, y) series of the track.
+func (t *Track) Positions() ([]float64, []float64) {
+	xs := make([]float64, len(t.Obs))
+	ys := make([]float64, len(t.Obs))
+	for i, o := range t.Obs {
+		xs[i], ys[i] = o.X, o.Y
+	}
+	return xs, ys
+}
+
+// Tracker follows a single player with a constant-velocity predictor and a
+// local search window, as the paper describes.
+type Tracker struct {
+	cfg   Config
+	bg    Background
+	pos   Observation
+	coast int
+	init  bool
+	scale float64 // 1.0 near player, <1 far player (smaller area gate)
+}
+
+// NewTracker builds a tracker from an initial observation. scale shrinks
+// the component-area gate for the smaller far player (use 1 for the near
+// player, ~0.5 for the far player).
+func NewTracker(cfg Config, bg Background, initial Observation, scale float64) *Tracker {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Tracker{cfg: cfg.withDefaults(), bg: bg, pos: initial, init: true, scale: scale}
+}
+
+// minArea returns the component-area gate for this tracker.
+func (t *Tracker) minArea() int {
+	a := int(float64(t.cfg.MinArea) * t.scale * t.scale)
+	if a < 4 {
+		a = 4
+	}
+	return a
+}
+
+// Feed processes the next frame and returns the new observation.
+func (t *Tracker) Feed(im *frame.Image, frameIdx int) Observation {
+	predX := t.pos.X + t.pos.VX
+	predY := t.pos.Y + t.pos.VY
+	r := t.cfg.SearchRadius
+	window := frame.Rect{
+		X0: int(predX) - r, Y0: int(predY) - r,
+		X1: int(predX) + r, Y1: int(predY) + r,
+	}
+	mask := QuadSegment(im, t.bg, window, t.cfg).Open()
+	comps := mask.Components()
+	best, ok := selectComponent(comps, predX, predY, t.minArea())
+	if !ok {
+		// Coast on the prediction.
+		t.coast++
+		obs := Observation{
+			Frame: frameIdx, Found: false,
+			X: predX, Y: predY,
+			VX: t.pos.VX, VY: t.pos.VY,
+		}
+		t.pos = obs
+		return obs
+	}
+	obs := observe(mask, im, best, frameIdx)
+	obs.VX = obs.X - t.pos.X
+	obs.VY = obs.Y - t.pos.Y
+	t.coast = 0
+	t.pos = obs
+	return obs
+}
+
+// observe builds a full observation (position, shape features rebased to
+// frame coordinates, dominant colour) from a segmented component.
+func observe(mask *frame.Mask, im *frame.Image, c frame.Component, frameIdx int) Observation {
+	cx, cy := c.Centroid()
+	sub := mask.SubMask(c.BBox)
+	shape := frame.ShapeOf(sub)
+	shape.CX += float64(c.BBox.X0)
+	shape.CY += float64(c.BBox.Y0)
+	shape.BBox = frame.Rect{
+		X0: shape.BBox.X0 + c.BBox.X0, Y0: shape.BBox.Y0 + c.BBox.Y0,
+		X1: shape.BBox.X1 + c.BBox.X0, Y1: shape.BBox.Y1 + c.BBox.Y0,
+	}
+	h := frame.NewHistogram(8)
+	h.AddRegion(im, shape.BBox)
+	dom, _ := h.Peak()
+	return Observation{
+		Frame: frameIdx, Found: true,
+		X: cx, Y: cy,
+		Shape: shape, Dominant: dom,
+	}
+}
+
+// Lost reports whether the tracker has coasted past MaxCoast frames.
+func (t *Tracker) Lost() bool { return t.coast > t.cfg.MaxCoast }
+
+// selectComponent picks the component nearest the prediction among those
+// meeting the area gate, scoring by area/(1+dist).
+func selectComponent(comps []frame.Component, px, py float64, minArea int) (frame.Component, bool) {
+	bestScore := -1.0
+	var best frame.Component
+	for _, c := range comps {
+		if c.Area < minArea {
+			continue
+		}
+		cx, cy := c.Centroid()
+		d := math.Hypot(cx-px, cy-py)
+		score := float64(c.Area) / (1 + d)
+		if score > bestScore {
+			bestScore, best = score, c
+		}
+	}
+	return best, bestScore >= 0
+}
+
+// ShotResult is the full output of the tennis detector over a shot.
+type ShotResult struct {
+	// Near and Far are the two player tracks (near = lower half).
+	Near, Far Track
+	// Background is the colour model estimated from the first frame.
+	Background Background
+}
+
+// TrackShot runs the complete tennis detector over a playing shot:
+// background estimation and initial quadratic segmentation on the first
+// frame, then predict-and-search tracking of both players.
+func TrackShot(frames []*frame.Image, cfg Config) ShotResult {
+	cfg = cfg.withDefaults()
+	var res ShotResult
+	if len(frames) == 0 {
+		return res
+	}
+	first := frames[0]
+	res.Background = EstimateBackground(first, cfg)
+	// Initial segmentation over the whole frame.
+	mask := QuadSegment(first, res.Background, first.Bounds(), cfg).Open()
+	comps := mask.Components()
+	// Split candidates by vertical half: the broadcast camera always has
+	// the near player in the lower half, the far player in the upper half.
+	midY := float64(first.H) / 2
+	var lower, upper []frame.Component
+	for _, c := range comps {
+		_, cy := c.Centroid()
+		if cy >= midY {
+			lower = append(lower, c)
+		} else {
+			upper = append(upper, c)
+		}
+	}
+	sortByArea(lower)
+	sortByArea(upper)
+	nearTracker := initTracker(cfg, res.Background, mask, first, lower, 1.0)
+	farTracker := initTracker(cfg, res.Background, mask, first, upper, 0.55)
+	for i, im := range frames {
+		if i == 0 {
+			res.Near.Obs = append(res.Near.Obs, firstObservation(nearTracker))
+			res.Far.Obs = append(res.Far.Obs, firstObservation(farTracker))
+			continue
+		}
+		feedInto(&res.Near, nearTracker, im, i)
+		feedInto(&res.Far, farTracker, im, i)
+	}
+	return res
+}
+
+func feedInto(tr *Track, t *Tracker, im *frame.Image, i int) {
+	if t == nil {
+		tr.Obs = append(tr.Obs, Observation{Frame: i})
+		tr.LostFrames++
+		return
+	}
+	obs := t.Feed(im, i)
+	tr.Obs = append(tr.Obs, obs)
+	if !obs.Found {
+		tr.LostFrames++
+	}
+}
+
+func firstObservation(t *Tracker) Observation {
+	if t == nil {
+		return Observation{}
+	}
+	return t.pos
+}
+
+func initTracker(cfg Config, bg Background, mask *frame.Mask, im *frame.Image, comps []frame.Component, scale float64) *Tracker {
+	minArea := int(float64(cfg.MinArea) * scale * scale)
+	for _, c := range comps {
+		if c.Area >= minArea {
+			return NewTracker(cfg, bg, observe(mask, im, c, 0), scale)
+		}
+	}
+	return nil
+}
+
+func sortByArea(cs []frame.Component) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Area > cs[j].Area })
+}

@@ -1,0 +1,275 @@
+package vidfmt
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/frame"
+)
+
+// testFrames builds a deterministic sequence with gradual motion plus one
+// hard cut, exercising both I- and P-frame coding.
+func testFrames(n, w, h int, seed int64) []*frame.Image {
+	rng := rand.New(rand.NewSource(seed))
+	frames := make([]*frame.Image, n)
+	for i := range frames {
+		im := frame.New(w, h)
+		if i < n/2 {
+			im.Fill(frame.RGB{R: 30, G: 120, B: 50})
+			im.FillEllipse(float64(5+i), float64(h/2), 3, 5, frame.RGB{R: 220, G: 40, B: 40})
+		} else {
+			im.Fill(frame.RGB{R: 90, G: 90, B: 160})
+			im.FillRect(frame.Rect{X0: i % w, Y0: 2, X1: i%w + 4, Y1: 8}, frame.RGB{R: 250, G: 250, B: 20})
+		}
+		im.AddNoise(rng, 3)
+		frames[i] = im
+	}
+	return frames
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	frames := testFrames(30, 48, 32, 1)
+	data, err := EncodeAll(frames, 25, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, meta, err := DecodeAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Frames != 30 || meta.Width != 48 || meta.Height != 32 || meta.FPS != 25 || meta.GOP != 8 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if !frames[i].Equal(got[i]) {
+			t.Fatalf("frame %d does not round-trip losslessly", i)
+		}
+	}
+}
+
+func TestRandomAccessMatchesSequential(t *testing.T) {
+	frames := testFrames(40, 32, 24, 2)
+	data, err := EncodeAll(frames, 25, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Access in scrambled order, including repeats and backward seeks.
+	order := []int{39, 0, 17, 17, 5, 38, 11, 1, 25, 12, 39, 0}
+	for _, i := range order {
+		im, err := r.Frame(i)
+		if err != nil {
+			t.Fatalf("Frame(%d): %v", i, err)
+		}
+		if !im.Equal(frames[i]) {
+			t.Fatalf("random access frame %d mismatch", i)
+		}
+	}
+}
+
+func TestFrameOutOfRange(t *testing.T) {
+	frames := testFrames(5, 16, 16, 3)
+	data, _ := EncodeAll(frames, 25, 4)
+	r, err := OpenReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Frame(-1); err == nil {
+		t.Fatal("Frame(-1) did not error")
+	}
+	if _, err := r.Frame(5); err == nil {
+		t.Fatal("Frame(N) did not error")
+	}
+}
+
+func TestNextEOFAndRewind(t *testing.T) {
+	frames := testFrames(6, 16, 16, 4)
+	data, _ := EncodeAll(frames, 25, 4)
+	r, _ := OpenReader(bytes.NewReader(data))
+	n := 0
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 6 {
+		t.Fatalf("Next yielded %d frames, want 6", n)
+	}
+	r.Rewind()
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("Next after Rewind: %v", err)
+	}
+}
+
+func TestWriterRejectsMismatchedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 16, 16, 25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFrame(frame.New(8, 8)); err == nil {
+		t.Fatal("mismatched frame accepted")
+	}
+}
+
+func TestWriterCloseIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 8, 8, 25, 4)
+	_ = w.WriteFrame(frame.New(8, 8))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != ErrClosed {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+	if err := w.WriteFrame(frame.New(8, 8)); err != ErrClosed {
+		t.Fatalf("WriteFrame after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestOpenReaderRejectsGarbage(t *testing.T) {
+	if _, err := OpenReader(bytes.NewReader([]byte("not a video at all, definitely"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Valid header, corrupted trailer.
+	frames := testFrames(3, 8, 8, 5)
+	data, _ := EncodeAll(frames, 25, 4)
+	data[len(data)-1] ^= 0xFF
+	if _, err := OpenReader(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupted trailer accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "clip.svf")
+	frames := testFrames(12, 24, 18, 6)
+	if err := WriteFile(path, frames, 30, 6); err != nil {
+		t.Fatal(err)
+	}
+	got, meta, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.FPS != 30 || meta.Frames != 12 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	for i := range frames {
+		if !frames[i].Equal(got[i]) {
+			t.Fatalf("file frame %d mismatch", i)
+		}
+	}
+}
+
+func TestWriteFileEmpty(t *testing.T) {
+	if err := WriteFile(filepath.Join(t.TempDir(), "x.svf"), nil, 25, 4); err == nil {
+		t.Fatal("empty WriteFile did not error")
+	}
+}
+
+func TestMetaDuration(t *testing.T) {
+	m := Meta{FPS: 25, Frames: 100}
+	if m.Duration() != 4 {
+		t.Fatalf("duration = %v", m.Duration())
+	}
+	if (Meta{}).Duration() != 0 {
+		t.Fatal("zero meta duration")
+	}
+}
+
+// Property: run-length coding round-trips arbitrary residual streams.
+func TestRunCodingRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		enc := encodeRuns(data)
+		dec, err := decodeRuns(enc, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: spatial prediction round-trips arbitrary pixel buffers.
+func TestSpatialDeltaRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		d := spatialDeltas(data, nil)
+		out := make([]uint8, len(data))
+		undoSpatialDeltas(d, out)
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRunsRejectsOverflow(t *testing.T) {
+	// A zero-run longer than the expected output.
+	if _, err := decodeRuns([]byte{0xFF}, 10); err == nil {
+		t.Fatal("overlong run accepted")
+	}
+	// Literal token promising more bytes than present.
+	if _, err := decodeRuns([]byte{0x05, 1, 2}, 10); err == nil {
+		t.Fatal("truncated literal accepted")
+	}
+	// Underflow: stream ends before want bytes are produced.
+	if _, err := decodeRuns([]byte{0x81}, 10); err == nil {
+		t.Fatal("short stream accepted")
+	}
+}
+
+func TestCompressionBeatsRawOnFlatVideo(t *testing.T) {
+	frames := make([]*frame.Image, 20)
+	for i := range frames {
+		im := frame.New(64, 64)
+		im.Fill(frame.RGB{R: 30, G: 120, B: 50})
+		frames[i] = im
+	}
+	data, err := EncodeAll(frames, 25, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 20 * 3 * 64 * 64
+	if len(data) >= raw/10 {
+		t.Fatalf("flat video compressed to %d bytes, want < %d", len(data), raw/10)
+	}
+}
+
+func TestGOPPlacement(t *testing.T) {
+	frames := testFrames(10, 16, 16, 7)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 16, 16, 25, 4)
+	for _, f := range frames {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = w.Close()
+	r, err := OpenReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range r.index {
+		wantI := i%4 == 0
+		if (e.typ == frameTypeI) != wantI {
+			t.Fatalf("frame %d type = %d, want I=%v", i, e.typ, wantI)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package repro
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// sceneFixture indexes one SVF-backed broadcast and returns the library
+// plus a detected scene.
+func sceneFixture(t *testing.T) (*Library, Scene) {
+	t.Helper()
+	cfg := DefaultBroadcastConfig(501)
+	cfg.Shots = 6
+	b, err := GenerateBroadcast(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "clip.svf")
+	if err := WriteSVF(path, b.Frames, b.FPS); err != nil {
+		t.Fatal(err)
+	}
+	lib, err := NewLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lib.IndexSVF("clip", path); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"rally", "net-play", "service"} {
+		scenes, err := lib.Scenes(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(scenes) > 0 {
+			return lib, scenes[0]
+		}
+	}
+	t.Fatal("no scenes detected in fixture broadcast")
+	return nil, Scene{}
+}
+
+func TestExtractAndSaveScene(t *testing.T) {
+	lib, scene := sceneFixture(t)
+	frames, err := lib.ExtractScene(scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != scene.Event.Len() {
+		t.Fatalf("extracted %d frames, want %d", len(frames), scene.Event.Len())
+	}
+	out := filepath.Join(t.TempDir(), "scene.svf")
+	if err := lib.SaveScene(scene, out); err != nil {
+		t.Fatal(err)
+	}
+	clip, fps, err := ReadSVF(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clip) != len(frames) || fps != scene.Video.FPS {
+		t.Fatalf("saved clip %d frames @%d, want %d @%d", len(clip), fps, len(frames), scene.Video.FPS)
+	}
+	for i := range clip {
+		if !clip[i].Equal(frames[i]) {
+			t.Fatalf("saved frame %d differs", i)
+		}
+	}
+}
+
+func TestExtractSceneNeedsPath(t *testing.T) {
+	cfg := DefaultBroadcastConfig(502)
+	cfg.Shots = 4
+	b, _ := GenerateBroadcast(cfg)
+	lib, _ := NewLibrary()
+	if _, err := lib.IndexFrames("mem", b.Frames, b.FPS); err != nil {
+		t.Fatal(err)
+	}
+	scenes, _ := lib.Scenes("rally")
+	if len(scenes) == 0 {
+		t.Skip("no rally in this seed")
+	}
+	if _, err := lib.ExtractScene(scenes[0]); err == nil {
+		t.Fatal("pathless video extracted")
+	}
+	// Frames variant works.
+	frames, err := ExtractSceneFrames(scenes[0], b.Frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != scenes[0].Event.Len() {
+		t.Fatal("wrong frame count")
+	}
+}
+
+func TestExtractSceneFramesBounds(t *testing.T) {
+	s := Scene{Event: Event{Interval: Interval{Start: 5, End: 50}}}
+	if _, err := ExtractSceneFrames(s, make([]*Image, 10)); err == nil {
+		t.Fatal("out-of-range interval accepted")
+	}
+	s.Event.Interval = Interval{Start: 3, End: 3}
+	if _, err := ExtractSceneFrames(s, make([]*Image, 10)); err == nil {
+		t.Fatal("empty interval accepted")
+	}
+}
+
+func TestScenesRelatedComposite(t *testing.T) {
+	lib, _ := sceneFixture(t)
+	// net-play during/within rally is script-dependent; the call must
+	// succeed and return only same-video, correctly-related pairs.
+	pairs, err := lib.ScenesRelated("net-play", "rally")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if p.A.VideoID != p.B.VideoID {
+			t.Fatal("cross-video pair")
+		}
+		if p.A.Kind != "net-play" || p.B.Kind != "rally" {
+			t.Fatalf("wrong kinds: %+v", p)
+		}
+	}
+	// Service then rally within a shot: the service scripts guarantee at
+	// least one such pair per service shot.
+	follows, err := lib.ScenesFollowing("service", "rally", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range follows {
+		if p.B.Start < p.A.End {
+			t.Fatalf("not following: %+v", p)
+		}
+	}
+}
