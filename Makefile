@@ -1,0 +1,37 @@
+# Local dev and CI invoke the same targets (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke fmt fmt-check vet ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark run with the experiment tables.
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# One iteration per benchmark: exercises every bench path without the cost
+# of a measured run. This is what CI runs.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+ci: fmt-check vet build test race bench-smoke

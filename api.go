@@ -18,8 +18,11 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dlse"
@@ -27,6 +30,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/grammar"
 	"repro/internal/ir"
+	"repro/internal/pipeline"
 	"repro/internal/synth"
 	"repro/internal/vidfmt"
 	"repro/internal/webspace"
@@ -143,6 +147,153 @@ func (l *Library) IndexSVF(name, path string) (int64, error) {
 		return 0, fmt.Errorf("repro: indexing %q: %w", name, err)
 	}
 	return fde.IndexResult(res, l.index)
+}
+
+// IngestJob describes one video of a batch-ingestion request. Exactly one
+// of Frames or Path should be set: with Path the SVF file is decoded inside
+// the worker pool, overlapping decode I/O with detector compute.
+type IngestJob struct {
+	// Name identifies the document in the index; for Path jobs it defaults
+	// to the file's base name.
+	Name string
+	// Frames is the in-memory raw-data layer.
+	Frames []*Image
+	// FPS is the frame rate for in-memory jobs.
+	FPS int
+	// Path locates an SVF file to decode lazily.
+	Path string
+}
+
+// BatchOptions tunes Library.IndexBatch.
+type BatchOptions struct {
+	// Workers bounds the number of videos processed concurrently;
+	// values < 1 select GOMAXPROCS.
+	Workers int
+	// Shards is the meta-index shard count; values < 1 select Workers.
+	Shards int
+	// ContinueOnError keeps the batch running after a job fails; the
+	// default stops dispatching new jobs on the first failure. Either way
+	// every failure is reported in its job's BatchResult.
+	ContinueOnError bool
+	// OnProgress, when set, is called after every finished job. Calls are
+	// serialized.
+	OnProgress func(BatchProgress)
+}
+
+// BatchProgress reports one finished job to the progress callback.
+type BatchProgress struct {
+	// Done counts finished jobs; Total is the batch size.
+	Done, Total int
+	// Name is the finished job's document name.
+	Name string
+	// Duration is the job's decode+parse wall time.
+	Duration time.Duration
+	// Err is the job failure, nil on success.
+	Err error
+}
+
+// BatchResult is the per-job outcome of IndexBatch, in job order.
+type BatchResult struct {
+	// Name is the document name.
+	Name string
+	// VideoID is the video's ID in the library index (0 if the job failed).
+	VideoID int64
+	// Frames is the number of frames indexed.
+	Frames int
+	// Duration is the decode+parse wall time.
+	Duration time.Duration
+	// Err is the job failure, nil on success.
+	Err error
+}
+
+// IndexBatch indexes a batch of videos concurrently: jobs fan out across a
+// bounded worker pool (the paper's Feature Detector Engine runs once per
+// video, independently), each parse is committed to a sharded staging
+// index, and on completion the shards are merged into the library in job
+// order — so the resulting index, and SaveIndex output, are byte-identical
+// to indexing the same jobs sequentially with IndexFrames/IndexSVF.
+//
+// Cancellation stops dispatching new jobs; jobs already in flight finish
+// and are merged, and every job that never ran reports the context error in
+// its BatchResult. The returned error is the context error on
+// cancellation; otherwise it is nil when every job succeeded, the first
+// failure by default, or all failures joined when ContinueOnError is set.
+func (l *Library) IndexBatch(ctx context.Context, jobs []IngestJob, opts BatchOptions) ([]BatchResult, error) {
+	pjobs := make([]pipeline.Job, len(jobs))
+	for i, job := range jobs {
+		switch {
+		case job.Path != "":
+			pjobs[i] = pipeline.SVFJob(job.Path, job.Name)
+		case len(job.Frames) > 0:
+			pjobs[i] = pipeline.Job{
+				Video: core.Video{
+					Name: job.Name, Width: job.Frames[0].W, Height: job.Frames[0].H,
+					FPS: job.FPS, Frames: len(job.Frames),
+				},
+				Frames: job.Frames,
+			}
+		default:
+			return nil, fmt.Errorf("repro: job %d (%q): neither frames nor path", i, job.Name)
+		}
+	}
+	engine := l.engine
+	if pipeline.Workers(opts.Workers) > 1 {
+		// With several videos in flight the job fan-out already saturates
+		// the CPUs; nested per-frame histogram pools inside each parse
+		// would only add scheduler overhead, so pin intra-video extraction
+		// to one goroutine. A single-worker batch keeps the library
+		// engine's parallel extraction instead.
+		cfg := fde.DefaultTennisConfig()
+		cfg.Shot.Workers = 1
+		pinned, err := fde.NewTennisEngine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		engine = pinned
+	}
+	in, err := pipeline.New(engine, pipeline.Config{
+		Workers:         opts.Workers,
+		Shards:          opts.Shards,
+		ContinueOnError: opts.ContinueOnError,
+		OnProgress: func(p pipeline.Progress) {
+			if opts.OnProgress != nil {
+				opts.OnProgress(BatchProgress{
+					Done: p.Done, Total: p.Total, Name: p.Result.Name,
+					Duration: p.Result.Duration, Err: p.Result.Err,
+				})
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	results, runErr := in.Run(ctx, pjobs)
+	ids, mergeErr := in.MergeInto(l.index)
+	if mergeErr != nil {
+		return nil, fmt.Errorf("repro: merging batch: %w", mergeErr)
+	}
+	out := make([]BatchResult, len(results))
+	for i, r := range results {
+		out[i] = BatchResult{
+			Name: r.Name, VideoID: ids[r.Seq], Frames: r.Frames,
+			Duration: r.Duration, Err: r.Err,
+		}
+	}
+	if runErr != nil {
+		return out, runErr
+	}
+	if opts.ContinueOnError {
+		var errs []error
+		for _, r := range out {
+			if r.Err != nil {
+				errs = append(errs, r.Err)
+			}
+		}
+		if len(errs) > 0 {
+			return out, errors.Join(errs...)
+		}
+	}
+	return out, nil
 }
 
 // Scenes returns all indexed scenes showing the given event kind

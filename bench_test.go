@@ -11,8 +11,10 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -737,6 +739,40 @@ func BenchmarkFDEPipeline(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(v.Frames))*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkBatchIngest measures concurrent batch-ingestion throughput:
+// the full FDE pipeline over an 8-video corpus with 1 worker vs one worker
+// per CPU. The outputs are byte-identical (see TestIndexBatchMatchesSequential);
+// only the wall clock differs.
+func BenchmarkBatchIngest(b *testing.B) {
+	cfg := synth.DefaultConfig(1200)
+	cfg.Shots = 6
+	vids, err := synth.GenerateCorpus(cfg, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := make([]IngestJob, len(vids))
+	frames := 0
+	for i, v := range vids {
+		jobs[i] = IngestJob{Name: fmt.Sprintf("batch-%02d", i), Frames: v.Frames, FPS: v.FPS}
+		frames += len(v.Frames)
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				lib, err := NewLibrary()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := lib.IndexBatch(context.Background(), jobs, BatchOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(frames)*float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+		})
+	}
 }
 
 // BenchmarkIRIndexing measures document indexing throughput.

@@ -1,75 +1,131 @@
 // Command cobraindex runs the tennis Feature Detector Engine over a corpus
-// of SVF videos, populating and persisting the COBRA meta-index.
+// of SVF videos, populating and persisting the COBRA meta-index. Videos are
+// processed by a worker pool: each worker decodes and parses one video at a
+// time, committing into a sharded index that is merged deterministically —
+// the output is byte-identical at any worker count.
 //
 // Usage:
 //
 //	cobraindex -out meta.db corpus/*.svf
+//	cobraindex -workers 8 -out meta.db corpus/       # whole directory
 //	cobraindex -segdet ./segdet -out meta.db corpus/*.svf   # black-box mode
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
-	"strings"
+	"sort"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/fde"
-	"repro/internal/vidfmt"
+	"repro/internal/pipeline"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cobraindex: ")
 	var (
-		out    = flag.String("out", "meta.db", "output meta-index file")
-		segdet = flag.String("segdet", "", "path to an external segment detector binary (black-box mode)")
+		out     = flag.String("out", "meta.db", "output meta-index file")
+		segdet  = flag.String("segdet", "", "path to an external segment detector binary (black-box mode)")
+		workers = flag.Int("workers", 0, "concurrent videos (0 = GOMAXPROCS)")
+		quiet   = flag.Bool("q", false, "suppress per-video progress")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		log.Fatal("usage: cobraindex [-out meta.db] [-segdet BIN] video.svf...")
+		log.Fatal("usage: cobraindex [-out meta.db] [-workers N] [-segdet BIN] video.svf|dir...")
+	}
+	paths, err := expandArgs(flag.Args())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(paths) == 0 {
+		log.Fatal("no .svf files found")
 	}
 	cfg := fde.DefaultTennisConfig()
 	if *segdet != "" {
 		cfg.SegmentImpl = fde.BlackBoxSegment(*segdet)
 	}
+	if pipeline.Workers(*workers) > 1 {
+		// The video fan-out saturates the CPUs; avoid nested per-frame
+		// histogram pools inside each parse.
+		cfg.Shot.Workers = 1
+	}
 	engine, err := fde.NewTennisEngine(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	jobs := make([]pipeline.Job, len(paths))
+	for i, path := range paths {
+		jobs[i] = pipeline.SVFJob(path, "")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	in, err := pipeline.New(engine, pipeline.Config{
+		Workers: *workers,
+		OnProgress: func(p pipeline.Progress) {
+			if *quiet {
+				return
+			}
+			if p.Result.Err != nil {
+				fmt.Printf("[%d/%d] %s: %v\n", p.Done, p.Total, p.Result.Name, p.Result.Err)
+				return
+			}
+			fmt.Printf("[%d/%d] %s: %d frames indexed in %v\n",
+				p.Done, p.Total, p.Result.Name, p.Result.Frames,
+				p.Result.Duration.Round(time.Millisecond))
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	results, runErr := in.Run(ctx, jobs)
+	if runErr != nil {
+		for _, r := range results {
+			if r.Err != nil {
+				log.Printf("%s: %v", paths[r.Seq], r.Err)
+			}
+		}
+		log.Fatal(runErr)
+	}
+	wall := time.Since(start)
+
 	idx, err := core.NewMetaIndex()
 	if err != nil {
 		log.Fatal(err)
 	}
-	for _, path := range flag.Args() {
-		frames, meta, err := vidfmt.ReadFile(path)
-		if err != nil {
-			log.Fatalf("%s: %v", path, err)
-		}
-		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-		v := core.Video{
-			Name: name, Path: path,
-			Width: meta.Width, Height: meta.Height,
-			FPS: meta.FPS, Frames: meta.Frames,
-		}
-		start := time.Now()
-		res, err := engine.Process(v, frames)
-		if err != nil {
-			log.Fatalf("%s: %v", path, err)
-		}
-		if _, err := fde.IndexResult(res, idx); err != nil {
-			log.Fatalf("%s: %v", path, err)
-		}
-		fmt.Printf("%s: %d frames indexed in %v\n", name, meta.Frames, time.Since(start).Round(time.Millisecond))
+	if _, err := in.MergeInto(idx); err != nil {
+		log.Fatal(err)
 	}
 	st := idx.Stats()
+	var busy time.Duration
+	frames := 0
+	for _, r := range results {
+		busy += r.Duration
+		frames += r.Frames
+	}
 	fmt.Printf("meta-index: %d videos, %d segments, %d objects, %d states, %d events\n",
 		st.Videos, st.Segments, st.Objects, st.States, st.Events)
+	fmt.Printf("indexed %d frames in %v wall (%.1f frames/s, %.2fx parallel speed-up)\n",
+		frames, wall.Round(time.Millisecond),
+		float64(frames)/wall.Seconds(), float64(busy)/float64(wall))
 	fmt.Println("detector statistics:")
-	for name, s := range engine.Stats() {
+	stats := engine.Stats()
+	names := make([]string, 0, len(stats))
+	for name := range stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := stats[name]
 		fmt.Printf("  %-10s runs=%d total=%v errors=%d\n", name, s.Runs, s.Total.Round(time.Millisecond), s.Errors)
 	}
 	f, err := os.Create(*out)
@@ -83,4 +139,27 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// expandArgs resolves the positional arguments: directories expand to the
+// sorted .svf files they contain, other paths pass through unchanged.
+func expandArgs(args []string) ([]string, error) {
+	var paths []string
+	for _, arg := range args {
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			paths = append(paths, arg)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(arg, "*.svf"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(matches)
+		paths = append(paths, matches...)
+	}
+	return paths, nil
 }

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/store"
+)
+
+// ShardedMetaIndex is the write-parallel front of the meta-index: N
+// independent MetaIndex shards, each guarded by its own RWMutex. Concurrent
+// ingestion workers commit whole videos into the shard owning their job
+// sequence number (seq % shards), so writers on different shards never
+// contend. A merge/snapshot path replays the shards back into a single
+// MetaIndex in ascending sequence order, reassigning IDs, which makes the
+// merged index — and therefore Serialize — deterministic: byte-identical to
+// indexing the same jobs sequentially in sequence order.
+type ShardedMetaIndex struct {
+	shards []metaShard
+}
+
+type metaShard struct {
+	mu      sync.RWMutex
+	idx     *MetaIndex
+	commits []shardCommit
+}
+
+// shardCommit records one committed video: its global job sequence number
+// and its shard-local video ID.
+type shardCommit struct {
+	seq     int
+	videoID int64
+}
+
+// NewShardedMetaIndex creates shards empty meta-index shards; shards < 1 is
+// clamped to 1.
+func NewShardedMetaIndex(shards int) (*ShardedMetaIndex, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &ShardedMetaIndex{shards: make([]metaShard, shards)}
+	for i := range s.shards {
+		idx, err := NewMetaIndex()
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i].idx = idx
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *ShardedMetaIndex) Shards() int { return len(s.shards) }
+
+func (s *ShardedMetaIndex) shardFor(seq int) *metaShard {
+	return &s.shards[seq%len(s.shards)]
+}
+
+// Commit runs fn with exclusive access to the shard owning seq. fn must
+// materialize exactly one video into the shard's MetaIndex and return its
+// shard-local video ID; on success the video is recorded for merging. Each
+// seq must be committed at most once. Commits to distinct shards proceed in
+// parallel.
+func (s *ShardedMetaIndex) Commit(seq int, fn func(*MetaIndex) (int64, error)) (int64, error) {
+	if seq < 0 {
+		return 0, fmt.Errorf("core: negative job seq %d", seq)
+	}
+	sh := s.shardFor(seq)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	vid, err := fn(sh.idx)
+	if err != nil {
+		return 0, err
+	}
+	sh.commits = append(sh.commits, shardCommit{seq: seq, videoID: vid})
+	return vid, nil
+}
+
+// View runs fn with shared (read) access to the shard owning seq.
+func (s *ShardedMetaIndex) View(seq int, fn func(*MetaIndex) error) error {
+	if seq < 0 {
+		return fmt.Errorf("core: negative job seq %d", seq)
+	}
+	sh := s.shardFor(seq)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return fn(sh.idx)
+}
+
+// Stats sums the statistics of all shards.
+func (s *ShardedMetaIndex) Stats() Stats {
+	var out Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st := sh.idx.Stats()
+		sh.mu.RUnlock()
+		out.Videos += st.Videos
+		out.Segments += st.Segments
+		out.Features += st.Features
+		out.Objects += st.Objects
+		out.States += st.States
+		out.Events += st.Events
+	}
+	return out
+}
+
+// MergeInto replays every committed video into dst in ascending sequence
+// order, reassigning all IDs from dst's counters. It returns the mapping
+// from job sequence number to the video's ID in dst. All shards are
+// read-locked for the duration of the merge.
+func (s *ShardedMetaIndex) MergeInto(dst *MetaIndex) (map[int]int64, error) {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+	defer func() {
+		for i := range s.shards {
+			s.shards[i].mu.RUnlock()
+		}
+	}()
+	type pending struct {
+		shard *metaShard
+		shardCommit
+	}
+	var all []pending
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for _, c := range sh.commits {
+			all = append(all, pending{shard: sh, shardCommit: c})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].seq < all[b].seq })
+	ids := make(map[int]int64, len(all))
+	for _, p := range all {
+		if _, dup := ids[p.seq]; dup {
+			return nil, fmt.Errorf("core: job seq %d committed twice", p.seq)
+		}
+		nvid, err := copyVideo(dst, p.shard.idx, p.videoID)
+		if err != nil {
+			return nil, fmt.Errorf("core: merging seq %d: %w", p.seq, err)
+		}
+		ids[p.seq] = nvid
+	}
+	return ids, nil
+}
+
+// Snapshot merges all shards into a fresh MetaIndex.
+func (s *ShardedMetaIndex) Snapshot() (*MetaIndex, error) {
+	dst, err := NewMetaIndex()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.MergeInto(dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// Serialize writes a merged snapshot of the sharded index. The output is
+// deterministic for a given set of committed (seq, video) pairs.
+func (s *ShardedMetaIndex) Serialize(w io.Writer) error {
+	snap, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	return snap.Serialize(w)
+}
+
+// copyVideo replays one video's rows from src into dst, reassigning video,
+// segment, object and event IDs from dst's counters. Row append order
+// mirrors the materialization order of a direct sequential indexing run
+// (segments, then objects with their states, then features, then events),
+// so a merge in sequence order reproduces the sequential index exactly.
+func copyVideo(dst, src *MetaIndex, videoID int64) (int64, error) {
+	v, err := src.VideoByID(videoID)
+	if err != nil {
+		return 0, err
+	}
+	nvid, err := dst.AddVideo(v)
+	if err != nil {
+		return 0, err
+	}
+	segs, err := src.SegmentsOf(videoID)
+	if err != nil {
+		return 0, err
+	}
+	segMap := make(map[int64]int64, len(segs))
+	for _, sg := range segs {
+		old := sg.ID
+		sg.VideoID = nvid
+		nsid, err := dst.AddSegment(sg)
+		if err != nil {
+			return 0, err
+		}
+		segMap[old] = nsid
+	}
+	objMap := map[int64]int64{}
+	for _, sg := range segs {
+		objs, err := src.ObjectsIn(sg.ID)
+		if err != nil {
+			return 0, err
+		}
+		for _, o := range objs {
+			old := o.ID
+			o.VideoID = nvid
+			o.SegmentID = segMap[sg.ID]
+			noid, err := dst.AddObject(o)
+			if err != nil {
+				return 0, err
+			}
+			objMap[old] = noid
+			states, err := src.StatesOf(old)
+			if err != nil {
+				return 0, err
+			}
+			for _, st := range states {
+				st.ObjectID = noid
+				if err := dst.AddState(st); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	feats, err := src.FeaturesOf(videoID)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range feats {
+		f.VideoID = nvid
+		if err := dst.AddFeature(f); err != nil {
+			return 0, err
+		}
+	}
+	evs, err := src.EventsOf(videoID)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range evs {
+		e.VideoID = nvid
+		e.SegmentID = segMap[e.SegmentID]
+		if e.ActorID != 0 {
+			e.ActorID = objMap[e.ActorID]
+		}
+		if _, err := dst.AddEvent(e); err != nil {
+			return 0, err
+		}
+	}
+	return nvid, nil
+}
+
+// FeaturesOf returns all feature-layer measurements of a video in append
+// order.
+func (m *MetaIndex) FeaturesOf(videoID int64) ([]FeatureValue, error) {
+	rows, err := m.features.Select(store.Eq("video", store.Int(videoID)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FeatureValue, 0, len(rows))
+	for _, row := range rows {
+		r, err := m.features.Row(row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FeatureValue{
+			VideoID: r[0].I, Frame: int(r[1].I), Name: r[2].S, Value: r[3].F,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// materializeVideo writes one deterministic synthetic video into idx,
+// exercising every table, and returns the assigned video ID.
+func materializeVideo(idx *MetaIndex, j int) (int64, error) {
+	vid, err := idx.AddVideo(Video{
+		Name: fmt.Sprintf("v%02d", j), Path: fmt.Sprintf("v%02d.svf", j),
+		Width: 32, Height: 24, FPS: 25, Frames: 100 + j,
+	})
+	if err != nil {
+		return 0, err
+	}
+	sid, err := idx.AddSegment(Segment{
+		VideoID: vid, Interval: Interval{Start: 0, End: 50 + j}, Class: "tennis",
+	})
+	if err != nil {
+		return 0, err
+	}
+	oid, err := idx.AddObject(Object{
+		VideoID: vid, SegmentID: sid, Name: "player-near",
+		Interval: Interval{Start: 0, End: 50 + j},
+	})
+	if err != nil {
+		return 0, err
+	}
+	for f := 0; f < 3; f++ {
+		if err := idx.AddState(ObjectState{
+			ObjectID: oid, Frame: f, Found: true,
+			X: float64(j) + float64(f)/10, Y: float64(j),
+			Area: 10 * j, BBox: [4]int{j, j, j + 4, j + 6},
+		}); err != nil {
+			return 0, err
+		}
+	}
+	if err := idx.AddFeature(FeatureValue{
+		VideoID: vid, Frame: j, Name: "entropy", Value: float64(j) / 7,
+	}); err != nil {
+		return 0, err
+	}
+	if _, err := idx.AddEvent(Event{
+		VideoID: vid, SegmentID: sid, Kind: "rally",
+		Interval: Interval{Start: 1, End: 40}, ActorID: oid, Confidence: 0.9,
+	}); err != nil {
+		return 0, err
+	}
+	return vid, nil
+}
+
+func serializeBytes(t *testing.T, idx *MetaIndex) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := idx.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestShardedMergeMatchesSequential(t *testing.T) {
+	const n = 7
+	seq, err := NewMetaIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		if _, err := materializeVideo(seq, j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := serializeBytes(t, seq)
+
+	for _, shards := range []int{1, 2, 3, 8} {
+		sharded, err := NewShardedMetaIndex(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Commit concurrently, in scrambled completion order.
+		var wg sync.WaitGroup
+		errs := make([]error, n)
+		for j := n - 1; j >= 0; j-- {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				_, errs[j] = sharded.Commit(j, func(idx *MetaIndex) (int64, error) {
+					return materializeVideo(idx, j)
+				})
+			}(j)
+		}
+		wg.Wait()
+		for j, err := range errs {
+			if err != nil {
+				t.Fatalf("shards=%d: commit %d: %v", shards, j, err)
+			}
+		}
+		snap, err := sharded.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := serializeBytes(t, snap); !bytes.Equal(got, want) {
+			t.Fatalf("shards=%d: merged serialization differs from sequential (%d vs %d bytes)",
+				shards, len(got), len(want))
+		}
+		var buf bytes.Buffer
+		if err := sharded.Serialize(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("shards=%d: ShardedMetaIndex.Serialize differs from sequential", shards)
+		}
+	}
+}
+
+func TestShardedMergeIntoExistingIndex(t *testing.T) {
+	sharded, err := NewShardedMetaIndex(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		if _, err := sharded.Commit(j, func(idx *MetaIndex) (int64, error) {
+			return materializeVideo(idx, j)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst, err := NewMetaIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := materializeVideo(dst, 99); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := sharded.MergeInto(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("merged %d videos, want 3", len(ids))
+	}
+	// Sequence order continues after the pre-existing video.
+	for j := 0; j < 3; j++ {
+		if ids[j] != int64(j+2) {
+			t.Fatalf("seq %d got video ID %d, want %d", j, ids[j], j+2)
+		}
+		v, err := dst.VideoByID(ids[j])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Name != fmt.Sprintf("v%02d", j) {
+			t.Fatalf("seq %d merged as %q", j, v.Name)
+		}
+	}
+	if st := dst.Stats(); st.Videos != 4 || st.Events != 4 {
+		t.Fatalf("merged stats = %+v", st)
+	}
+	// Event actor/segment references were remapped into dst's ID space.
+	evs, err := dst.EventsOf(ids[2])
+	if err != nil || len(evs) != 1 {
+		t.Fatalf("events of merged video: %v, %v", evs, err)
+	}
+	objs, err := dst.ObjectsIn(evs[0].SegmentID)
+	if err != nil || len(objs) != 1 || objs[0].ID != evs[0].ActorID {
+		t.Fatalf("actor remap broken: objs=%v ev=%+v err=%v", objs, evs[0], err)
+	}
+}
+
+func TestShardedDuplicateSeqRejected(t *testing.T) {
+	sharded, err := NewShardedMetaIndex(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := sharded.Commit(5, func(idx *MetaIndex) (int64, error) {
+			return materializeVideo(idx, 5)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sharded.Snapshot(); err == nil {
+		t.Fatal("duplicate seq not rejected at merge")
+	}
+}
+
+func TestShardedStatsAndView(t *testing.T) {
+	sharded, err := NewShardedMetaIndex(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 5; j++ {
+		if _, err := sharded.Commit(j, func(idx *MetaIndex) (int64, error) {
+			return materializeVideo(idx, j)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sharded.Stats()
+	if st.Videos != 5 || st.Segments != 5 || st.States != 15 || st.Events != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := sharded.View(1, func(idx *MetaIndex) error {
+		if _, err := idx.VideoByName("v01"); err != nil {
+			return err
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.View(-1, func(*MetaIndex) error { return nil }); err == nil {
+		t.Fatal("negative seq accepted by View")
+	}
+	if _, err := sharded.Commit(-1, nil); err == nil {
+		t.Fatal("negative seq accepted by Commit")
+	}
+}

@@ -15,6 +15,7 @@ package fde
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -57,12 +58,17 @@ type Stats struct {
 	Errors int
 }
 
-// Engine is a compiled Feature Detector Engine.
+// Engine is a compiled Feature Detector Engine. Once every detector is
+// bound, Process and Reprocess are safe to call from concurrent goroutines:
+// each parse has its own blackboard, and the shared statistics are guarded
+// by a mutex. Bind is not safe concurrently with Process.
 type Engine struct {
 	g     *grammar.Grammar
 	impls map[string]Impl
 	sched []*grammar.Detector
-	stats map[string]*Stats
+
+	statsMu sync.Mutex
+	stats   map[string]*Stats
 }
 
 // New compiles the grammar into an engine. Every detector must be bound
@@ -202,19 +208,23 @@ func (e *Engine) runDetector(d *grammar.Detector, ctx *Context, res *Result) err
 			return fmt.Errorf("fde: detector %s: required symbol %q missing", d.Name, r)
 		}
 	}
+	start := time.Now()
+	err := e.impls[d.Name](ctx)
+	dur := time.Since(start)
+	e.statsMu.Lock()
 	st := e.stats[d.Name]
 	if st == nil {
 		st = &Stats{}
 		e.stats[d.Name] = st
 	}
-	start := time.Now()
-	err := e.impls[d.Name](ctx)
-	dur := time.Since(start)
 	st.Runs++
 	st.Total += dur
-	res.Durations[d.Name] = dur
 	if err != nil {
 		st.Errors++
+	}
+	e.statsMu.Unlock()
+	res.Durations[d.Name] = dur
+	if err != nil {
 		return fmt.Errorf("fde: detector %s: %w", d.Name, err)
 	}
 	for _, p := range d.Produces {
@@ -227,6 +237,8 @@ func (e *Engine) runDetector(d *grammar.Detector, ctx *Context, res *Result) err
 
 // Stats returns accumulated per-detector metrics keyed by detector name.
 func (e *Engine) Stats() map[string]Stats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
 	out := make(map[string]Stats, len(e.stats))
 	for k, v := range e.stats {
 		out[k] = *v

@@ -2,6 +2,7 @@ package fde
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/frame"
@@ -169,7 +170,15 @@ func eventDetector(cfg TennisConfig, det, kind string) Impl {
 			if err != nil {
 				return err
 			}
-			for shotIdx, series := range trajectories {
+			// Iterate shots in index order so event order — and therefore
+			// assigned event IDs and serialized row order — is deterministic.
+			shotIdxs := make([]int, 0, len(trajectories))
+			for shotIdx := range trajectories {
+				shotIdxs = append(shotIdxs, shotIdx)
+			}
+			sort.Ints(shotIdxs)
+			for _, shotIdx := range shotIdxs {
+				series := trajectories[shotIdx]
 				s := shots[shotIdx]
 				for _, d := range eng.Detect(series, s.Len()) {
 					events = append(events, TennisEvent{
@@ -237,10 +246,22 @@ func IndexResult(res *Result, idx *core.MetaIndex) (int64, error) {
 		if !ok {
 			return 0, fmt.Errorf("fde: players symbol has type %T", playersV)
 		}
-		for shotIdx, pr := range players {
+		// Shot order, then near before far: object and state IDs must be
+		// assigned in a reproducible order for Serialize to be deterministic.
+		shotIdxs := make([]int, 0, len(players))
+		for shotIdx := range players {
+			shotIdxs = append(shotIdxs, shotIdx)
+		}
+		sort.Ints(shotIdxs)
+		for _, shotIdx := range shotIdxs {
+			pr := players[shotIdx]
 			s := shots[shotIdx]
 			objIDs[shotIdx] = map[string]int64{}
-			for role, tr := range map[string]track.Track{"near": pr.Near, "far": pr.Far} {
+			for _, rt := range []struct {
+				role string
+				tr   track.Track
+			}{{"near", pr.Near}, {"far", pr.Far}} {
+				role, tr := rt.role, rt.tr
 				if len(tr.Obs) == 0 {
 					continue
 				}

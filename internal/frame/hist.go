@@ -3,6 +3,9 @@ package frame
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // Histogram is a colour histogram with B bins per channel, quantizing the
@@ -70,6 +73,44 @@ func HistogramOf(im *Image, bins int) *Histogram {
 	h := NewHistogram(bins)
 	h.AddImage(im)
 	return h
+}
+
+// HistogramsOf computes the per-frame histograms of a frame sequence,
+// fanning the frames out over a pool of workers goroutines (workers < 1
+// selects GOMAXPROCS). Per-frame extraction is the hot loop of shot
+// boundary detection; the output is identical to calling HistogramOf on
+// every frame in order.
+func HistogramsOf(frames []*Image, bins, workers int) []*Histogram {
+	out := make([]*Histogram, len(frames))
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(frames) {
+		workers = len(frames)
+	}
+	if workers <= 1 {
+		for i, im := range frames {
+			out[i] = HistogramOf(im, bins)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(frames) {
+					return
+				}
+				out[i] = HistogramOf(frames[i], bins)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // Normalized returns a copy of the histogram whose counts sum to 1.

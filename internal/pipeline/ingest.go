@@ -1,0 +1,236 @@
+// Package pipeline implements the concurrent batch-ingestion subsystem: a
+// worker pool that fans per-video Feature Detector Engine parses out across
+// CPUs, committing each parse into a sharded meta-index and merging the
+// shards back deterministically. The paper's architecture separates the
+// offline indexing pipeline (FDE -> meta-index) from the online search
+// engine precisely so the former can be scaled out; this package is that
+// seam: job -> worker -> shard -> merge.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fde"
+	"repro/internal/frame"
+	"repro/internal/vidfmt"
+)
+
+// Job is one video to ingest. Either Frames is set, or Open returns the
+// decoded frames on demand — the latter keeps decode I/O inside the worker
+// pool so it overlaps with detector compute on other workers.
+type Job struct {
+	// Video carries the document metadata. When Open is set the metadata
+	// returned by Open wins.
+	Video core.Video
+	// Frames is the decoded raw-data layer, if already in memory.
+	Frames []*frame.Image
+	// Open lazily decodes the video (e.g. from an SVF file).
+	Open func() (core.Video, []*frame.Image, error)
+}
+
+// SVFJob builds a Job that lazily decodes an SVF file inside the worker
+// pool. name defaults to the file's base name without extension.
+func SVFJob(path, name string) Job {
+	if name == "" {
+		name = vidfmt.BaseName(path)
+	}
+	return Job{
+		Video: core.Video{Name: name},
+		Open: func() (core.Video, []*frame.Image, error) {
+			frames, meta, err := vidfmt.ReadFile(path)
+			if err != nil {
+				return core.Video{}, nil, err
+			}
+			return core.Video{
+				Name: name, Path: path,
+				Width: meta.Width, Height: meta.Height,
+				FPS: meta.FPS, Frames: meta.Frames,
+			}, frames, nil
+		},
+	}
+}
+
+// Result reports the outcome of one job.
+type Result struct {
+	// Seq is the job's index in the submitted slice.
+	Seq int
+	// Name is the document name.
+	Name string
+	// VideoID is the shard-local video ID; after MergeInto it is superseded
+	// by the merged mapping.
+	VideoID int64
+	// Frames is the number of frames parsed.
+	Frames int
+	// Duration is the wall-clock time spent decoding and parsing.
+	Duration time.Duration
+	// Err is the job failure, nil on success. Jobs never started after a
+	// cancellation report the context error.
+	Err error
+}
+
+// Progress is delivered to the OnProgress callback after every job.
+type Progress struct {
+	// Done counts finished jobs (successful or failed); Total is the batch
+	// size.
+	Done, Total int
+	// Result is the finished job's outcome.
+	Result Result
+}
+
+// Config tunes an Ingestor.
+type Config struct {
+	// Workers bounds pool concurrency; < 1 selects GOMAXPROCS.
+	Workers int
+	// Shards is the meta-index shard count; < 1 selects Workers.
+	Shards int
+	// ContinueOnError keeps the batch running after a job fails; the
+	// default stops dispatching new jobs on the first failure.
+	ContinueOnError bool
+	// OnProgress, when set, is invoked after every finished job. Calls are
+	// serialized; the callback must not block for long.
+	OnProgress func(Progress)
+}
+
+// Ingestor runs batches of videos through one FDE into a sharded
+// meta-index.
+type Ingestor struct {
+	engine  *fde.Engine
+	cfg     Config
+	sharded *core.ShardedMetaIndex
+
+	mu sync.Mutex // serializes OnProgress and the per-Run done counter
+}
+
+// New creates an Ingestor around a fully bound engine.
+func New(engine *fde.Engine, cfg Config) (*Ingestor, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("pipeline: nil engine")
+	}
+	cfg.Workers = Workers(cfg.Workers)
+	if cfg.Shards < 1 {
+		cfg.Shards = cfg.Workers
+	}
+	sharded, err := core.NewShardedMetaIndex(cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return &Ingestor{engine: engine, cfg: cfg, sharded: sharded}, nil
+}
+
+// Index exposes the sharded meta-index accumulating committed parses.
+func (in *Ingestor) Index() *core.ShardedMetaIndex { return in.sharded }
+
+// Run ingests the batch: every job is decoded, parsed by the FDE and
+// committed to its shard, with at most Config.Workers jobs in flight. It
+// always returns one Result per job, in job order. The error is the first
+// job failure (nil with ContinueOnError unless the context was canceled);
+// on cancellation it is ctx.Err() and the results report which jobs
+// completed before the stop.
+func (in *Ingestor) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if !in.cfg.ContinueOnError {
+		runCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+	}
+	total := len(jobs)
+	done := 0
+	errs := ForEach(runCtx, in.cfg.Workers, len(jobs), func(jctx context.Context, seq int) error {
+		res := in.runJob(jctx, seq, jobs[seq])
+		results[seq] = res
+		in.mu.Lock()
+		done++
+		if in.cfg.OnProgress != nil {
+			in.cfg.OnProgress(Progress{Done: done, Total: total, Result: res})
+		}
+		in.mu.Unlock()
+		if res.Err != nil && cancel != nil {
+			cancel()
+		}
+		return res.Err
+	})
+	// Jobs skipped by cancellation never ran runJob; surface the context
+	// error in their results.
+	for seq, err := range errs {
+		if err != nil && results[seq].Err == nil {
+			results[seq] = Result{Seq: seq, Name: jobs[seq].Video.Name, Err: err}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	if !in.cfg.ContinueOnError {
+		// The internal fail-fast cancel makes racing jobs report
+		// context.Canceled; surface the failure that caused the stop, not
+		// the cancellations it induced.
+		var canceled error
+		for _, err := range errs {
+			switch {
+			case err == nil:
+			case errors.Is(err, context.Canceled):
+				if canceled == nil {
+					canceled = err
+				}
+			default:
+				return results, err
+			}
+		}
+		return results, canceled
+	}
+	return results, nil
+}
+
+func (in *Ingestor) runJob(ctx context.Context, seq int, job Job) Result {
+	res := Result{Seq: seq, Name: job.Video.Name}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		return res
+	}
+	start := time.Now()
+	v, frames := job.Video, job.Frames
+	if job.Open != nil {
+		var err error
+		v, frames, err = job.Open()
+		if err != nil {
+			res.Err = fmt.Errorf("pipeline: job %d (%s): %w", seq, res.Name, err)
+			res.Duration = time.Since(start)
+			return res
+		}
+		res.Name = v.Name
+	}
+	if len(frames) == 0 {
+		res.Err = fmt.Errorf("pipeline: job %d (%s): no frames", seq, res.Name)
+		res.Duration = time.Since(start)
+		return res
+	}
+	parse, err := in.engine.Process(v, frames)
+	if err != nil {
+		res.Err = fmt.Errorf("pipeline: job %d (%s): %w", seq, res.Name, err)
+		res.Duration = time.Since(start)
+		return res
+	}
+	vid, err := in.sharded.Commit(seq, func(idx *core.MetaIndex) (int64, error) {
+		return fde.IndexResult(parse, idx)
+	})
+	if err != nil {
+		res.Err = fmt.Errorf("pipeline: job %d (%s): %w", seq, res.Name, err)
+		res.Duration = time.Since(start)
+		return res
+	}
+	res.VideoID = vid
+	res.Frames = len(frames)
+	res.Duration = time.Since(start)
+	return res
+}
+
+// MergeInto replays all committed parses into dst in job order and returns
+// the job-sequence -> merged-video-ID mapping.
+func (in *Ingestor) MergeInto(dst *core.MetaIndex) (map[int]int64, error) {
+	return in.sharded.MergeInto(dst)
+}

@@ -62,6 +62,10 @@ type Config struct {
 	// whose cumulative distance from the run's anchor frame exceeds
 	// Threshold is reported as a gradual boundary.
 	GradualLow float64
+	// Workers bounds the goroutines used by DetectBoundaries to precompute
+	// per-frame histograms (< 1 selects GOMAXPROCS, 1 forces sequential).
+	// The detection result is identical at any setting.
+	Workers int
 }
 
 // DefaultConfig returns the tuned defaults used by the experiments.
@@ -126,7 +130,13 @@ func NewDetector(cfg Config) *Detector {
 // Feed processes the next frame and reports a boundary ending at this frame
 // if one is detected. The first frame never yields a boundary.
 func (d *Detector) Feed(im *frame.Image) (Boundary, bool) {
-	h := frame.HistogramOf(im, d.cfg.Bins)
+	return d.FeedHistogram(frame.HistogramOf(im, d.cfg.Bins))
+}
+
+// FeedHistogram is Feed for a precomputed frame histogram (with the
+// detector's configured bin count). It lets callers extract histograms in
+// parallel and keep only the cheap boundary decision sequential.
+func (d *Detector) FeedHistogram(h *frame.Histogram) (Boundary, bool) {
 	idx := d.frameIdx
 	d.frameIdx++
 	if d.prevHist == nil {
@@ -213,13 +223,28 @@ func meanStd(xs []float64) (mean, std float64) {
 	return mean, std
 }
 
-// DetectBoundaries runs the streaming detector over a frame slice.
+// histChunk bounds how many histograms DetectBoundaries materializes at
+// once: large enough to keep every worker busy, small enough that memory
+// stays O(chunk) instead of O(video) even for hour-long inputs.
+const histChunk = 1024
+
+// DetectBoundaries runs the detector over a frame slice. Histogram
+// extraction — the dominant cost — is fanned out over cfg.Workers
+// goroutines, one bounded chunk at a time; the stateful boundary decision
+// then consumes the histograms in frame order, so the result is identical
+// to the streaming path.
 func DetectBoundaries(frames []*frame.Image, cfg Config) []Boundary {
 	d := NewDetector(cfg)
 	var out []Boundary
-	for _, im := range frames {
-		if b, ok := d.Feed(im); ok {
-			out = append(out, b)
+	for start := 0; start < len(frames); start += histChunk {
+		end := start + histChunk
+		if end > len(frames) {
+			end = len(frames)
+		}
+		for _, h := range frame.HistogramsOf(frames[start:end], d.cfg.Bins, cfg.Workers) {
+			if b, ok := d.FeedHistogram(h); ok {
+				out = append(out, b)
+			}
 		}
 	}
 	return out

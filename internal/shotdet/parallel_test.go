@@ -1,0 +1,66 @@
+package shotdet
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+// DetectBoundaries must produce identical boundaries at any worker count:
+// histogram extraction is parallel but the decision stays sequential.
+func TestDetectBoundariesWorkerInvariance(t *testing.T) {
+	cfg := synth.DefaultConfig(42)
+	cfg.Shots = 5
+	v, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dcfg := range []Config{
+		DefaultConfig(),
+		{Adaptive: true},
+		{GradualLow: 0.08},
+	} {
+		base := dcfg
+		base.Workers = 1
+		want := DetectBoundaries(v.Frames, base)
+		for _, workers := range []int{0, 2, 8} {
+			par := dcfg
+			par.Workers = workers
+			got := DetectBoundaries(v.Frames, par)
+			if len(got) != len(want) {
+				t.Fatalf("cfg=%+v workers=%d: %d boundaries, want %d", dcfg, workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("cfg=%+v workers=%d: boundary %d = %+v, want %+v", dcfg, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// The streaming Feed path and the precomputed FeedHistogram path must agree.
+func TestFeedHistogramMatchesFeed(t *testing.T) {
+	cfg := synth.DefaultConfig(43)
+	cfg.Shots = 4
+	v, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := NewDetector(DefaultConfig())
+	var fromStream []Boundary
+	for _, im := range v.Frames {
+		if b, ok := stream.Feed(im); ok {
+			fromStream = append(fromStream, b)
+		}
+	}
+	fromBatch := DetectBoundaries(v.Frames, DefaultConfig())
+	if len(fromStream) != len(fromBatch) {
+		t.Fatalf("stream %d boundaries, batch %d", len(fromStream), len(fromBatch))
+	}
+	for i := range fromStream {
+		if fromStream[i] != fromBatch[i] {
+			t.Fatalf("boundary %d: stream %+v batch %+v", i, fromStream[i], fromBatch[i])
+		}
+	}
+}

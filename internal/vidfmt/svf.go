@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/frame"
 )
@@ -553,4 +555,10 @@ func DecodeAll(data []byte) ([]*frame.Image, Meta, error) {
 		frames = append(frames, im)
 	}
 	return frames, r.Meta(), nil
+}
+
+// BaseName derives a document name from an SVF path: the file's base name
+// without its extension.
+func BaseName(path string) string {
+	return strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 }
