@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke serve-smoke fmt fmt-check vet ci
 
 all: build test
 
@@ -24,6 +24,11 @@ bench:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
+# End-to-end daemon check: start dlserve on a random port, curl /healthz
+# and /query, shut down gracefully.
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
 fmt:
 	gofmt -w .
 
@@ -34,4 +39,4 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test race bench-smoke
+ci: fmt-check vet build test race bench-smoke serve-smoke

@@ -31,6 +31,7 @@ import (
 	"repro/internal/grammar"
 	"repro/internal/ir"
 	"repro/internal/pipeline"
+	"repro/internal/serve"
 	"repro/internal/synth"
 	"repro/internal/vidfmt"
 	"repro/internal/webspace"
@@ -376,6 +377,30 @@ func (dl *DigitalLibrary) Query(text string) ([]Result, error) {
 // QueryStruct runs a pre-built structured request.
 func (dl *DigitalLibrary) QueryStruct(req Request) ([]Result, error) {
 	return dl.engine.Query(req)
+}
+
+// QueryContext runs a structured request under a context on the concurrent
+// planner/operator path: independent retrieval operators (conceptual
+// selection, scene retrieval, text ranking) execute in parallel and merge
+// deterministically. A DigitalLibrary is safe for concurrent QueryContext
+// calls from any number of goroutines.
+func (dl *DigitalLibrary) QueryContext(ctx context.Context, req Request) ([]Result, error) {
+	return dl.engine.QueryContext(ctx, req)
+}
+
+// Server is the long-lived query-serving layer: a sharded LRU result cache
+// over the engine plus an http.Handler exposing /query, /keyword, /scenes,
+// and /healthz as JSON. It is what cmd/dlserve runs.
+type Server = serve.Server
+
+// ServerOptions tunes NewServer (cache capacity, shard count, and the
+// bound on concurrently executing queries).
+type ServerOptions = serve.Options
+
+// NewServer wraps a digital library in the serving layer, giving importers
+// the same cached, concurrency-safe query path the dlserve daemon uses.
+func NewServer(lib *DigitalLibrary, opts ServerOptions) *Server {
+	return serve.New(lib.engine, opts)
 }
 
 // KeywordSearch is the flattened-pages keyword baseline.

@@ -2,7 +2,9 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -129,5 +131,41 @@ func TestIndexFramesValidation(t *testing.T) {
 	lib, _ := NewLibrary()
 	if _, err := lib.IndexFrames("empty", nil, 25); err == nil {
 		t.Fatal("empty frames accepted")
+	}
+}
+
+func TestQueryContextAndServerFacade(t *testing.T) {
+	site, err := GenerateSite(SiteConfig{Players: 32, YearStart: 1999, YearEnd: 2001, Seed: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := NewDigitalLibrary(site, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Class: "Player", Text: "final", Limit: 5}
+	seq, err := dl.QueryStruct(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxRes, err := dl.QueryContext(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, ctxRes) {
+		t.Fatal("QueryContext result differs from QueryStruct")
+	}
+
+	srv := NewServer(dl, ServerOptions{CacheSize: 16, Workers: 2})
+	cold, cached, err := srv.QueryRequest(context.Background(), req)
+	if err != nil || cached {
+		t.Fatalf("cold serve: cached=%t err=%v", cached, err)
+	}
+	warm, cached, err := srv.QueryRequest(context.Background(), req)
+	if err != nil || !cached {
+		t.Fatalf("warm serve: cached=%t err=%v", cached, err)
+	}
+	if !reflect.DeepEqual(cold, warm) || !reflect.DeepEqual(cold, seq) {
+		t.Fatal("served results diverge from engine results")
 	}
 }

@@ -1,4 +1,4 @@
-// Experiment harness: one benchmark per experiment in DESIGN.md §4.
+// Experiment harness: one benchmark per experiment in DESIGN.md §5.
 //
 // The demo paper contains no quantitative tables; its only figure is the
 // detector dependency graph (Figure 1). E1 regenerates that figure exactly;
@@ -29,6 +29,7 @@ import (
 	"repro/internal/hmm"
 	"repro/internal/ir"
 	"repro/internal/rules"
+	"repro/internal/serve"
 	"repro/internal/shotdet"
 	"repro/internal/synth"
 	"repro/internal/track"
@@ -817,7 +818,7 @@ func BenchmarkIRQueryFull(b *testing.B) {
 var ablHistOnce sync.Once
 
 // BenchmarkAblationHistogram compares histogram resolutions and distance
-// metrics for boundary detection (DESIGN.md §5).
+// metrics for boundary detection (DESIGN.md §6).
 func BenchmarkAblationHistogram(b *testing.B) {
 	vids := benchCorpus(b)
 	ablHistOnce.Do(func() {
@@ -850,7 +851,7 @@ func BenchmarkAblationHistogram(b *testing.B) {
 var ablWinOnce sync.Once
 
 // BenchmarkAblationSearchWindow sweeps the tracker's predict-and-search
-// window radius (DESIGN.md §5).
+// window radius (DESIGN.md §6).
 func BenchmarkAblationSearchWindow(b *testing.B) {
 	ablWinOnce.Do(func() {
 		fmt.Printf("\n=== Ablation: tracker search window radius ===\n")
@@ -882,7 +883,7 @@ func BenchmarkAblationSearchWindow(b *testing.B) {
 var ablIncOnce sync.Once
 
 // BenchmarkAblationIncremental compares full FDE re-processing against
-// incremental re-indexing when only a rule detector changed (DESIGN.md §5).
+// incremental re-indexing when only a rule detector changed (DESIGN.md §6).
 func BenchmarkAblationIncremental(b *testing.B) {
 	vids := benchCorpus(b)
 	v := vids[0]
@@ -918,4 +919,152 @@ func BenchmarkAblationIncremental(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ------------------------------------------------- query-serving benchmarks
+
+var (
+	serveOnce   sync.Once
+	serveEngine *dlse.Engine
+	serveSite   *webspace.Site
+)
+
+// serveFixture builds the serving benchmark fixture once: a mid-size site
+// plus a synthetic meta-index (events attached directly, skipping the pixel
+// pipeline); the sub-benchmarks wrap it in servers as needed.
+func serveFixture(b *testing.B) (*dlse.Engine, *webspace.Site) {
+	b.Helper()
+	serveOnce.Do(func() {
+		site, err := webspace.GenerateAusOpen(webspace.SiteConfig{
+			Players: 64, YearStart: 1992, YearEnd: 2001, Seed: 16,
+		})
+		if err != nil {
+			panic(err)
+		}
+		idx, err := core.NewMetaIndex()
+		if err != nil {
+			panic(err)
+		}
+		for _, vid := range site.W.All("Video") {
+			vo, _ := site.W.Get(vid)
+			id, err := idx.AddVideo(core.Video{Name: vo.StringAttr("name"), Width: 160, Height: 120, FPS: 25, Frames: 500})
+			if err != nil {
+				panic(err)
+			}
+			seg, err := idx.AddSegment(core.Segment{VideoID: id, Interval: core.Interval{Start: 0, End: 200}, Class: "tennis"})
+			if err != nil {
+				panic(err)
+			}
+			if _, err := idx.AddEvent(core.Event{VideoID: id, SegmentID: seg, Kind: "net-play", Interval: core.Interval{Start: 120, End: 180}, Confidence: 0.9}); err != nil {
+				panic(err)
+			}
+		}
+		eng, err := dlse.New(site, idx)
+		if err != nil {
+			panic(err)
+		}
+		serveEngine, serveSite = eng, site
+	})
+	return serveEngine, serveSite
+}
+
+// BenchmarkDLSEQuery measures the combined motivating query on the
+// planner/operator path: cold (full execution each iteration, no cache)
+// versus cached (served from the sharded LRU). The gap is the serving
+// layer's win on repeated interactive queries.
+func BenchmarkDLSEQuery(b *testing.B) {
+	eng, site := serveFixture(b)
+	req, err := dlse.ParseRequest(site.W.Schema(), dlse.MotivatingQueryText)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.QueryContext(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		srv := serve.New(eng, serve.Options{CacheSize: 256})
+		if _, _, err := srv.QueryRequest(ctx, req); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, cached, err := srv.QueryRequest(ctx, req); err != nil || !cached {
+				b.Fatalf("cached=%t err=%v", cached, err)
+			}
+		}
+	})
+	b.Run("cached-parallel", func(b *testing.B) {
+		srv := serve.New(eng, serve.Options{CacheSize: 256})
+		if _, _, err := srv.QueryRequest(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, _, err := srv.QueryRequest(ctx, req); err != nil {
+					b.Error(err) // Fatal must not be called off the benchmark goroutine
+					return
+				}
+			}
+		})
+	})
+}
+
+// BenchmarkEventsRelated measures the composite event query: the reference
+// O(A·B) pairwise scan against the sort + interval-sweep, on the same
+// seeded corpus (identical output, locked by the cross-check test in
+// internal/core).
+func BenchmarkEventsRelated(b *testing.B) {
+	idx, err := core.NewMetaIndex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	kinds := []string{"rally", "net-play", "service"}
+	for v := 0; v < 8; v++ {
+		vid, err := idx.AddVideo(core.Video{Name: "v", Frames: 100000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		seg, err := idx.AddSegment(core.Segment{VideoID: vid, Interval: core.Interval{Start: 0, End: 100000}, Class: "tennis"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for e := 0; e < 500; e++ {
+			start := rng.Intn(99000)
+			if _, err := idx.AddEvent(core.Event{
+				VideoID: vid, SegmentID: seg, Kind: kinds[rng.Intn(len(kinds))],
+				Interval: core.Interval{Start: start, End: start + 1 + rng.Intn(400)},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	wanted := []core.AllenRelation{core.RelDuring, core.RelStarts, core.RelFinishes, core.RelEquals}
+
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.EventsRelatedNaive("net-play", "rally", wanted...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sweep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := idx.EventsRelated("net-play", "rally", wanted...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

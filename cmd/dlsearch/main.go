@@ -8,13 +8,23 @@
 //	dlsearch -query 'find Player where sex = "female" and exists wonFinals'
 //	dlsearch -meta meta.db -query "$(dlsearch -motivating)"
 //	dlsearch -keyword "left-handed champion"        # flattened-page baseline
+//	dlsearch -repl                                  # interactive session
+//
+// In -repl mode the site and engine are built once and queries are read
+// from stdin in a loop over the same concurrent planner path the dlserve
+// daemon uses — instead of paying full site generation and index build per
+// query. Lines starting with "kw " run the keyword baseline; "plan " prints
+// a query's operator plan; "quit" exits.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dlse"
@@ -28,6 +38,7 @@ func main() {
 		query      = flag.String("query", "", "combined query in the demo query language")
 		keyword    = flag.String("keyword", "", "keyword baseline query over flattened pages")
 		motivating = flag.Bool("motivating", false, "print the paper's motivating query and exit")
+		repl       = flag.Bool("repl", false, "build the engine once and answer queries from stdin in a loop")
 		metaPath   = flag.String("meta", "", "meta-index file from cobraindex (optional)")
 		players    = flag.Int("players", 64, "site size: number of players")
 		seed       = flag.Int64("seed", 16, "site generation seed")
@@ -39,8 +50,8 @@ func main() {
 		fmt.Println(dlse.MotivatingQueryText)
 		return
 	}
-	if *query == "" && *keyword == "" {
-		log.Fatal("need -query, -keyword or -motivating")
+	if *query == "" && *keyword == "" && !*repl {
+		log.Fatal("need -query, -keyword, -repl or -motivating")
 	}
 
 	site, err := webspace.GenerateAusOpen(webspace.SiteConfig{
@@ -66,26 +77,49 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *repl {
+		runREPL(engine, site)
+		return
+	}
+
 	if *keyword != "" {
-		hits, err := engine.KeywordSearch(*keyword, 10)
-		if err != nil {
+		if err := runKeyword(engine, *keyword); err != nil {
 			log.Fatal(err)
-		}
-		fmt.Printf("keyword baseline: %d hits\n", len(hits))
-		for _, h := range hits {
-			fmt.Printf("  %-40s %.3f\n", h.Name, h.Score)
 		}
 		return
 	}
 
-	req, err := dlse.ParseRequest(site.W.Schema(), *query)
-	if err != nil {
+	if err := runQuery(engine, site, *query); err != nil {
 		log.Fatal(err)
 	}
-	results, err := engine.Query(req)
+}
+
+func runKeyword(engine *dlse.Engine, query string) error {
+	hits, err := engine.KeywordSearch(query, 10)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
+	fmt.Printf("keyword baseline: %d hits\n", len(hits))
+	for _, h := range hits {
+		fmt.Printf("  %-40s %.3f\n", h.Name, h.Score)
+	}
+	return nil
+}
+
+func runQuery(engine *dlse.Engine, site *webspace.Site, query string) error {
+	req, err := dlse.ParseRequest(site.W.Schema(), query)
+	if err != nil {
+		return err
+	}
+	results, err := engine.QueryContext(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	printResults(results)
+	return nil
+}
+
+func printResults(results []dlse.Result) {
 	fmt.Printf("%d results\n", len(results))
 	for _, r := range results {
 		name := r.Object.StringAttr("name")
@@ -101,5 +135,47 @@ func main() {
 			fmt.Printf("      scene: %s frames %s (%s, confidence %.2f)\n",
 				s.Video.Name, s.Event.Interval, s.Event.Kind, s.Event.Confidence)
 		}
+	}
+}
+
+// runREPL answers queries from stdin against the one engine built at
+// startup, sharing the concurrent planner path.
+func runREPL(engine *dlse.Engine, site *webspace.Site) {
+	fmt.Fprintln(os.Stderr, `dlsearch repl — query language lines, "kw <terms>" for the keyword baseline,`)
+	fmt.Fprintln(os.Stderr, `"plan <query>" to explain, "motivating" for the paper's example, "quit" to exit`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for {
+		fmt.Fprint(os.Stderr, "dlse> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "quit" || line == "exit":
+			return
+		case line == "motivating":
+			fmt.Println(dlse.MotivatingQueryText)
+		case strings.HasPrefix(line, "kw "):
+			if err := runKeyword(engine, strings.TrimPrefix(line, "kw ")); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+		case strings.HasPrefix(line, "plan "):
+			req, err := dlse.ParseRequest(site.W.Schema(), strings.TrimPrefix(line, "plan "))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			fmt.Println(engine.Plan(req))
+		default:
+			if err := runQuery(engine, site, line); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
 	}
 }

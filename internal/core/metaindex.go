@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"repro/internal/store"
 )
@@ -12,6 +13,12 @@ import (
 // search engine reads it. "Managing the meta-index now boils down to
 // exploiting the dependencies in the feature grammar" — the index itself is
 // plain tables.
+//
+// Concurrency: a MetaIndex is safe for any number of concurrent readers as
+// long as no writer is active (the serving path). Writes (the Add* methods
+// and batch merges) require exclusive access. Every write bumps Version, so
+// read-side caches can tag entries with the version they observed and drop
+// them when the index has moved on.
 type MetaIndex struct {
 	db       *store.DB
 	videos   *store.Table
@@ -21,7 +28,13 @@ type MetaIndex struct {
 	states   *store.Table
 	events   *store.Table
 	nextID   map[string]int64
+	version  atomic.Int64
 }
+
+// Version returns a counter that increases on every mutation of the index.
+// It is safe to read concurrently with writers, making it a cheap staleness
+// check for query-result caches layered above the index.
+func (m *MetaIndex) Version() int64 { return m.version.Load() }
 
 // Table names within the meta-index database.
 const (
@@ -152,6 +165,7 @@ func (m *MetaIndex) AddVideo(v Video) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: add video: %w", err)
 	}
+	m.version.Add(1)
 	return v.ID, nil
 }
 
@@ -166,6 +180,7 @@ func (m *MetaIndex) AddSegment(s Segment) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: add segment: %w", err)
 	}
+	m.version.Add(1)
 	return s.ID, nil
 }
 
@@ -178,6 +193,7 @@ func (m *MetaIndex) AddFeature(f FeatureValue) error {
 	if err != nil {
 		return fmt.Errorf("core: add feature: %w", err)
 	}
+	m.version.Add(1)
 	return nil
 }
 
@@ -191,6 +207,7 @@ func (m *MetaIndex) AddObject(o Object) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: add object: %w", err)
 	}
+	m.version.Add(1)
 	return o.ID, nil
 }
 
@@ -207,6 +224,7 @@ func (m *MetaIndex) AddState(s ObjectState) error {
 	if err != nil {
 		return fmt.Errorf("core: add state: %w", err)
 	}
+	m.version.Add(1)
 	return nil
 }
 
@@ -221,6 +239,7 @@ func (m *MetaIndex) AddEvent(e Event) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: add event: %w", err)
 	}
+	m.version.Add(1)
 	return e.ID, nil
 }
 

@@ -8,8 +8,8 @@
 package dlse
 
 import (
+	"context"
 	"fmt"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/ir"
@@ -17,6 +17,13 @@ import (
 )
 
 // Engine is the combined digital-library search engine.
+//
+// Concurrency: an Engine is immutable after New — the webspace graph, the
+// frozen inverted file, and the doc↔object maps are only read — so any
+// number of goroutines may call QueryContext, Query, and the keyword
+// searches concurrently on one shared Engine. The meta-index may be
+// appended to between queries (single writer, no concurrent readers); its
+// Version feeds the serving layer's cache invalidation.
 type Engine struct {
 	space *webspace.Webspace
 	text  *ir.Index
@@ -103,64 +110,17 @@ type Result struct {
 	Scenes []core.Scene
 }
 
-// Query runs a combined query: conceptual selection, then video-scene
-// joining, then text ranking.
+// Query runs a combined query: conceptual selection, video-scene joining,
+// and text ranking. It is QueryContext with a background context.
 func (e *Engine) Query(req Request) ([]Result, error) {
-	objs, err := e.space.Run(webspace.Query{Class: req.Class, Where: req.Where})
-	if err != nil {
-		return nil, fmt.Errorf("dlse: conceptual part: %w", err)
-	}
-	results := make([]Result, 0, len(objs))
-	for _, o := range objs {
-		results = append(results, Result{Object: o})
-	}
-	if req.SceneKind != "" {
-		if err := e.attachScenes(results, req); err != nil {
-			return nil, err
-		}
-		if req.RequireScenes {
-			kept := results[:0]
-			for _, r := range results {
-				if len(r.Scenes) > 0 {
-					kept = append(kept, r)
-				}
-			}
-			results = kept
-		}
-	}
-	if req.Text != "" {
-		if err := e.rankByText(results, req); err != nil {
-			return nil, err
-		}
-		sort.SliceStable(results, func(i, j int) bool {
-			return results[i].Score > results[j].Score
-		})
-	}
-	if req.Limit > 0 && len(results) > req.Limit {
-		results = results[:req.Limit]
-	}
-	return results, nil
+	return e.QueryContext(context.Background(), req)
 }
 
-// attachScenes joins each result with the matching event scenes of its
-// linked videos.
-func (e *Engine) attachScenes(results []Result, req Request) error {
-	// All scenes of the kind, grouped by video name, fetched once.
-	scenes, err := e.video.Scenes(req.SceneKind)
-	if err != nil {
-		return fmt.Errorf("dlse: video part: %w", err)
-	}
-	byName := map[string][]core.Scene{}
-	for _, s := range scenes {
-		byName[s.Video.Name] = append(byName[s.Video.Name], s)
-	}
-	for i := range results {
-		vids := e.walkToVideos(results[i].Object, req.VideoPath)
-		for _, vname := range vids {
-			results[i].Scenes = append(results[i].Scenes, byName[vname]...)
-		}
-	}
-	return nil
+// QueryContext compiles the request into its operator plan, executes the
+// independent operators concurrently, and merges their outputs
+// deterministically — the result is identical to sequential execution.
+func (e *Engine) QueryContext(ctx context.Context, req Request) ([]Result, error) {
+	return e.execute(ctx, e.Plan(req))
 }
 
 // walkToVideos follows the role path and collects Video object names.
@@ -186,40 +146,6 @@ func (e *Engine) walkToVideos(o *webspace.Object, path []string) []string {
 		}
 	}
 	return names
-}
-
-// rankByText scores each result by the best BM25 score among its pages.
-func (e *Engine) rankByText(results []Result, req Request) error {
-	k := e.text.Docs() // retrieve enough hits to cover every page
-	var hits []ir.Hit
-	var err error
-	if req.TopNFragments > 0 {
-		hits, _, err = e.text.SearchTopN(req.Text, k, ir.TopNOptions{Fragments: req.TopNFragments})
-	} else {
-		hits, _, err = e.text.Search(req.Text, k)
-	}
-	if err == ir.ErrEmptyQry {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("dlse: text part: %w", err)
-	}
-	byDoc := map[ir.DocID]float64{}
-	for _, h := range hits {
-		byDoc[h.Doc] = h.Score
-	}
-	for i := range results {
-		var best float64
-		for _, o := range e.walkObjects(results[i].Object, req.TextPath) {
-			for _, d := range e.objDocs[o.ID] {
-				if s := byDoc[d]; s > best {
-					best = s
-				}
-			}
-		}
-		results[i].Score = best
-	}
-	return nil
 }
 
 // walkObjects follows a role path from o (empty path returns o itself).

@@ -1,0 +1,234 @@
+package dlse
+
+// Planner / operator architecture. A Request is compiled into a Plan: a DAG
+// of independent retrieval operators feeding one deterministic merge stage.
+//
+//	concept ─┐
+//	video   ─┼─▶ merge (join scenes → filter → rank → sort → limit)
+//	text    ─┘
+//
+// The three operators touch disjoint engine layers (webspace object graph,
+// COBRA meta-index, inverted file) and share no mutable state, so the
+// executor runs them concurrently; the merge then joins their outputs in
+// the same order the old sequential engine used, keeping results
+// byte-identical to sequential execution.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/webspace"
+)
+
+// OpKind identifies a retrieval operator in a compiled plan.
+type OpKind int
+
+// The retrieval operators. Their numeric order is also the error-priority
+// order: when several operators fail concurrently, the executor reports the
+// error of the lowest-numbered one, matching what sequential execution
+// (concept, then video, then text) would have surfaced first.
+const (
+	OpConcept OpKind = iota // webspace conceptual selection
+	OpVideo                 // content-based scene retrieval
+	OpText                  // full-text BM25 ranking
+)
+
+// String names the operator.
+func (k OpKind) String() string {
+	switch k {
+	case OpConcept:
+		return "concept"
+	case OpVideo:
+		return "video"
+	case OpText:
+		return "text"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Plan is a compiled Request.
+type Plan struct {
+	req Request
+	ops []OpKind
+}
+
+// Operators returns the plan's operator kinds in priority order.
+func (p Plan) Operators() []OpKind { return append([]OpKind(nil), p.ops...) }
+
+// String renders the plan for explain output.
+func (p Plan) String() string {
+	names := make([]string, len(p.ops))
+	for i, k := range p.ops {
+		names[i] = k.String()
+	}
+	return "[" + strings.Join(names, " ‖ ") + "] → merge"
+}
+
+// Plan compiles a request into its operator DAG. The concept operator is
+// always present; the video and text operators join only when the request
+// has a content or ranking part.
+func (e *Engine) Plan(req Request) Plan {
+	ops := []OpKind{OpConcept}
+	if req.SceneKind != "" {
+		ops = append(ops, OpVideo)
+	}
+	if req.Text != "" {
+		ops = append(ops, OpText)
+	}
+	return Plan{req: req, ops: ops}
+}
+
+// execState collects the operator outputs. Each operator writes only its
+// own field, so no locking is needed while they run concurrently.
+type execState struct {
+	objs         []*webspace.Object      // OpConcept
+	scenesByName map[string][]core.Scene // OpVideo
+	textScores   map[ir.DocID]float64    // OpText (nil when the rank text has no indexable terms)
+}
+
+// execute runs the plan: independent operators concurrently, then the
+// deterministic merge. Single-operator plans (concept-only queries, the
+// most common shape) run inline — no goroutine to spawn, nothing to
+// parallelize.
+func (e *Engine) execute(ctx context.Context, p Plan) ([]Result, error) {
+	st := &execState{}
+	if len(p.ops) == 1 {
+		if err := e.runOperator(ctx, p.ops[0], p.req, st); err != nil {
+			return nil, err
+		}
+		return e.merge(p.req, st), nil
+	}
+	errs := pipeline.ForEach(ctx, len(p.ops), len(p.ops), func(ctx context.Context, i int) error {
+		return e.runOperator(ctx, p.ops[i], p.req, st)
+	})
+	// ops are in priority order, so the first error found is the one the
+	// sequential engine would have reported.
+	if err := pipeline.FirstError(errs); err != nil {
+		return nil, err
+	}
+	return e.merge(p.req, st), nil
+}
+
+// runOperator dispatches one operator.
+func (e *Engine) runOperator(ctx context.Context, kind OpKind, req Request, st *execState) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	switch kind {
+	case OpConcept:
+		objs, err := e.space.Run(webspace.Query{Class: req.Class, Where: req.Where})
+		if err != nil {
+			return fmt.Errorf("dlse: conceptual part: %w", err)
+		}
+		st.objs = objs
+	case OpVideo:
+		scenes, err := e.video.Scenes(req.SceneKind)
+		if err != nil {
+			return fmt.Errorf("dlse: video part: %w", err)
+		}
+		byName := make(map[string][]core.Scene)
+		for _, s := range scenes {
+			byName[s.Video.Name] = append(byName[s.Video.Name], s)
+		}
+		st.scenesByName = byName
+	case OpText:
+		k := e.text.Docs() // retrieve enough hits to cover every page
+		var hits []ir.Hit
+		var err error
+		if req.TopNFragments > 0 {
+			hits, _, err = e.text.SearchTopN(req.Text, k, ir.TopNOptions{Fragments: req.TopNFragments})
+		} else {
+			// Exhaustive scan: fan per-term scoring out across the CPUs
+			// (byte-identical to the sequential scan by construction).
+			hits, _, err = e.text.SearchWorkers(req.Text, k, runtime.GOMAXPROCS(0))
+		}
+		if err == ir.ErrEmptyQry {
+			return nil // unrankable text: scores stay zero, like before
+		}
+		if err != nil {
+			return fmt.Errorf("dlse: text part: %w", err)
+		}
+		byDoc := make(map[ir.DocID]float64, len(hits))
+		for _, h := range hits {
+			byDoc[h.Doc] = h.Score
+		}
+		st.textScores = byDoc
+	default:
+		return fmt.Errorf("dlse: unknown operator %v", kind)
+	}
+	return nil
+}
+
+// merge joins the operator outputs deterministically: scene attachment (in
+// concept-result order), RequireScenes filtering, text-score assignment, a
+// stable sort by score, and the limit.
+func (e *Engine) merge(req Request, st *execState) []Result {
+	results := make([]Result, 0, len(st.objs))
+	for _, o := range st.objs {
+		results = append(results, Result{Object: o})
+	}
+	if req.SceneKind != "" {
+		for i := range results {
+			for _, vname := range e.walkToVideos(results[i].Object, req.VideoPath) {
+				results[i].Scenes = append(results[i].Scenes, st.scenesByName[vname]...)
+			}
+		}
+		if req.RequireScenes {
+			kept := results[:0]
+			for _, r := range results {
+				if len(r.Scenes) > 0 {
+					kept = append(kept, r)
+				}
+			}
+			results = kept
+		}
+	}
+	if req.Text != "" {
+		for i := range results {
+			var best float64
+			for _, o := range e.walkObjects(results[i].Object, req.TextPath) {
+				for _, d := range e.objDocs[o.ID] {
+					if s := st.textScores[d]; s > best {
+						best = s
+					}
+				}
+			}
+			results[i].Score = best
+		}
+		sort.SliceStable(results, func(i, j int) bool {
+			return results[i].Score > results[j].Score
+		})
+	}
+	if req.Limit > 0 && len(results) > req.Limit {
+		results = results[:req.Limit]
+	}
+	return results
+}
+
+// CanonicalKey renders the request as a deterministic string: two requests
+// with the same retrieval semantics map to the same key. The rank text is
+// normalized through the IR analyzer (case folding, stopping, stemming), so
+// cosmetic spelling differences that cannot change BM25 scores collapse to
+// one cache entry. Serving-layer query caches key on this.
+func (r Request) CanonicalKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "find=%s", r.Class)
+	for _, c := range r.Where {
+		fmt.Fprintf(&b, "|where=%s!%s!%d!%#v", strings.Join(c.Path, "."), c.Attr, int(c.Op), c.Val)
+	}
+	if r.SceneKind != "" {
+		fmt.Fprintf(&b, "|scenes=%s!%s!%t", r.SceneKind, strings.Join(r.VideoPath, "."), r.RequireScenes)
+	}
+	if r.Text != "" {
+		fmt.Fprintf(&b, "|rank=%s!%s!%d",
+			strings.Join(ir.Analyze(r.Text), " "), strings.Join(r.TextPath, "."), r.TopNFragments)
+	}
+	fmt.Fprintf(&b, "|limit=%d", r.Limit)
+	return b.String()
+}

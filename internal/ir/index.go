@@ -24,6 +24,13 @@ type postingList struct {
 }
 
 // Index is an in-memory inverted index with BM25 ranking.
+//
+// Concurrency: the index has a strict build-then-serve life cycle. Add and
+// Freeze mutate and must run from a single goroutine; after Freeze every
+// read path (Search, SearchTopN, SearchBoolean, Docs, DocName, …) only
+// reads the frozen structures and is safe to call from any number of
+// goroutines concurrently. Search entry points enforce the life cycle by
+// returning ErrNotFrozen before the freeze.
 type Index struct {
 	terms   map[string]*postingList
 	docs    []docInfo
@@ -161,23 +168,57 @@ type SearchStats struct {
 // Search runs an exhaustive ranked BM25 query (disjunctive semantics) and
 // returns the top k hits.
 func (ix *Index) Search(query string, k int) ([]Hit, SearchStats, error) {
+	return ix.SearchWorkers(query, k, 1)
+}
+
+// SearchWorkers is Search with the per-term posting-list scoring fanned
+// out across workers goroutines. Each term accumulates into a private
+// score map; the partials are merged in term order, so every document
+// receives its per-term contributions in the same order as the sequential
+// scan — the result is byte-identical to Search at any worker count.
+// Values < 2 (or single-term queries) run sequentially.
+func (ix *Index) SearchWorkers(query string, k, workers int) ([]Hit, SearchStats, error) {
 	if !ix.frozen {
 		return nil, SearchStats{}, ErrNotFrozen
 	}
-	terms := Analyze(query)
+	terms := dedupe(Analyze(query))
 	if len(terms) == 0 {
 		return nil, SearchStats{}, ErrEmptyQry
 	}
 	var stats SearchStats
 	scores := map[DocID]float64{}
-	for _, term := range dedupe(terms) {
-		pl := ix.terms[term]
-		if pl == nil {
-			continue
+	if workers > len(terms) {
+		workers = len(terms)
+	}
+	if workers > 1 {
+		partials := make([]map[DocID]float64, len(terms))
+		forEachTerm(len(terms), workers, func(i int) {
+			pl := ix.terms[terms[i]]
+			if pl == nil {
+				return
+			}
+			local := make(map[DocID]float64, len(pl.docOrder))
+			for _, p := range pl.docOrder {
+				local[p.Doc] += ix.bm25(terms[i], p)
+			}
+			partials[i] = local
+		})
+		for _, local := range partials {
+			for d, s := range local {
+				scores[d] += s
+			}
+			stats.PostingsScored += len(local)
 		}
-		for _, p := range pl.docOrder {
-			scores[p.Doc] += ix.bm25(term, p)
-			stats.PostingsScored++
+	} else {
+		for _, term := range terms {
+			pl := ix.terms[term]
+			if pl == nil {
+				continue
+			}
+			for _, p := range pl.docOrder {
+				scores[p.Doc] += ix.bm25(term, p)
+				stats.PostingsScored++
+			}
 		}
 	}
 	stats.DocsTouched = len(scores)

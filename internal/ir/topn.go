@@ -1,5 +1,38 @@
 package ir
 
+import "sync"
+
+// forEachTerm runs fn(i) for every i in [0, n) across min(workers, n)
+// goroutines — the fan-out scaffold shared by the parallel scoring paths
+// (SearchWorkers and budget-mode SearchTopN). workers <= 1 runs inline.
+func forEachTerm(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
 // Top-N optimization (Blok et al.): posting lists are kept impact-ordered
 // (descending term frequency) and horizontally fragmented. Safe mode
 // consumes fragments best-first and stops as soon as the top N provably
@@ -17,6 +50,12 @@ type TopNOptions struct {
 	// MaxFragments fragment rounds are processed (each round takes one
 	// fragment from every term's list), and quality may drop below 1.
 	MaxFragments int
+	// Workers, when > 1, scores the budgeted fragments of different query
+	// terms in parallel (budget mode only; safe mode is inherently
+	// sequential because it picks fragments best-first). Each term
+	// accumulates into a private score map and the partials are merged in
+	// term order, so results are deterministic for a fixed Workers value.
+	Workers int
 }
 
 func (o TopNOptions) withDefaults() TopNOptions {
@@ -66,9 +105,12 @@ func (ix *Index) SearchTopN(query string, k int, opts TopNOptions) ([]Hit, Searc
 		return nil, stats, nil
 	}
 	scores := map[DocID]float64{}
-	if opts.MaxFragments > 0 {
+	switch {
+	case opts.MaxFragments > 0 && opts.Workers > 1:
+		ix.runBudgetParallel(states, scores, &stats, opts.MaxFragments, opts.Workers)
+	case opts.MaxFragments > 0:
 		ix.runBudget(states, scores, &stats, opts.MaxFragments)
-	} else {
+	default:
 		ix.runSafe(states, scores, &stats, k)
 	}
 	stats.DocsTouched = len(scores)
@@ -98,6 +140,36 @@ func (ix *Index) runBudget(states []*termState, scores map[DocID]float64, stats 
 			return
 		}
 	}
+}
+
+// runBudgetParallel distributes the per-term fragment scoring of budget
+// mode across workers goroutines. Terms are independent until the final
+// merge: each worker drains one term's budgeted fragments into a private
+// score map, then the partials are folded into scores in term order — every
+// document receives its per-term contributions in the same order regardless
+// of scheduling, so the result is deterministic.
+func (ix *Index) runBudgetParallel(states []*termState, scores map[DocID]float64, stats *SearchStats, budget, workers int) {
+	partials := make([]map[DocID]float64, len(states))
+	partStats := make([]SearchStats, len(states))
+	forEachTerm(len(states), workers, func(i int) {
+		st := states[i]
+		local := map[DocID]float64{}
+		for round := 0; round < budget && st.pos < len(st.list); round++ {
+			ix.processFragment(st, local, &partStats[i])
+		}
+		partials[i] = local
+	})
+	exhausted := true
+	for i, st := range states {
+		for d, s := range partials[i] {
+			scores[d] += s
+		}
+		stats.PostingsScored += partStats[i].PostingsScored
+		if st.pos < len(st.list) {
+			exhausted = false
+		}
+	}
+	stats.Terminated = !exhausted
 }
 
 // runSafe processes fragments best-first (highest remaining ceiling) and

@@ -1,0 +1,148 @@
+// Package serve is the long-lived query-serving layer over the digital
+// library search engine: a sharded LRU result cache keyed on canonicalized
+// query strings, and an HTTP handler exposing the combined, keyword, and
+// scene queries as JSON — the piece that turns the one-shot demo engine
+// into a daemon able to answer interactive traffic.
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a sharded LRU mapping canonical query keys to results. Each
+// entry is tagged with the meta-index version observed when it was filled;
+// a lookup whose version no longer matches misses (and evicts), so the
+// cache can never serve results computed against a superseded index. Purge
+// provides explicit whole-cache invalidation on top of that.
+type Cache struct {
+	shards []*cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	version int64
+	value   any
+}
+
+// NewCache builds a cache holding up to capacity entries spread over the
+// given number of shards. Values < 1 select the defaults (1024 entries, 8
+// shards). The capacity is split exactly: shards differ by at most one
+// entry and the per-shard caps sum to capacity.
+func NewCache(capacity, shards int) *Cache {
+	if capacity < 1 {
+		capacity = 1024
+	}
+	if shards < 1 {
+		shards = 8
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	per, extra := capacity/shards, capacity%shards
+	c := &Cache{shards: make([]*cacheShard, shards)}
+	for i := range c.shards {
+		n := per
+		if i < extra {
+			n++
+		}
+		c.shards[i] = &cacheShard{
+			cap: n,
+			ll:  list.New(),
+			m:   map[string]*list.Element{},
+		}
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	// Inline FNV-1a: hash/fnv would heap-allocate a hasher per lookup on
+	// the cache-hit fast path.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return c.shards[h%uint32(len(c.shards))]
+}
+
+// Get returns the cached value for key if present and filled at the given
+// version. A version mismatch evicts the stale entry and misses.
+func (c *Cache) Get(key string, version int64) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.version != version {
+		s.ll.Remove(el)
+		delete(s.m, key)
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	c.hits.Add(1)
+	return ent.value, true
+}
+
+// Put stores the value under key, tagged with the index version it was
+// computed against, evicting the shard's least recently used entry if full.
+func (c *Cache) Put(key string, version int64, value any) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.version = version
+		ent.value = value
+		s.ll.MoveToFront(el)
+		return
+	}
+	for s.ll.Len() >= s.cap {
+		back := s.ll.Back()
+		s.ll.Remove(back)
+		delete(s.m, back.Value.(*cacheEntry).key)
+	}
+	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, version: version, value: value})
+}
+
+// Purge drops every entry — the explicit invalidation hook for callers that
+// mutate the engine out of band.
+func (c *Cache) Purge() {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.ll.Init()
+		s.m = map[string]*list.Element{}
+		s.mu.Unlock()
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats reports cumulative hit/miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(4, 1) // one shard: global LRU order
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("k%d", i), 1, i)
+	}
+	if _, ok := c.Get("k0", 1); !ok { // touch k0: now most recent
+		t.Fatal("k0 missing")
+	}
+	c.Put("k4", 1, 4) // evicts k1, the least recently used
+	if _, ok := c.Get("k1", 1); ok {
+		t.Fatal("k1 not evicted")
+	}
+	for _, k := range []string{"k0", "k2", "k3", "k4"} {
+		if _, ok := c.Get(k, 1); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	if n := c.Len(); n != 4 {
+		t.Fatalf("len = %d", n)
+	}
+}
+
+func TestCacheVersionMismatchEvicts(t *testing.T) {
+	c := NewCache(8, 2)
+	c.Put("a", 1, "v1")
+	if _, ok := c.Get("a", 2); ok {
+		t.Fatal("stale version served")
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("stale entry retained, len = %d", n)
+	}
+	c.Put("a", 2, "v2")
+	if v, ok := c.Get("a", 2); !ok || v != "v2" {
+		t.Fatalf("got %v, %t", v, ok)
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	c := NewCache(16, 4)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), 1, i)
+	}
+	c.Purge()
+	if n := c.Len(); n != 0 {
+		t.Fatalf("len after purge = %d", n)
+	}
+}
+
+// TestCacheConcurrent exercises the shard locking under -race.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(64, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%32)
+				if i%3 == 0 {
+					c.Put(k, int64(i%2), i)
+				} else {
+					c.Get(k, int64(i%2))
+				}
+				if i%50 == 0 && g == 0 {
+					c.Purge()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,399 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dlse"
+	"repro/internal/ir"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// CacheSize is the query-result cache capacity in entries. 0 selects
+	// the default (1024); negative disables caching entirely.
+	CacheSize int
+	// CacheShards is the cache shard count (< 1 selects 8).
+	CacheShards int
+	// Workers, when > 0, bounds how many queries execute concurrently;
+	// excess requests wait (or fail when their context is cancelled).
+	// Cache hits are served without taking a slot. <= 0 means unbounded.
+	Workers int
+}
+
+// Server answers digital-library queries over one shared engine. It is safe
+// for concurrent use: the engine is read-only at serving time and the cache
+// is internally synchronized. Results handed out may be shared with other
+// callers — treat them as read-only.
+type Server struct {
+	engine *dlse.Engine
+	cache  *Cache // nil when caching is disabled
+	sem    chan struct{}
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+// New builds a Server over an engine.
+func New(engine *dlse.Engine, opts Options) *Server {
+	s := &Server{engine: engine, start: time.Now()}
+	if opts.CacheSize >= 0 {
+		s.cache = NewCache(opts.CacheSize, opts.CacheShards)
+	}
+	if opts.Workers > 0 {
+		s.sem = make(chan struct{}, opts.Workers)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/keyword", s.handleKeyword)
+	s.mux.HandleFunc("/scenes", s.handleScenes)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Engine returns the underlying search engine.
+func (s *Server) Engine() *dlse.Engine { return s.engine }
+
+// InvalidateCache drops every cached result. Callers that mutate the
+// meta-index do not strictly need it — entries are version-tagged and a
+// stale entry can never be served — but purging eagerly frees the memory.
+func (s *Server) InvalidateCache() {
+	if s.cache != nil {
+		s.cache.Purge()
+	}
+}
+
+// CacheStats reports cache entry count and cumulative hits/misses
+// (all zero when caching is disabled).
+func (s *Server) CacheStats() (entries int, hits, misses int64) {
+	if s.cache == nil {
+		return 0, 0, 0
+	}
+	hits, misses = s.cache.Stats()
+	return s.cache.Len(), hits, misses
+}
+
+// acquire takes a worker slot when the server is bounded.
+func (s *Server) acquire(ctx context.Context) error {
+	if s.sem == nil {
+		return nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() {
+	if s.sem != nil {
+		<-s.sem
+	}
+}
+
+// version is the meta-index version cache entries are tagged with.
+func (s *Server) version() int64 { return s.engine.VideoIndex().Version() }
+
+// Query parses a query-language string and answers it, consulting the
+// cache. The bool reports whether the answer came from the cache.
+func (s *Server) Query(ctx context.Context, text string) ([]dlse.Result, bool, error) {
+	req, err := dlse.ParseRequest(s.engine.Space().Schema(), text)
+	if err != nil {
+		return nil, false, err
+	}
+	return s.QueryRequest(ctx, req)
+}
+
+// lookupOrFill is the cache protocol every query type shares: consult the
+// cache; on a miss take a worker slot, observe the index version *before*
+// executing (so a write racing the fill makes the entry stale, never
+// fresh), run fill, and store the result under that version.
+func (s *Server) lookupOrFill(ctx context.Context, key string, fill func() (any, error)) (any, bool, error) {
+	if s.cache != nil {
+		if v, ok := s.cache.Get(key, s.version()); ok {
+			return v, true, nil
+		}
+	}
+	if err := s.acquire(ctx); err != nil {
+		return nil, false, err
+	}
+	defer s.release()
+	ver := s.version()
+	v, err := fill()
+	if err != nil {
+		return nil, false, err
+	}
+	if s.cache != nil {
+		s.cache.Put(key, ver, v)
+	}
+	return v, false, nil
+}
+
+// QueryRequest answers a structured request, consulting the cache.
+func (s *Server) QueryRequest(ctx context.Context, req dlse.Request) ([]dlse.Result, bool, error) {
+	v, cached, err := s.lookupOrFill(ctx, "q|"+req.CanonicalKey(), func() (any, error) {
+		return s.engine.QueryContext(ctx, req)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.([]dlse.Result), cached, nil
+}
+
+// Keyword answers the flattened-pages keyword baseline, consulting the
+// cache.
+func (s *Server) Keyword(ctx context.Context, query string, k int) ([]ir.Hit, bool, error) {
+	if k <= 0 {
+		k = 10
+	}
+	key := fmt.Sprintf("kw|%s|%d", strings.Join(ir.Analyze(query), " "), k)
+	v, cached, err := s.lookupOrFill(ctx, key, func() (any, error) {
+		return s.engine.KeywordSearch(query, k)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.([]ir.Hit), cached, nil
+}
+
+// Scenes returns all indexed scenes of an event kind, consulting the cache.
+func (s *Server) Scenes(ctx context.Context, kind string) ([]core.Scene, bool, error) {
+	v, cached, err := s.lookupOrFill(ctx, "sc|"+kind, func() (any, error) {
+		return s.engine.VideoIndex().Scenes(kind)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.([]core.Scene), cached, nil
+}
+
+// ---------------------------------------------------------------- HTTP
+
+// JSON shapes of the HTTP API.
+type (
+	sceneJSON struct {
+		Video      string  `json:"video"`
+		Kind       string  `json:"kind"`
+		Start      int     `json:"start"`
+		End        int     `json:"end"`
+		Confidence float64 `json:"confidence"`
+	}
+	resultJSON struct {
+		ObjectID int64       `json:"objectId"`
+		Class    string      `json:"class"`
+		Name     string      `json:"name,omitempty"`
+		Score    float64     `json:"score,omitempty"`
+		Scenes   []sceneJSON `json:"scenes,omitempty"`
+	}
+	queryResponse struct {
+		Count   int          `json:"count"`
+		Cached  bool         `json:"cached"`
+		TookMs  float64      `json:"tookMs"`
+		Results []resultJSON `json:"results"`
+	}
+	hitJSON struct {
+		Page  string  `json:"page"`
+		Score float64 `json:"score"`
+	}
+	keywordResponse struct {
+		Count  int       `json:"count"`
+		Cached bool      `json:"cached"`
+		TookMs float64   `json:"tookMs"`
+		Hits   []hitJSON `json:"hits"`
+	}
+	scenesResponse struct {
+		Count  int         `json:"count"`
+		Cached bool        `json:"cached"`
+		TookMs float64     `json:"tookMs"`
+		Scenes []sceneJSON `json:"scenes"`
+	}
+	healthResponse struct {
+		Status       string  `json:"status"`
+		UptimeSec    float64 `json:"uptimeSec"`
+		Docs         int     `json:"docs"`
+		Videos       int     `json:"videos"`
+		Events       int     `json:"events"`
+		IndexVersion int64   `json:"indexVersion"`
+		CacheEntries int     `json:"cacheEntries"`
+		CacheHits    int64   `json:"cacheHits"`
+		CacheMisses  int64   `json:"cacheMisses"`
+	}
+	errorResponse struct {
+		Error string `json:"error"`
+	}
+)
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func onlyGet(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+		return false
+	}
+	return true
+}
+
+func toSceneJSON(scenes []core.Scene) []sceneJSON {
+	out := make([]sceneJSON, len(scenes))
+	for i, sc := range scenes {
+		out[i] = sceneJSON{
+			Video: sc.Video.Name, Kind: sc.Event.Kind,
+			Start: sc.Event.Start, End: sc.Event.End,
+			Confidence: sc.Event.Confidence,
+		}
+	}
+	return out
+}
+
+// handleQuery answers GET /query?q=<query language>[&limit=n].
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if !onlyGet(w, r) {
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		return
+	}
+	req, err := dlse.ParseRequest(s.engine.Space().Schema(), q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", ls))
+			return
+		}
+		req.Limit = n
+	}
+	start := time.Now()
+	results, cached, err := s.QueryRequest(r.Context(), req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := queryResponse{
+		Count:  len(results),
+		Cached: cached,
+		TookMs: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	resp.Results = make([]resultJSON, len(results))
+	for i, res := range results {
+		resp.Results[i] = resultJSON{
+			ObjectID: res.Object.ID,
+			Class:    res.Object.Class,
+			Name:     res.Object.StringAttr("name"),
+			Score:    res.Score,
+			Scenes:   toSceneJSON(res.Scenes),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleKeyword answers GET /keyword?q=...[&k=n] — the flattened-pages
+// baseline the paper argues against, for comparison.
+func (s *Server) handleKeyword(w http.ResponseWriter, r *http.Request) {
+	if !onlyGet(w, r) {
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		n, err := strconv.Atoi(ks)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", ks))
+			return
+		}
+		k = n
+	}
+	start := time.Now()
+	hits, cached, err := s.Keyword(r.Context(), q, k)
+	if err != nil {
+		if err == ir.ErrEmptyQry {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := keywordResponse{
+		Count:  len(hits),
+		Cached: cached,
+		TookMs: float64(time.Since(start).Microseconds()) / 1000,
+		Hits:   make([]hitJSON, len(hits)),
+	}
+	for i, h := range hits {
+		resp.Hits[i] = hitJSON{Page: h.Name, Score: h.Score}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleScenes answers GET /scenes?kind=net-play.
+func (s *Server) handleScenes(w http.ResponseWriter, r *http.Request) {
+	if !onlyGet(w, r) {
+		return
+	}
+	kind := r.URL.Query().Get("kind")
+	if kind == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing kind parameter"))
+		return
+	}
+	start := time.Now()
+	scenes, cached, err := s.Scenes(r.Context(), kind)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, scenesResponse{
+		Count:  len(scenes),
+		Cached: cached,
+		TookMs: float64(time.Since(start).Microseconds()) / 1000,
+		Scenes: toSceneJSON(scenes),
+	})
+}
+
+// handleHealthz answers GET /healthz with liveness and index stats.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !onlyGet(w, r) {
+		return
+	}
+	stats := s.engine.VideoIndex().Stats()
+	entries, hits, misses := s.CacheStats()
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:       "ok",
+		UptimeSec:    time.Since(s.start).Seconds(),
+		Docs:         s.engine.TextIndex().Docs(),
+		Videos:       stats.Videos,
+		Events:       stats.Events,
+		IndexVersion: s.version(),
+		CacheEntries: entries,
+		CacheHits:    hits,
+		CacheMisses:  misses,
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Type enumerates column types.
@@ -190,12 +191,19 @@ func (c *colData) len() int {
 }
 
 // Table is a columnar table with optional secondary indexes.
+//
+// Concurrency: a Table supports any number of concurrent readers (Get, Row,
+// Select, Len) provided no writer (Append, Create*Index) runs at the same
+// time. The one mutation on the read path — the lazy rebuild of a dirty
+// sorted index inside Select — is serialized by sortedMu so that concurrent
+// readers racing to rebuild the same index remain safe.
 type Table struct {
 	schema Schema
 	cols   []colData
 	n      int
 
 	hashIdx     map[int]map[string][]int // colIdx -> key -> rows
+	sortedMu    sync.Mutex               // guards lazy sorted-index rebuilds
 	sortedIdx   map[int][]int            // colIdx -> row order
 	sortedDirty map[int]bool             // sorted indexes needing rebuild
 }
@@ -392,17 +400,20 @@ func (t *Table) Select(preds ...Pred) ([]int, error) {
 		}
 	}
 	if used < 0 {
+		t.sortedMu.Lock()
 		for i, p := range preds {
 			ci := cis[i]
-			if _, ok := t.sortedIdx[ci]; ok && p.Op != OpNe {
+			if ord, ok := t.sortedIdx[ci]; ok && p.Op != OpNe {
 				if t.sortedDirty[ci] {
 					t.rebuildSorted(ci)
+					ord = t.sortedIdx[ci]
 				}
-				candidates = t.rangeFromSorted(ci, t.sortedIdx[ci], p)
+				candidates = t.rangeFromSorted(ci, ord, p)
 				used = i
 				break
 			}
 		}
+		t.sortedMu.Unlock()
 	}
 	var out []int
 	scan := func(row int) {

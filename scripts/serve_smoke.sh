@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — build dlserve, start it on a random port, hit /healthz
+# and /query, then shut it down gracefully (SIGINT) and check it exits 0.
+# Run via `make serve-smoke`; CI runs it alongside the race job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/dlserve" ./cmd/dlserve
+
+# Port 0: the kernel picks a free port, dlserve logs the bound address.
+"$tmp/dlserve" -addr 127.0.0.1:0 -players 16 -years 3 2>"$tmp/log" &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's|.*listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$tmp/log" | head -1)
+    if [ -n "$port" ] && curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve-smoke: dlserve died before becoming healthy" >&2
+        cat "$tmp/log" >&2 || true
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "serve-smoke: could not discover listen port" >&2
+    cat "$tmp/log" >&2 || true
+    exit 1
+fi
+
+echo "--- /healthz"
+health=$(curl -fsS "http://127.0.0.1:$port/healthz")
+echo "$health"
+echo "$health" | grep -q '"status":"ok"'
+
+echo "--- /query"
+out=$(curl -fsS --get "http://127.0.0.1:$port/query" \
+    --data-urlencode 'q=find Player where sex = "female" and handedness = "left"')
+echo "$out" | head -c 300
+echo
+echo "$out" | grep -q '"count":'
+
+kill -INT "$pid"
+wait "$pid"
+echo "serve-smoke: OK (graceful shutdown, exit 0)"
