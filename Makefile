@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke serve-smoke fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke bench-json serve-smoke fmt fmt-check vet ci
 
 all: build test
 
@@ -24,6 +24,11 @@ bench:
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
+# Machine-readable perf trajectory: run the scoring-kernel benchmark set
+# with -benchmem and write BENCH_PR3.json. BENCHTIME=1x for a smoke run.
+bench-json:
+	bash scripts/bench_json.sh
+
 # End-to-end daemon check: start dlserve on a random port, curl /healthz
 # and /query, shut down gracefully.
 serve-smoke:
@@ -39,4 +44,12 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test race bench-smoke serve-smoke
+ci: fmt-check vet build test race bench-smoke bench-json-smoke serve-smoke
+
+# The bench-json CI step: one iteration per benchmark, same script. Writes
+# to a scratch path so it never clobbers the committed BENCH_PR3.json (the
+# real trajectory point, regenerated deliberately via `make bench-json`).
+.PHONY: bench-json-smoke
+bench-json-smoke:
+	BENCHTIME=1x bash scripts/bench_json.sh /tmp/bench_smoke.json
+	@cat /tmp/bench_smoke.json

@@ -698,16 +698,28 @@ func BenchmarkSVFDecode(b *testing.B) {
 	}
 }
 
-// BenchmarkHistogram measures colour-histogram extraction speed.
+// BenchmarkHistogram measures colour-histogram extraction speed: the
+// allocating form against the scratch-reuse form the ingest hot loop uses
+// (one histogram per frame vs zero steady-state allocations).
 func BenchmarkHistogram(b *testing.B) {
 	vids := benchCorpus(b)
 	im := vids[0].Frames[0]
-	b.SetBytes(int64(3 * im.W * im.H))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = frame.HistogramOf(im, 8)
-	}
+	b.Run("alloc", func(b *testing.B) {
+		b.SetBytes(int64(3 * im.W * im.H))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = frame.HistogramOf(im, 8)
+		}
+	})
+	b.Run("reuse", func(b *testing.B) {
+		h := frame.NewHistogram(8)
+		b.SetBytes(int64(3 * im.W * im.H))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.SetImage(im)
+		}
+	})
 }
 
 // BenchmarkQuadSegment measures the quadtree player segmentation.
@@ -1017,6 +1029,26 @@ func BenchmarkDLSEQuery(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkDLSETextRank isolates the serving path the scoring kernel feeds:
+// a combined query whose ranking part dominates (no scene join), so the
+// text operator — analysis, dense scoring, merge — is most of the work.
+func BenchmarkDLSETextRank(b *testing.B) {
+	eng, _ := serveFixture(b)
+	req := dlse.Request{
+		Class: "Player",
+		Text:  "champion winner australian open final interview",
+		Limit: 10,
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.QueryContext(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkEventsRelated measures the composite event query: the reference

@@ -16,7 +16,6 @@ package dlse
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 
@@ -89,7 +88,10 @@ func (e *Engine) Plan(req Request) Plan {
 type execState struct {
 	objs         []*webspace.Object      // OpConcept
 	scenesByName map[string][]core.Scene // OpVideo
-	textScores   map[ir.DocID]float64    // OpText (nil when the rank text has no indexable terms)
+	// textScores is a leased view of the rank text's dense per-doc scores,
+	// backed by the IR kernel's pooled accumulator (invalid when the rank
+	// text has no indexable terms); execute releases it after the merge.
+	textScores ir.Scores // OpText
 }
 
 // execute runs the plan: independent operators concurrently, then the
@@ -98,6 +100,7 @@ type execState struct {
 // parallelize.
 func (e *Engine) execute(ctx context.Context, p Plan) ([]Result, error) {
 	st := &execState{}
+	defer func() { st.textScores.Release() }() // recycle the text operator's accumulator
 	if len(p.ops) == 1 {
 		if err := e.runOperator(ctx, p.ops[0], p.req, st); err != nil {
 			return nil, err
@@ -138,15 +141,17 @@ func (e *Engine) runOperator(ctx context.Context, kind OpKind, req Request, st *
 		}
 		st.scenesByName = byName
 	case OpText:
-		k := e.text.Docs() // retrieve enough hits to cover every page
-		var hits []ir.Hit
+		// The merge only joins scores by doc ID, so the ranking-free
+		// ScoreQuery/ScoreTopN forms of the scoring kernel apply: no hit
+		// construction, no top-k selection, no per-query score table — just
+		// a leased view of the kernel's pooled dense accumulator.
+		var scores ir.Scores
 		var err error
 		if req.TopNFragments > 0 {
-			hits, _, err = e.text.SearchTopN(req.Text, k, ir.TopNOptions{Fragments: req.TopNFragments})
+			scores, _, err = e.text.ScoreTopN(req.Text, e.text.Docs(),
+				ir.TopNOptions{Fragments: req.TopNFragments})
 		} else {
-			// Exhaustive scan: fan per-term scoring out across the CPUs
-			// (byte-identical to the sequential scan by construction).
-			hits, _, err = e.text.SearchWorkers(req.Text, k, runtime.GOMAXPROCS(0))
+			scores, _, err = e.text.ScoreQuery(req.Text)
 		}
 		if err == ir.ErrEmptyQry {
 			return nil // unrankable text: scores stay zero, like before
@@ -154,11 +159,7 @@ func (e *Engine) runOperator(ctx context.Context, kind OpKind, req Request, st *
 		if err != nil {
 			return fmt.Errorf("dlse: text part: %w", err)
 		}
-		byDoc := make(map[ir.DocID]float64, len(hits))
-		for _, h := range hits {
-			byDoc[h.Doc] = h.Score
-		}
-		st.textScores = byDoc
+		st.textScores = scores
 	default:
 		return fmt.Errorf("dlse: unknown operator %v", kind)
 	}
@@ -190,16 +191,18 @@ func (e *Engine) merge(req Request, st *execState) []Result {
 		}
 	}
 	if req.Text != "" {
-		for i := range results {
-			var best float64
-			for _, o := range e.walkObjects(results[i].Object, req.TextPath) {
-				for _, d := range e.objDocs[o.ID] {
-					if s := st.textScores[d]; s > best {
-						best = s
+		if st.textScores.Valid() { // invalid when the rank text had no indexable terms
+			for i := range results {
+				var best float64
+				for _, o := range e.walkObjects(results[i].Object, req.TextPath) {
+					for _, d := range e.objDocs[o.ID] {
+						if s := st.textScores.Get(d); s > best {
+							best = s
+						}
 					}
 				}
+				results[i].Score = best
 			}
-			results[i].Score = best
 		}
 		sort.SliceStable(results, func(i, j int) bool {
 			return results[i].Score > results[j].Score

@@ -68,6 +68,22 @@ func (h *Histogram) AddRegion(im *Image, r Rect) {
 	h.Total += float64(r.Area())
 }
 
+// Reset clears the histogram for reuse without reallocating its bins.
+func (h *Histogram) Reset() {
+	for i := range h.Counts {
+		h.Counts[i] = 0
+	}
+	h.Total = 0
+}
+
+// SetImage recomputes h as the full-image histogram of im, reusing the
+// existing bin storage: the allocation-free form of HistogramOf for
+// per-frame hot loops.
+func (h *Histogram) SetImage(im *Image) {
+	h.Reset()
+	h.AddImage(im)
+}
+
 // HistogramOf computes the full-image histogram with the given bins.
 func HistogramOf(im *Image, bins int) *Histogram {
 	h := NewHistogram(bins)
@@ -81,7 +97,20 @@ func HistogramOf(im *Image, bins int) *Histogram {
 // boundary detection; the output is identical to calling HistogramOf on
 // every frame in order.
 func HistogramsOf(frames []*Image, bins, workers int) []*Histogram {
-	out := make([]*Histogram, len(frames))
+	return HistogramsInto(nil, frames, bins, workers)
+}
+
+// HistogramsInto is HistogramsOf writing through a reusable buffer: out
+// entries with a matching bin count are recomputed in place instead of
+// reallocated, and out is grown or shrunk to len(frames). Callers recycle
+// the returned slice across batches so the ingest hot loop stops paying
+// one histogram allocation per frame. Passing nil out allocates everything,
+// which is exactly HistogramsOf.
+func HistogramsInto(out []*Histogram, frames []*Image, bins, workers int) []*Histogram {
+	for len(out) < len(frames) {
+		out = append(out, nil)
+	}
+	out = out[:len(frames)]
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -89,11 +118,14 @@ func HistogramsOf(frames []*Image, bins, workers int) []*Histogram {
 		workers = len(frames)
 	}
 	if workers <= 1 {
-		for i, im := range frames {
-			out[i] = HistogramOf(im, bins)
+		for i := range frames {
+			fillHistogram(out, frames, bins, i)
 		}
 		return out
 	}
+	// Rebound copies keep the goroutine closure from capturing out/frames
+	// directly, which would heap-allocate them on the sequential path too.
+	dst, src := out, frames
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -102,15 +134,25 @@ func HistogramsOf(frames []*Image, bins, workers int) []*Histogram {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(frames) {
+				if i >= len(src) {
 					return
 				}
-				out[i] = HistogramOf(frames[i], bins)
+				fillHistogram(dst, src, bins, i)
 			}
 		}()
 	}
 	wg.Wait()
 	return out
+}
+
+// fillHistogram computes frame i's histogram into out[i], reusing the slot
+// when its bin count matches.
+func fillHistogram(out []*Histogram, frames []*Image, bins, i int) {
+	if h := out[i]; h != nil && h.Bins == bins {
+		h.SetImage(frames[i])
+	} else {
+		out[i] = HistogramOf(frames[i], bins)
+	}
 }
 
 // Normalized returns a copy of the histogram whose counts sum to 1.

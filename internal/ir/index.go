@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // DocID identifies an indexed document.
@@ -18,9 +19,16 @@ type Posting struct {
 
 // postingList holds a term's postings in two orders: docOrder for boolean
 // operations, impactOrder (descending TF) for top-N early termination.
+// Freeze aligns a float32 impact vector with each order: the posting's
+// full BM25 contribution (idf, tf saturation and document-length
+// normalization folded in), so query-time scoring is a single add per
+// posting instead of a transcendental-laden formula.
 type postingList struct {
 	docOrder    []Posting
-	impactOrder []Posting // built lazily by Freeze
+	impactOrder []Posting // built by Freeze
+	docImp      []float32 // impact of docOrder[i], built by Freeze
+	impImp      []float32 // impact of impactOrder[i], built by Freeze
+	idf         float64   // BM25 idf, built by Freeze
 }
 
 // Index is an in-memory inverted index with BM25 ranking.
@@ -36,6 +44,10 @@ type Index struct {
 	docs    []docInfo
 	totalLn int64
 	frozen  bool
+
+	// scratch recycles per-query accumulators (see kernel.go) so that
+	// steady-state searches allocate ~nothing. Populated by Freeze.
+	scratch sync.Pool
 }
 
 type docInfo struct {
@@ -86,19 +98,41 @@ func (ix *Index) Add(name, text string) (DocID, error) {
 	return id, nil
 }
 
-// Freeze finalizes the index: impact-ordered lists are built and the index
-// becomes searchable. Adding after Freeze fails.
+// Freeze finalizes the index: impact-ordered lists and per-posting impact
+// vectors are built, the accumulator pool is sized, and the index becomes
+// searchable. Adding after Freeze fails.
 func (ix *Index) Freeze() {
 	if ix.frozen {
 		return
 	}
-	for _, pl := range ix.terms {
+	avg := ix.avgDocLen()
+	for term, pl := range ix.terms {
+		pl.idf = ix.idf(term)
 		pl.impactOrder = append([]Posting(nil), pl.docOrder...)
 		sort.SliceStable(pl.impactOrder, func(a, b int) bool {
 			return pl.impactOrder[a].TF > pl.impactOrder[b].TF
 		})
+		pl.docImp = make([]float32, len(pl.docOrder))
+		for i, p := range pl.docOrder {
+			pl.docImp[i] = ix.impact(pl.idf, p, avg)
+		}
+		pl.impImp = make([]float32, len(pl.impactOrder))
+		for i, p := range pl.impactOrder {
+			pl.impImp[i] = ix.impact(pl.idf, p, avg)
+		}
 	}
+	n := len(ix.docs)
+	ix.scratch.New = func() any { return newAccum(n) }
 	ix.frozen = true
+}
+
+// impact computes one posting's full BM25 contribution. It is the same
+// arithmetic as bm25 (the retained reference formula) evaluated once at
+// freeze time and rounded to float32.
+func (ix *Index) impact(idf float64, p Posting, avg float64) float32 {
+	tf := float64(p.TF)
+	dl := float64(ix.docs[p.Doc].Len)
+	return float32(idf * tf * (bm25K1 + 1) / (tf + bm25K1*(1-bm25B+bm25B*dl/avg)))
 }
 
 // Docs returns the number of indexed documents.
@@ -134,7 +168,8 @@ func (ix *Index) idf(term string) float64 {
 	return math.Log(1 + (n-df+0.5)/(df+0.5))
 }
 
-// bm25 scores one posting.
+// bm25 scores one posting from scratch: the reference formula the impact
+// vectors are precomputed from. Kept for the equivalence tests.
 func (ix *Index) bm25(term string, p Posting) float64 {
 	idf := ix.idf(term)
 	if idf == 0 {
@@ -166,18 +201,11 @@ type SearchStats struct {
 }
 
 // Search runs an exhaustive ranked BM25 query (disjunctive semantics) and
-// returns the top k hits.
+// returns the top k hits. The hot path is allocation-free in steady state:
+// per-posting impacts are precomputed at Freeze, scores accumulate into a
+// pooled epoch-stamped dense array, and the top k are selected with a
+// bounded min-heap.
 func (ix *Index) Search(query string, k int) ([]Hit, SearchStats, error) {
-	return ix.SearchWorkers(query, k, 1)
-}
-
-// SearchWorkers is Search with the per-term posting-list scoring fanned
-// out across workers goroutines. Each term accumulates into a private
-// score map; the partials are merged in term order, so every document
-// receives its per-term contributions in the same order as the sequential
-// scan — the result is byte-identical to Search at any worker count.
-// Values < 2 (or single-term queries) run sequentially.
-func (ix *Index) SearchWorkers(query string, k, workers int) ([]Hit, SearchStats, error) {
 	if !ix.frozen {
 		return nil, SearchStats{}, ErrNotFrozen
 	}
@@ -185,44 +213,60 @@ func (ix *Index) SearchWorkers(query string, k, workers int) ([]Hit, SearchStats
 	if len(terms) == 0 {
 		return nil, SearchStats{}, ErrEmptyQry
 	}
+	ac := ix.getAccum()
+	defer ix.putAccum(ac)
+	stats := ix.scoreTerms(terms, ac)
+	return ix.topKDense(ac, k), stats, nil
+}
+
+// scoreTerms accumulates every term's full posting list into ac, in term
+// order — the one exhaustive-scan scoring loop shared by Search and
+// ScoreQuery, so their per-doc float64 sums are identical by construction.
+func (ix *Index) scoreTerms(terms []string, ac *accum) SearchStats {
 	var stats SearchStats
-	scores := map[DocID]float64{}
-	if workers > len(terms) {
-		workers = len(terms)
-	}
-	if workers > 1 {
-		partials := make([]map[DocID]float64, len(terms))
-		forEachTerm(len(terms), workers, func(i int) {
-			pl := ix.terms[terms[i]]
-			if pl == nil {
-				return
-			}
-			local := make(map[DocID]float64, len(pl.docOrder))
-			for _, p := range pl.docOrder {
-				local[p.Doc] += ix.bm25(terms[i], p)
-			}
-			partials[i] = local
-		})
-		for _, local := range partials {
-			for d, s := range local {
-				scores[d] += s
-			}
-			stats.PostingsScored += len(local)
+	for _, term := range terms {
+		pl := ix.terms[term]
+		if pl == nil {
+			continue
 		}
-	} else {
-		for _, term := range terms {
-			pl := ix.terms[term]
-			if pl == nil {
-				continue
-			}
-			for _, p := range pl.docOrder {
-				scores[p.Doc] += ix.bm25(term, p)
-				stats.PostingsScored++
-			}
+		imps := pl.docImp
+		for i, p := range pl.docOrder {
+			ac.add(p.Doc, float64(imps[i]))
 		}
+		stats.PostingsScored += len(pl.docOrder)
 	}
-	stats.DocsTouched = len(scores)
-	return topK(ix, scores, k), stats, nil
+	stats.DocsTouched = len(ac.touched)
+	return stats
+}
+
+// SearchWorkers is Search with a worker-count hint, kept for API
+// compatibility with the pre-kernel engine. Impact precomputation (see
+// Freeze) reduced per-posting scoring to a single add, so the per-term
+// fan-out of the map era costs more in merging than it saves in scoring;
+// every worker count now runs the same single-pass dense kernel and
+// returns results identical to Search by construction.
+func (ix *Index) SearchWorkers(query string, k, workers int) ([]Hit, SearchStats, error) {
+	_ = workers
+	return ix.Search(query, k)
+}
+
+// ScoreQuery runs the exhaustive scorer and returns a leased handle over
+// the dense per-doc scores — the ranking-free form of Search for callers
+// that join scores into their own result sets (e.g. the DLSE text
+// operator). It skips hit construction and top-k selection entirely and
+// shares the kernel's accumulator pool, so steady-state calls allocate
+// nothing beyond query analysis. The caller must Release the handle.
+func (ix *Index) ScoreQuery(query string) (Scores, SearchStats, error) {
+	if !ix.frozen {
+		return Scores{}, SearchStats{}, ErrNotFrozen
+	}
+	terms := dedupe(Analyze(query))
+	if len(terms) == 0 {
+		return Scores{}, SearchStats{}, ErrEmptyQry
+	}
+	ac := ix.getAccum()
+	stats := ix.scoreTerms(terms, ac)
+	return Scores{ix: ix, ac: ac}, stats, nil
 }
 
 // SearchBoolean returns the documents containing every query term
@@ -285,33 +329,42 @@ func intersect(a []DocID, b []Posting) []DocID {
 	return out
 }
 
+// dedupeSetThreshold is the unique-term count past which dedupe switches
+// from the allocation-free linear scan to a set.
+const dedupeSetThreshold = 32
+
+// dedupe removes duplicate terms in place, preserving first-occurrence
+// order. Interactive queries have a handful of terms, where a linear scan
+// over the kept prefix beats a set and allocates nothing; past the
+// threshold it builds a set so many-term queries (long rank texts, document
+// bodies used as queries) stay O(n) instead of O(n²).
 func dedupe(terms []string) []string {
-	seen := map[string]bool{}
 	out := terms[:0]
-	for _, t := range terms {
-		if !seen[t] {
-			seen[t] = true
+	var seen map[string]struct{}
+	for i, t := range terms {
+		if seen != nil {
+			if _, dup := seen[t]; !dup {
+				seen[t] = struct{}{}
+				out = append(out, t)
+			}
+			continue
+		}
+		dup := false
+		for _, u := range out {
+			if u == t {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, t)
+		}
+		if len(out) > dedupeSetThreshold {
+			seen = make(map[string]struct{}, len(out)+len(terms)-i)
+			for _, u := range out {
+				seen[u] = struct{}{}
+			}
 		}
 	}
 	return out
-}
-
-// topK ranks the score map and returns the best k hits, ties broken by
-// ascending DocID for determinism.
-func topK(ix *Index, scores map[DocID]float64, k int) []Hit {
-	hits := make([]Hit, 0, len(scores))
-	for d, s := range scores {
-		hits = append(hits, Hit{Doc: d, Name: ix.docs[d].Name, Score: s})
-	}
-	sort.Slice(hits, func(a, b int) bool {
-		if hits[a].Score != hits[b].Score {
-			return hits[a].Score > hits[b].Score
-		}
-		return hits[a].Doc < hits[b].Doc
-	})
-	if k > 0 && len(hits) > k {
-		hits = hits[:k]
-	}
-	return hits
 }

@@ -1,0 +1,233 @@
+package ir
+
+// Scoring kernel scratch: dense epoch-stamped accumulators recycled through
+// the index's sync.Pool, plus the bounded-heap top-k selection. Together
+// with the impact vectors built at Freeze they make the ranked-search hot
+// path allocation-free in steady state: no score maps, no full sort.
+
+// accum is a per-query score accumulator over a dense document array.
+// Instead of clearing len(docs) floats per query, every slot carries the
+// epoch that last wrote it: a slot whose stamp is stale reads as zero, and
+// begin() makes the whole array logically zero by bumping the epoch.
+type accum struct {
+	scores  []float64
+	stamps  []uint32
+	epoch   uint32
+	touched []DocID // distinct docs written this epoch, in first-touch order
+
+	// Selection scratch reused across queries.
+	hitHeap []Hit     // topKDense
+	fHeap   []float64 // kthAndTrail
+}
+
+func newAccum(docs int) *accum {
+	return &accum{
+		scores: make([]float64, docs),
+		stamps: make([]uint32, docs),
+	}
+}
+
+// begin starts a fresh query: all slots read as zero again.
+func (ac *accum) begin() {
+	ac.touched = ac.touched[:0]
+	ac.epoch++
+	if ac.epoch == 0 { // uint32 wrap: stale stamps could alias, clear them
+		for i := range ac.stamps {
+			ac.stamps[i] = 0
+		}
+		ac.epoch = 1
+	}
+}
+
+// add accumulates v into doc d's score.
+func (ac *accum) add(d DocID, v float64) {
+	if ac.stamps[d] != ac.epoch {
+		ac.stamps[d] = ac.epoch
+		ac.scores[d] = v
+		ac.touched = append(ac.touched, d)
+		return
+	}
+	ac.scores[d] += v
+}
+
+// get returns doc d's score this epoch (zero if untouched).
+func (ac *accum) get(d DocID) float64 {
+	if ac.stamps[d] != ac.epoch {
+		return 0
+	}
+	return ac.scores[d]
+}
+
+// getAccum leases a query accumulator from the pool. Call putAccum when the
+// query's results have been materialized.
+func (ix *Index) getAccum() *accum {
+	ac := ix.scratch.Get().(*accum)
+	ac.begin()
+	return ac
+}
+
+func (ix *Index) putAccum(ac *accum) { ix.scratch.Put(ac) }
+
+// Scores is a leased, read-only view of one query's dense per-doc scores,
+// backed by a pooled accumulator. It lets callers join BM25 scores by
+// DocID without the index materializing (or the caller re-zeroing) a
+// per-query score table. Release returns the accumulator to the pool;
+// the handle must not be used after Release, and each handle must be
+// released exactly once. The zero value is invalid (Valid reports false).
+type Scores struct {
+	ix *Index
+	ac *accum
+}
+
+// Valid reports whether the handle holds a scored query.
+func (s Scores) Valid() bool { return s.ac != nil }
+
+// Get returns doc d's score (0 for documents the query did not touch).
+func (s Scores) Get(d DocID) float64 { return s.ac.get(d) }
+
+// Release returns the backing accumulator to the index's pool. Safe on the
+// zero value.
+func (s Scores) Release() {
+	if s.ac != nil {
+		s.ix.putAccum(s.ac)
+	}
+}
+
+// worseHit reports whether a ranks strictly below b under the result order
+// (score descending, ties broken by ascending DocID). Documents are unique,
+// so this is a strict total order and heap selection reproduces the full
+// sort's ranking exactly.
+func worseHit(a, b Hit) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Doc > b.Doc
+}
+
+// topKDense selects the best k hits from the accumulator with a min-heap of
+// size k over the touched documents — O(n log k) against the reference's
+// build-all-then-sort O(n log n) — and returns them best-first. k <= 0
+// ranks every touched document. Output is byte-identical to the retained
+// map-based reference (same hits, same scores, same tie-breaks).
+func (ix *Index) topKDense(ac *accum, k int) []Hit {
+	n := len(ac.touched)
+	if k <= 0 || k > n {
+		k = n
+	}
+	// h is a min-heap whose root is the worst kept hit.
+	h := ac.hitHeap[:0]
+	for _, d := range ac.touched {
+		cand := Hit{Doc: d, Score: ac.scores[d]}
+		if len(h) < k {
+			h = append(h, cand)
+			siftUpHit(h)
+			continue
+		}
+		if worseHit(h[0], cand) {
+			h[0] = cand
+			siftDownHit(h)
+		}
+	}
+	ac.hitHeap = h[:0]
+	out := make([]Hit, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = h[0]
+		h[0] = h[len(h)-1]
+		h = h[:len(h)-1]
+		siftDownHit(h)
+	}
+	for i := range out {
+		out[i].Name = ix.docs[out[i].Doc].Name
+	}
+	return out
+}
+
+func siftUpHit(h []Hit) {
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if worseHit(h[parent], h[i]) {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func siftDownHit(h []Hit) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < len(h) && worseHit(h[l], h[worst]) {
+			worst = l
+		}
+		if r < len(h) && worseHit(h[r], h[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h[i], h[worst] = h[worst], h[i]
+		i = worst
+	}
+}
+
+// kthAndTrail returns the k-th largest score and the largest score outside
+// the top k, in one O(n log k) pass over the touched documents. The caller
+// guarantees len(ac.touched) >= k.
+func (ac *accum) kthAndTrail(k int) (kth, trail float64) {
+	// top is a min-heap of the k largest scores seen so far.
+	top := ac.fHeap[:0]
+	for _, d := range ac.touched {
+		s := ac.scores[d]
+		if len(top) < k {
+			top = append(top, s)
+			siftUp(top)
+			continue
+		}
+		if s > top[0] {
+			evicted := top[0]
+			top[0] = s
+			siftDown(top)
+			if evicted > trail {
+				trail = evicted
+			}
+		} else if s > trail {
+			trail = s
+		}
+	}
+	ac.fHeap = top[:0]
+	return top[0], trail
+}
+
+func siftUp(h []float64) {
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func siftDown(h []float64) {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && h[l] < h[smallest] {
+			smallest = l
+		}
+		if r < len(h) && h[r] < h[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,337 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// kernelQueries mixes list lengths: frequent terms (long lists), rare
+// terms, unknown terms, single- and many-term queries.
+var kernelQueries = []string{
+	"w0", "w1", "w0 w1", "w0 w1 w2", "w3 w7 w13",
+	"w1 nosuchterm w3", "w0 w2 w4 w8 w16 w32 w64", "w111",
+}
+
+// TestKernelMatchesMapReference locks the tentpole invariant: the dense
+// epoch-stamped kernel returns byte-identical hit lists — same documents,
+// same float64 scores, same tie-breaks — to the retained map-based
+// reference scorer, for every query shape and k.
+func TestKernelMatchesMapReference(t *testing.T) {
+	ix := synthCorpus(t, 3000, 400, 41)
+	for _, q := range kernelQueries {
+		for _, k := range []int{0, 1, 5, 10, 100, 5000} {
+			ref, refStats, refErr := ix.searchMapReference(q, k)
+			got, gotStats, gotErr := ix.Search(q, k)
+			if (refErr != nil) != (gotErr != nil) {
+				t.Fatalf("q=%q k=%d: err %v (kernel) vs %v (reference)", q, k, gotErr, refErr)
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("q=%q k=%d: %d hits (kernel) vs %d (reference)", q, k, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("q=%q k=%d hit %d: %+v (kernel) vs %+v (reference)", q, k, i, got[i], ref[i])
+				}
+			}
+			if gotStats != refStats {
+				t.Fatalf("q=%q k=%d: stats %+v (kernel) vs %+v (reference)", q, k, gotStats, refStats)
+			}
+		}
+	}
+}
+
+// TestImpactMatchesFormula: the impact vectors built at Freeze must be the
+// reference BM25 formula evaluated per posting, rounded once to float32 —
+// for both posting orders.
+func TestImpactMatchesFormula(t *testing.T) {
+	ix := synthCorpus(t, 500, 100, 7)
+	for term, pl := range ix.terms {
+		for i, p := range pl.docOrder {
+			want := float32(ix.bm25(term, p))
+			if pl.docImp[i] != want {
+				t.Fatalf("term %q docOrder[%d]: impact %v, formula %v", term, i, pl.docImp[i], want)
+			}
+		}
+		for i, p := range pl.impactOrder {
+			want := float32(ix.bm25(term, p))
+			if pl.impImp[i] != want {
+				t.Fatalf("term %q impactOrder[%d]: impact %v, formula %v", term, i, pl.impImp[i], want)
+			}
+		}
+		if got, want := pl.idf, ix.idf(term); got != want {
+			t.Fatalf("term %q: cached idf %v, formula %v", term, got, want)
+		}
+	}
+}
+
+// TestKernelTieBreaks: documents with exactly equal scores must come back
+// in ascending DocID order through the bounded-heap selection, including
+// at the truncation boundary.
+func TestKernelTieBreaks(t *testing.T) {
+	ix := NewIndex()
+	// Identical documents score identically: all ties.
+	for d := 0; d < 12; d++ {
+		if _, err := ix.Add(fmt.Sprintf("tie%02d", d), "alpha beta gamma"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix.Freeze()
+	for _, k := range []int{0, 1, 5, 12, 40} {
+		hits, _, err := ix.Search("alpha", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 12
+		if k > 0 && k < want {
+			want = k
+		}
+		if len(hits) != want {
+			t.Fatalf("k=%d: %d hits, want %d", k, len(hits), want)
+		}
+		for i := range hits {
+			if hits[i].Doc != DocID(i) {
+				t.Fatalf("k=%d: tie order %v", k, hits)
+			}
+			if hits[i].Score != hits[0].Score {
+				t.Fatalf("k=%d: unequal tie scores %v", k, hits)
+			}
+		}
+	}
+}
+
+// TestSearchAllocs is the allocation regression guard for the tentpole:
+// steady-state ranked queries must not allocate per-doc state. What remains
+// is query analysis (a few token strings) and the returned hit slice; the
+// pre-kernel scorer burned ~150 allocations and ~1.8 MB per query on the
+// 20k-doc corpus.
+func TestSearchAllocs(t *testing.T) {
+	ix := synthCorpus(t, 4000, 300, 19)
+	// Warm the accumulator pool.
+	if _, _, err := ix.Search("w0 w1", 10); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 16
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := ix.Search("w0 w1", 10); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Fatalf("Search allocates %.1f objects/query, budget %d", allocs, budget)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		if _, _, err := ix.SearchTopN("w0 w1", 10, TopNOptions{Fragments: 16}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// SearchTopN additionally allocates its per-term states.
+	if allocs > budget+8 {
+		t.Fatalf("SearchTopN allocates %.1f objects/query, budget %d", allocs, budget+8)
+	}
+}
+
+// TestScoreQueryMatchesSearch: the ranking-free leased-handle scorer must
+// report the same float64 score for every document as the ranked search,
+// and zero for untouched documents — including after handle recycling.
+func TestScoreQueryMatchesSearch(t *testing.T) {
+	ix := synthCorpus(t, 1500, 200, 23)
+	for _, q := range kernelQueries {
+		hits, hStats, err := ix.Search(q, 0) // all touched docs, ranked
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, sStats, err := ix.ScoreQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Valid() {
+			t.Fatalf("q=%q: invalid handle without error", q)
+		}
+		if sStats != hStats {
+			t.Fatalf("q=%q: stats %+v (ScoreQuery) vs %+v (Search)", q, sStats, hStats)
+		}
+		byDoc := make(map[DocID]float64, len(hits))
+		for _, h := range hits {
+			byDoc[h.Doc] = h.Score
+		}
+		for d := 0; d < ix.Docs(); d++ {
+			if got := sc.Get(DocID(d)); got != byDoc[DocID(d)] {
+				t.Fatalf("q=%q doc %d: score %v (ScoreQuery) vs %v (Search)", q, d, got, byDoc[DocID(d)])
+			}
+		}
+		sc.Release() // recycled accumulator must not leak into the next query
+	}
+	if _, _, err := ix.ScoreQuery("the of"); err != ErrEmptyQry {
+		t.Fatalf("stopword-only query err = %v", err)
+	}
+	ix2 := NewIndex()
+	if _, _, err := ix2.ScoreQuery("w0"); err != ErrNotFrozen {
+		t.Fatalf("unfrozen err = %v", err)
+	}
+	var zero Scores
+	if zero.Valid() {
+		t.Fatal("zero handle reports valid")
+	}
+	zero.Release() // must be a no-op, not a panic
+}
+
+// TestScoreTopNMatchesSearchTopN: the top-N handle must expose exactly the
+// scores SearchTopN ranks, in safe and budget mode, and zeros when every
+// query term is unknown.
+func TestScoreTopNMatchesSearchTopN(t *testing.T) {
+	ix := synthCorpus(t, 1200, 150, 37)
+	for _, opts := range []TopNOptions{
+		{Fragments: 16},
+		{Fragments: 32, MaxFragments: 2},
+	} {
+		for _, q := range []string{"w0 w1", "w2 w5 w9", "w1 nosuchterm"} {
+			k := ix.Docs() // rank everything, as the dlse text operator does
+			hits, hStats, err := ix.SearchTopN(q, k, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, sStats, err := ix.ScoreTopN(q, k, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sStats != hStats {
+				t.Fatalf("q=%q opts=%+v: stats %+v vs %+v", q, opts, sStats, hStats)
+			}
+			byDoc := make(map[DocID]float64, len(hits))
+			for _, h := range hits {
+				byDoc[h.Doc] = h.Score
+			}
+			for d := 0; d < ix.Docs(); d++ {
+				if got := sc.Get(DocID(d)); got != byDoc[DocID(d)] {
+					t.Fatalf("q=%q opts=%+v doc %d: %v vs %v", q, opts, d, got, byDoc[DocID(d)])
+				}
+			}
+			sc.Release()
+		}
+	}
+	sc, stats, err := ix.ScoreTopN("zzznosuch", 10, TopNOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Valid() || stats.DocsTouched != 0 || sc.Get(0) != 0 {
+		t.Fatalf("unknown-term handle: valid=%t stats=%+v", sc.Valid(), stats)
+	}
+	sc.Release()
+}
+
+// TestScoreQueryAllocs: the leased-handle scorer's only allocations are
+// query analysis.
+func TestScoreQueryAllocs(t *testing.T) {
+	ix := synthCorpus(t, 2000, 300, 29)
+	allocs := testing.AllocsPerRun(200, func() {
+		sc, _, err := ix.ScoreQuery("w0 w1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Release()
+	})
+	if allocs > 10 {
+		t.Fatalf("ScoreQuery allocates %.1f objects/query", allocs)
+	}
+}
+
+// TestDedupeManyTerms exercises the set path of dedupe (the small-query
+// linear scan switches to a set past the threshold) and the order/identity
+// contract on both sides of the switch.
+func TestDedupeManyTerms(t *testing.T) {
+	var in []string
+	var want []string
+	for i := 0; i < 400; i++ {
+		term := fmt.Sprintf("t%03d", i)
+		in = append(in, term, term) // adjacent duplicate
+		if i%3 == 0 {
+			in = append(in, "t000") // long-range duplicate
+		}
+		want = append(want, term)
+	}
+	got := dedupe(in)
+	if len(got) != len(want) {
+		t.Fatalf("dedupe kept %d terms, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("term %d: %q, want %q (first-occurrence order lost)", i, got[i], want[i])
+		}
+	}
+	// Small path: under the threshold, still exact.
+	small := dedupe([]string{"b", "a", "b", "c", "a"})
+	if len(small) != 3 || small[0] != "b" || small[1] != "a" || small[2] != "c" {
+		t.Fatalf("small dedupe = %v", small)
+	}
+	if out := dedupe(nil); len(out) != 0 {
+		t.Fatalf("nil dedupe = %v", out)
+	}
+}
+
+// TestManyTermQuery runs a query wide enough to cross the dedupe set
+// threshold end-to-end and cross-checks the kernel against the reference.
+func TestManyTermQuery(t *testing.T) {
+	ix := synthCorpus(t, 800, 200, 31)
+	var sb strings.Builder
+	for i := 0; i < 120; i++ {
+		fmt.Fprintf(&sb, "w%d w%d ", i, i%7) // heavy duplication
+	}
+	q := sb.String()
+	ref, refStats, err := ix.searchMapReference(q, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotStats, err := ix.Search(q, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref) || gotStats != refStats {
+		t.Fatalf("many-term query: %d hits/%+v (kernel) vs %d/%+v (reference)",
+			len(got), gotStats, len(ref), refStats)
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("many-term hit %d: %+v vs %+v", i, got[i], ref[i])
+		}
+	}
+}
+
+// TestAccumEpochWrap: after a uint32 epoch wrap the accumulator must not
+// resurrect stale scores.
+func TestAccumEpochWrap(t *testing.T) {
+	ac := newAccum(4)
+	ac.begin()
+	ac.add(2, 1.5)
+	ac.epoch = math.MaxUint32 // force the next begin to wrap
+	ac.begin()
+	if got := ac.get(2); got != 0 {
+		t.Fatalf("score resurrected across epoch wrap: %v", got)
+	}
+	ac.add(1, 2.5)
+	if ac.get(1) != 2.5 || len(ac.touched) != 1 {
+		t.Fatalf("post-wrap accumulation broken: %v %v", ac.get(1), ac.touched)
+	}
+}
+
+// TestTopKDenseEmptyAndOversized covers the k edge cases through the public
+// API: empty result sets stay empty (non-nil like the reference), k beyond
+// the touched count returns everything.
+func TestTopKDenseEmptyAndOversized(t *testing.T) {
+	ix := buildSmallIndex(t)
+	hits, _, err := ix.Search("zeppelin", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits == nil || len(hits) != 0 {
+		t.Fatalf("unknown-term hits = %#v", hits)
+	}
+	all, _, err := ix.Search("tennis", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("oversized k hits = %v", all)
+	}
+}

@@ -1,45 +1,13 @@
 package ir
 
-import "sync"
-
-// forEachTerm runs fn(i) for every i in [0, n) across min(workers, n)
-// goroutines — the fan-out scaffold shared by the parallel scoring paths
-// (SearchWorkers and budget-mode SearchTopN). workers <= 1 runs inline.
-func forEachTerm(n, workers int, fn func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	next := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-}
-
 // Top-N optimization (Blok et al.): posting lists are kept impact-ordered
 // (descending term frequency) and horizontally fragmented. Safe mode
 // consumes fragments best-first and stops as soon as the top N provably
 // cannot change (a no-random-access bound in the style of NRA); budget mode
-// processes the first MaxFragments fragment rounds round-robin across the
-// query terms and stops regardless — the "quality/time trade-off" studied
-// in the paper, where answer quality is traded for response time.
+// processes the first MaxFragments fragment rounds and stops regardless —
+// the "quality/time trade-off" studied in the paper, where answer quality
+// is traded for response time. All modes score through the dense
+// epoch-stamped accumulator and the per-posting impacts built at Freeze.
 
 // TopNOptions tunes the optimized search.
 type TopNOptions struct {
@@ -50,11 +18,11 @@ type TopNOptions struct {
 	// MaxFragments fragment rounds are processed (each round takes one
 	// fragment from every term's list), and quality may drop below 1.
 	MaxFragments int
-	// Workers, when > 1, scores the budgeted fragments of different query
-	// terms in parallel (budget mode only; safe mode is inherently
-	// sequential because it picks fragments best-first). Each term
-	// accumulates into a private score map and the partials are merged in
-	// term order, so results are deterministic for a fixed Workers value.
+	// Workers is a worker-count hint kept for API compatibility with the
+	// pre-kernel engine, whose budget mode fanned per-term scoring across
+	// goroutines. Impact precomputation reduced a posting's scoring to one
+	// add, so every worker count now runs the same sequential round-robin
+	// schedule; the result is deterministic for any value.
 	Workers int
 }
 
@@ -65,10 +33,18 @@ func (o TopNOptions) withDefaults() TopNOptions {
 	return o
 }
 
+// ceilingSlack inflates score ceilings by one part in a million: impacts
+// are float64 BM25 values rounded to float32 (relative error <= 2^-24), so
+// a posting's stored impact can exceed the exact-arithmetic ceiling by half
+// an ulp. The slack keeps the no-random-access bound sound — it can only
+// delay termination, never admit a wrong result.
+const ceilingSlack = 1 + 1e-6
+
 // termState tracks one query term's impact-ordered list during processing.
 type termState struct {
-	term string
 	list []Posting
+	imp  []float32 // impact of list[i]
+	idf  float64
 	pos  int     // next unprocessed posting
 	step int     // fragment size
 	ub   float64 // score ceiling of the next unprocessed posting
@@ -78,11 +54,37 @@ type termState struct {
 // top k hits. With MaxFragments == 0 the result provably equals Search's
 // top k (safe termination); with a budget it may be an approximation.
 func (ix *Index) SearchTopN(query string, k int, opts TopNOptions) ([]Hit, SearchStats, error) {
-	if !ix.frozen {
-		return nil, SearchStats{}, ErrNotFrozen
-	}
 	if k <= 0 {
 		k = 10
+	}
+	ac, stats, err := ix.scoreTopN(query, k, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	defer ix.putAccum(ac)
+	return ix.topKDense(ac, k), stats, nil
+}
+
+// ScoreTopN is ScoreQuery for the fragmented top-N scorer: it returns a
+// leased handle over the scores the (safe or budgeted) run accumulated.
+// Callers joining by DocID get exactly the scores SearchTopN would have
+// ranked; the handle must be Released.
+func (ix *Index) ScoreTopN(query string, k int, opts TopNOptions) (Scores, SearchStats, error) {
+	if k <= 0 {
+		k = 10
+	}
+	ac, stats, err := ix.scoreTopN(query, k, opts)
+	if err != nil {
+		return Scores{}, stats, err
+	}
+	return Scores{ix: ix, ac: ac}, stats, nil
+}
+
+// scoreTopN runs the top-N algorithm into a leased accumulator, which the
+// caller owns (and must return to the pool) on success.
+func (ix *Index) scoreTopN(query string, k int, opts TopNOptions) (*accum, SearchStats, error) {
+	if !ix.frozen {
+		return nil, SearchStats{}, ErrNotFrozen
 	}
 	opts = opts.withDefaults()
 	terms := dedupe(Analyze(query))
@@ -96,31 +98,27 @@ func (ix *Index) SearchTopN(query string, k int, opts TopNOptions) ([]Hit, Searc
 			continue
 		}
 		step := (len(pl.impactOrder) + opts.Fragments - 1) / opts.Fragments
-		st := &termState{term: t, list: pl.impactOrder, step: step}
-		st.ub = ix.scoreCeiling(t, st.list[0].TF)
+		st := &termState{list: pl.impactOrder, imp: pl.impImp, idf: pl.idf, step: step}
+		st.ub = scoreCeiling(st.idf, st.list[0].TF)
 		states = append(states, st)
 	}
+	ac := ix.getAccum()
 	var stats SearchStats
-	if len(states) == 0 {
-		return nil, stats, nil
-	}
-	scores := map[DocID]float64{}
 	switch {
-	case opts.MaxFragments > 0 && opts.Workers > 1:
-		ix.runBudgetParallel(states, scores, &stats, opts.MaxFragments, opts.Workers)
+	case len(states) == 0: // no known terms: empty, all scores zero
 	case opts.MaxFragments > 0:
-		ix.runBudget(states, scores, &stats, opts.MaxFragments)
+		runBudget(states, ac, &stats, opts.MaxFragments)
 	default:
-		ix.runSafe(states, scores, &stats, k)
+		runSafe(states, ac, &stats, k)
 	}
-	stats.DocsTouched = len(scores)
-	return topK(ix, scores, k), stats, nil
+	stats.DocsTouched = len(ac.touched)
+	return ac, stats, nil
 }
 
 // runBudget processes fragment rounds round-robin across terms: round r
 // takes the r-th fragment of every list. This is the horizontal
 // fragmentation schedule whose prefix defines the quality/time trade-off.
-func (ix *Index) runBudget(states []*termState, scores map[DocID]float64, stats *SearchStats, budget int) {
+func runBudget(states []*termState, ac *accum, stats *SearchStats, budget int) {
 	for round := 0; round < budget; round++ {
 		progressed := false
 		for _, st := range states {
@@ -128,7 +126,7 @@ func (ix *Index) runBudget(states []*termState, scores map[DocID]float64, stats 
 				continue
 			}
 			progressed = true
-			ix.processFragment(st, scores, stats)
+			processFragment(st, ac, stats)
 		}
 		if !progressed {
 			return // all lists exhausted before the budget ran out
@@ -142,40 +140,10 @@ func (ix *Index) runBudget(states []*termState, scores map[DocID]float64, stats 
 	}
 }
 
-// runBudgetParallel distributes the per-term fragment scoring of budget
-// mode across workers goroutines. Terms are independent until the final
-// merge: each worker drains one term's budgeted fragments into a private
-// score map, then the partials are folded into scores in term order — every
-// document receives its per-term contributions in the same order regardless
-// of scheduling, so the result is deterministic.
-func (ix *Index) runBudgetParallel(states []*termState, scores map[DocID]float64, stats *SearchStats, budget, workers int) {
-	partials := make([]map[DocID]float64, len(states))
-	partStats := make([]SearchStats, len(states))
-	forEachTerm(len(states), workers, func(i int) {
-		st := states[i]
-		local := map[DocID]float64{}
-		for round := 0; round < budget && st.pos < len(st.list); round++ {
-			ix.processFragment(st, local, &partStats[i])
-		}
-		partials[i] = local
-	})
-	exhausted := true
-	for i, st := range states {
-		for d, s := range partials[i] {
-			scores[d] += s
-		}
-		stats.PostingsScored += partStats[i].PostingsScored
-		if st.pos < len(st.list) {
-			exhausted = false
-		}
-	}
-	stats.Terminated = !exhausted
-}
-
 // runSafe processes fragments best-first (highest remaining ceiling) and
 // stops when no document outside the current top k can still climb into it.
-func (ix *Index) runSafe(states []*termState, scores map[DocID]float64, stats *SearchStats, k int) {
-	// The termination test walks the whole score map; running it after
+func runSafe(states []*termState, ac *accum, stats *SearchStats, k int) {
+	// The termination test walks every touched document; running it after
 	// every fragment would cost more than the postings it saves, so it
 	// runs every checkEvery fragments.
 	const checkEvery = 4
@@ -193,7 +161,7 @@ func (ix *Index) runSafe(states []*termState, scores map[DocID]float64, stats *S
 		if best == nil {
 			return // exhausted: exact result
 		}
-		ix.processFragment(best, scores, stats)
+		processFragment(best, ac, stats)
 		if round%checkEvery != 0 {
 			continue
 		}
@@ -207,8 +175,8 @@ func (ix *Index) runSafe(states []*termState, scores map[DocID]float64, stats *S
 		if ceiling == 0 {
 			return
 		}
-		if len(scores) >= k {
-			kth, trail := kthAndTrail(scores, k)
+		if len(ac.touched) >= k {
+			kth, trail := ac.kthAndTrail(k)
 			// A document outside the current top k (score <= trail) can
 			// reach at most trail+ceiling; an unseen document at most
 			// ceiling. If neither can pass the k-th score, stop.
@@ -221,86 +189,30 @@ func (ix *Index) runSafe(states []*termState, scores map[DocID]float64, stats *S
 }
 
 // processFragment scores the next fragment of st and updates its ceiling.
-func (ix *Index) processFragment(st *termState, scores map[DocID]float64, stats *SearchStats) {
+func processFragment(st *termState, ac *accum, stats *SearchStats) {
 	end := st.pos + st.step
 	if end > len(st.list) {
 		end = len(st.list)
 	}
-	for _, p := range st.list[st.pos:end] {
-		scores[p.Doc] += ix.bm25(st.term, p)
-		stats.PostingsScored++
+	for i := st.pos; i < end; i++ {
+		ac.add(st.list[i].Doc, float64(st.imp[i]))
 	}
+	stats.PostingsScored += end - st.pos
 	st.pos = end
 	if st.pos < len(st.list) {
-		st.ub = ix.scoreCeiling(st.term, st.list[st.pos].TF)
+		st.ub = scoreCeiling(st.idf, st.list[st.pos].TF)
 	} else {
 		st.ub = 0
 	}
 }
 
-// scoreCeiling bounds the BM25 score any posting with the given TF can
-// reach for the term (monotone in TF; the length-normalized denominator is
-// minimized at zero document length).
-func (ix *Index) scoreCeiling(term string, tf int32) float64 {
-	idf := ix.idf(term)
+// scoreCeiling bounds the impact any posting with the given TF can reach
+// for a term with the given idf (monotone in TF; the length-normalized
+// denominator is minimized at zero document length; slack covers float32
+// rounding of the stored impacts).
+func scoreCeiling(idf float64, tf int32) float64 {
 	f := float64(tf)
-	return idf * f * (bm25K1 + 1) / (f + bm25K1*(1-bm25B))
-}
-
-// kthAndTrail returns the k-th largest score and the largest score outside
-// the top k, in one O(n log k) pass over the score map.
-func kthAndTrail(scores map[DocID]float64, k int) (kth, trail float64) {
-	// top is a min-heap of the k largest scores seen so far.
-	top := make([]float64, 0, k)
-	for _, s := range scores {
-		if len(top) < k {
-			top = append(top, s)
-			siftUp(top)
-			continue
-		}
-		if s > top[0] {
-			evicted := top[0]
-			top[0] = s
-			siftDown(top)
-			if evicted > trail {
-				trail = evicted
-			}
-		} else if s > trail {
-			trail = s
-		}
-	}
-	return top[0], trail
-}
-
-func siftUp(h []float64) {
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if h[parent] <= h[i] {
-			break
-		}
-		h[parent], h[i] = h[i], h[parent]
-		i = parent
-	}
-}
-
-func siftDown(h []float64) {
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < len(h) && h[l] < h[smallest] {
-			smallest = l
-		}
-		if r < len(h) && h[r] < h[smallest] {
-			smallest = r
-		}
-		if smallest == i {
-			return
-		}
-		h[i], h[smallest] = h[smallest], h[i]
-		i = smallest
-	}
+	return idf * f * (bm25K1 + 1) / (f + bm25K1*(1-bm25B)) * ceilingSlack
 }
 
 // Overlap returns |a ∩ b| / max(|a|,|b|) over hit documents: the raw set

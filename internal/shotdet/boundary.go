@@ -120,6 +120,14 @@ type Detector struct {
 	// gradual-transition state
 	anchorHist *frame.Histogram
 	runLen     int
+	// scratch is a displaced histogram no longer referenced by the
+	// detector state, recycled by the streaming Feed path so steady-state
+	// ingest stops allocating one histogram per frame. prevOwned marks
+	// whether prevHist was allocated by Feed itself: histograms handed in
+	// through FeedHistogram belong to the caller and are never recycled
+	// (recycling would overwrite caller-held data on a later Feed).
+	scratch   *frame.Histogram
+	prevOwned bool
 }
 
 // NewDetector creates a streaming boundary detector.
@@ -128,9 +136,27 @@ func NewDetector(cfg Config) *Detector {
 }
 
 // Feed processes the next frame and reports a boundary ending at this frame
-// if one is detected. The first frame never yields a boundary.
+// if one is detected. The first frame never yields a boundary. The frame's
+// histogram is computed into a detector-owned scratch buffer, so streaming
+// ingest allocates nothing per frame in steady state.
 func (d *Detector) Feed(im *frame.Image) (Boundary, bool) {
-	return d.FeedHistogram(frame.HistogramOf(im, d.cfg.Bins))
+	h := d.scratch
+	d.scratch = nil
+	if h == nil || h.Bins != d.cfg.Bins {
+		h = frame.NewHistogram(d.cfg.Bins)
+	}
+	h.SetImage(im)
+	prev := d.prevHist
+	prevWasOwned := d.prevOwned
+	b, ok := d.FeedHistogram(h) // clears prevOwned: the public path is caller-owned
+	d.prevOwned = true          // ...but this h is Feed's own
+	// The displaced previous histogram can be reused for the next frame if
+	// Feed allocated it and the detector no longer holds it as the
+	// gradual-transition anchor.
+	if prevWasOwned && prev != nil && prev != d.anchorHist && prev != d.prevHist {
+		d.scratch = prev
+	}
+	return b, ok
 }
 
 // FeedHistogram is Feed for a precomputed frame histogram (with the
@@ -139,6 +165,7 @@ func (d *Detector) Feed(im *frame.Image) (Boundary, bool) {
 func (d *Detector) FeedHistogram(h *frame.Histogram) (Boundary, bool) {
 	idx := d.frameIdx
 	d.frameIdx++
+	d.prevOwned = false // h belongs to the caller; Feed overrides after its own calls
 	if d.prevHist == nil {
 		d.prevHist = h
 		return Boundary{}, false
@@ -236,14 +263,24 @@ const histChunk = 1024
 func DetectBoundaries(frames []*frame.Image, cfg Config) []Boundary {
 	d := NewDetector(cfg)
 	var out []Boundary
+	var hists []*frame.Histogram // chunk scratch, recycled across chunks
 	for start := 0; start < len(frames); start += histChunk {
 		end := start + histChunk
 		if end > len(frames) {
 			end = len(frames)
 		}
-		for _, h := range frame.HistogramsOf(frames[start:end], d.cfg.Bins, cfg.Workers) {
+		hists = frame.HistogramsInto(hists, frames[start:end], d.cfg.Bins, cfg.Workers)
+		for _, h := range hists {
 			if b, ok := d.FeedHistogram(h); ok {
 				out = append(out, b)
+			}
+		}
+		// Every histogram of this chunk can be overwritten by the next one
+		// except the two the detector still references: the previous frame's
+		// histogram and the gradual-transition anchor.
+		for i, h := range hists {
+			if h == d.prevHist || h == d.anchorHist {
+				hists[i] = nil
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 )
 
 // Binary persistence: a DB serializes to a single stream.
@@ -111,9 +112,26 @@ func Deserialize(r io.Reader) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: table %d: %w", i, err)
 		}
+		if _, dup := db.tables[t.schema.Name]; dup {
+			return nil, fmt.Errorf("store: table %d: %w: %q", i, ErrDupTable, t.schema.Name)
+		}
 		db.tables[t.schema.Name] = t
 	}
 	return db, nil
+}
+
+// maxPrealloc bounds speculative slice preallocation while deserializing: a
+// corrupt or hostile stream can claim billions of rows in a few bytes, and
+// allocating that up front would abort the process (unrecoverable OOM)
+// before the row reads could fail cleanly at EOF. Columns grow by append
+// past this, so memory use stays proportional to bytes actually read.
+const maxPrealloc = 1 << 16
+
+func preallocRows(n int) int {
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return n
 }
 
 func readTable(br *bufio.Reader) (*Table, error) {
@@ -159,41 +177,48 @@ func readTable(br *bufio.Reader) (*Table, error) {
 		col := &t.cols[ci]
 		switch col.typ {
 		case TInt:
-			col.ints = make([]int64, nRows)
+			col.ints = make([]int64, 0, preallocRows(nRows))
 			for i := 0; i < nRows; i++ {
 				v, err := binary.ReadVarint(br)
 				if err != nil {
 					return nil, err
 				}
-				col.ints[i] = v
+				col.ints = append(col.ints, v)
 			}
 		case TFloat:
-			col.flts = make([]float64, nRows)
+			col.flts = make([]float64, 0, preallocRows(nRows))
 			var b [8]byte
 			for i := 0; i < nRows; i++ {
 				if _, err := io.ReadFull(br, b[:]); err != nil {
 					return nil, err
 				}
-				col.flts[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+				col.flts = append(col.flts, math.Float64frombits(binary.LittleEndian.Uint64(b[:])))
 			}
 		case TString:
-			col.strs = make([]string, nRows)
+			col.strs = make([]string, 0, preallocRows(nRows))
 			for i := 0; i < nRows; i++ {
 				v, err := readString(br)
 				if err != nil {
 					return nil, err
 				}
-				col.strs[i] = v
+				col.strs = append(col.strs, v)
 			}
 		case TBool:
-			col.bls = make([]bool, nRows)
+			col.bls = make([]bool, 0, preallocRows(nRows))
 			nBytes := (nRows + 7) / 8
-			packed := make([]byte, nBytes)
-			if _, err := io.ReadFull(br, packed); err != nil {
-				return nil, err
-			}
-			for i := 0; i < nRows; i++ {
-				col.bls[i] = packed[i/8]&(1<<(i%8)) != 0
+			var chunk [4096]byte
+			for read := 0; read < nBytes; {
+				n := nBytes - read
+				if n > len(chunk) {
+					n = len(chunk)
+				}
+				if _, err := io.ReadFull(br, chunk[:n]); err != nil {
+					return nil, err
+				}
+				for i := 0; i < n*8 && len(col.bls) < nRows; i++ {
+					col.bls = append(col.bls, chunk[i/8]&(1<<(i%8)) != 0)
+				}
+				read += n
 			}
 		}
 	}
@@ -249,9 +274,26 @@ func readString(br *bufio.Reader) (string, error) {
 	if n > 1<<24 {
 		return "", fmt.Errorf("implausible string length %d", n)
 	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(br, b); err != nil {
-		return "", err
+	// Chunked read: a claimed length is only paid for as bytes arrive, so a
+	// corrupt header cannot force a large up-front allocation.
+	remaining := int(n)
+	grow := remaining
+	if grow > maxPrealloc {
+		grow = maxPrealloc
 	}
-	return string(b), nil
+	var sb strings.Builder
+	sb.Grow(grow)
+	var chunk [4096]byte
+	for remaining > 0 {
+		c := remaining
+		if c > len(chunk) {
+			c = len(chunk)
+		}
+		if _, err := io.ReadFull(br, chunk[:c]); err != nil {
+			return "", err
+		}
+		sb.Write(chunk[:c])
+		remaining -= c
+	}
+	return sb.String(), nil
 }

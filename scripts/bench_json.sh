@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# bench_json.sh — run the core perf benchmarks with -benchmem and write the
+# results as JSON, the machine-readable perf trajectory of the repo.
+#
+#   scripts/bench_json.sh [output.json]
+#
+# Env:
+#   BENCHTIME  go test -benchtime value (default 1s; CI smoke uses 1x)
+#   BENCH      benchmark regexp (default: the scoring-kernel set)
+#
+# The output schema is one object per benchmark line:
+#   {"name": ..., "iters": N, "ns_per_op": ..., "b_per_op": ..., "allocs_per_op": ...}
+# plus mb_per_s when the benchmark reports throughput.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR3.json}"
+BENCHTIME="${BENCHTIME:-1s}"
+BENCH="${BENCH:-BenchmarkIRQueryFull|BenchmarkE7TopNOptimization|BenchmarkDLSEQuery|BenchmarkDLSETextRank|BenchmarkHistogram\$|BenchmarkE2ShotBoundarySweep}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run=NONE -bench="$BENCH" -benchmem -benchtime="$BENCHTIME" . | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters = $2
+    ns = ""; bop = ""; aop = ""; mbs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns  = $i
+        if ($(i+1) == "B/op")      bop = $i
+        if ($(i+1) == "allocs/op") aop = $i
+        if ($(i+1) == "MB/s")      mbs = $i
+    }
+    if (ns == "") next
+    line = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (bop != "") line = line sprintf(", \"b_per_op\": %s", bop)
+    if (aop != "") line = line sprintf(", \"allocs_per_op\": %s", aop)
+    if (mbs != "") line = line sprintf(", \"mb_per_s\": %s", mbs)
+    line = line "}"
+    lines[n++] = line
+}
+/^(goos|goarch|pkg|cpu):/ { meta[$1] = $2 }
+END {
+    printf "{\n"
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"goos\": \"%s\",\n", meta["goos:"]
+    printf "  \"goarch\": \"%s\",\n", meta["goarch:"]
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
