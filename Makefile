@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json serve-smoke fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke bench-json bench-compare staticcheck serve-smoke fmt fmt-check vet ci
 
 all: build test
 
@@ -25,9 +25,25 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Machine-readable perf trajectory: run the scoring-kernel benchmark set
-# with -benchmem and write BENCH_PR3.json. BENCHTIME=1x for a smoke run.
+# with -benchmem and write BENCH_PR4.json (the committed trajectory point
+# of this PR; BENCH_PR3.json is the previous one). BENCHTIME=1x for smoke.
 bench-json:
 	bash scripts/bench_json.sh
+
+# Guard the perf trajectory: fail when BenchmarkIRQueryFull regressed more
+# than 3x against the previous committed point.
+bench-compare:
+	bash scripts/bench_compare.sh BENCH_PR3.json BENCH_PR4.json
+
+# staticcheck (honnef.co/go/tools). CI installs it; locally the target
+# skips with a notice when the binary is absent (this repo vendors nothing
+# and the build environment is offline).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # End-to-end daemon check: start dlserve on a random port, curl /healthz
 # and /query, shut down gracefully.
@@ -44,12 +60,15 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet build test race bench-smoke bench-json-smoke serve-smoke
+ci: fmt-check vet staticcheck build test race bench-smoke bench-json-smoke serve-smoke
 
 # The bench-json CI step: one iteration per benchmark, same script. Writes
-# to a scratch path so it never clobbers the committed BENCH_PR3.json (the
-# real trajectory point, regenerated deliberately via `make bench-json`).
+# to a scratch path so it never clobbers the committed BENCH_PR4.json (the
+# real trajectory point, regenerated deliberately via `make bench-json`),
+# then fails the build if the fresh run shows BenchmarkIRQueryFull more
+# than 3x slower than the previous committed point.
 .PHONY: bench-json-smoke
 bench-json-smoke:
 	BENCHTIME=1x bash scripts/bench_json.sh /tmp/bench_smoke.json
 	@cat /tmp/bench_smoke.json
+	bash scripts/bench_compare.sh BENCH_PR3.json /tmp/bench_smoke.json

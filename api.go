@@ -22,6 +22,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -40,6 +42,27 @@ import (
 // Re-exported core types. Aliases keep the internal packages as the single
 // source of truth while making the types usable by importers.
 type (
+	// Query is the unified v2 request: query-language text, structured
+	// request, keyword baseline, or scene lookup — exactly one form set.
+	Query = dlse.Query
+	// ResultSet is a v2 Search answer: one page of items plus cursor,
+	// total, snapshot, and optional explain payload.
+	ResultSet = dlse.ResultSet
+	// Item is one unified v2 answer.
+	Item = dlse.Item
+	// Cursor is an opaque pagination resume token.
+	Cursor = dlse.Cursor
+	// SearchOption tunes one Search call (WithLimit, WithCursor,
+	// WithExplain).
+	SearchOption = dlse.SearchOption
+	// Explain is the operator-DAG introspection payload of a Search.
+	Explain = dlse.Explain
+	// OpStat is one explain entry: operator, wall time, rows, kernel stats.
+	OpStat = dlse.OpStat
+	// Stream is a pull iterator over a ResultSet's full answer.
+	Stream = dlse.Stream
+	// QueryError is a structured query-language error with position info.
+	QueryError = dlse.QueryError
 	// Image is an interleaved 8-bit RGB raster frame.
 	Image = frame.Image
 	// Video describes one indexed video document.
@@ -69,6 +92,35 @@ type (
 	// Hit is one full-text retrieval result.
 	Hit = ir.Hit
 )
+
+// The typed error taxonomy of the v2 query surface. Callers branch with
+// errors.Is; the HTTP layer maps them onto statuses.
+var (
+	// ErrParse reports malformed query text (wrapped by *QueryError with
+	// the byte offset of the problem).
+	ErrParse = dlse.ErrParse
+	// ErrUnknownConcept reports a well-formed query naming a class, role,
+	// or attribute the schema does not declare.
+	ErrUnknownConcept = dlse.ErrUnknownConcept
+	// ErrNoIndex reports a content-based query against an engine without
+	// an indexed video library.
+	ErrNoIndex = dlse.ErrNoIndex
+	// ErrBadCursor reports a malformed cursor, or one minted for a
+	// different query.
+	ErrBadCursor = dlse.ErrBadCursor
+)
+
+// WithLimit sets the Search page size; the ResultSet carries a cursor to
+// the remainder.
+func WithLimit(n int) SearchOption { return dlse.WithLimit(n) }
+
+// WithCursor resumes a paginated Search from a cursor returned by an
+// earlier page of the same query.
+func WithCursor(c Cursor) SearchOption { return dlse.WithCursor(c) }
+
+// WithExplain attaches the planner's operator DAG with per-operator
+// timings and kernel stats to the ResultSet.
+func WithExplain() SearchOption { return dlse.WithExplain() }
 
 // DefaultBroadcastConfig returns the standard synthetic broadcast
 // configuration for the given seed.
@@ -342,9 +394,20 @@ func GenerateSite(cfg SiteConfig) (*Site, error) {
 
 // DigitalLibrary is the complete demo engine: conceptual + text + video
 // retrieval over one site.
+//
+// Internally it holds an immutable engine snapshot behind an atomic
+// pointer: every query runs against the snapshot current at its start, and
+// Swap installs a rebuilt snapshot without disturbing queries in flight. A
+// DigitalLibrary is safe for concurrent use from any number of goroutines,
+// Swap included.
 type DigitalLibrary struct {
-	engine *dlse.Engine
+	engine atomic.Pointer[dlse.Engine]
 	site   *webspace.Site
+
+	// mu serializes Swap and guards servers, the serving layers that must
+	// follow a swap.
+	mu      sync.Mutex
+	servers []*Server
 }
 
 // NewDigitalLibrary combines a generated site with an indexed video
@@ -358,25 +421,78 @@ func NewDigitalLibrary(site *Site, lib *Library) (*DigitalLibrary, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DigitalLibrary{engine: e, site: site}, nil
+	dl := &DigitalLibrary{site: site}
+	dl.engine.Store(e)
+	return dl, nil
 }
+
+// Search is the unified v2 query entrypoint: one call covering the
+// query-language string, the structured request, the keyword baseline, and
+// the scene lookup (Query's four forms), with cursor pagination
+// (WithLimit/WithCursor), a streaming iterator (ResultSet.Stream), and
+// optional explain plans (WithExplain).
+//
+// Pagination is deterministic: on an unchanged snapshot, walking all pages
+// via cursors reproduces the unpaginated answer exactly. Failures use the
+// typed taxonomy (ErrParse, ErrUnknownConcept, ErrNoIndex, ErrBadCursor).
+func (dl *DigitalLibrary) Search(ctx context.Context, q Query, opts ...SearchOption) (*ResultSet, error) {
+	return dl.engine.Load().Search(ctx, q, opts...)
+}
+
+// Swap atomically replaces the library's engine snapshot with one rebuilt
+// over the same site and the given (re)indexed video library (nil for a
+// text/concept-only engine). Queries in flight finish on the snapshot they
+// started with; servers created by NewServer follow the swap and can never
+// serve results of a superseded snapshot from their caches.
+func (dl *DigitalLibrary) Swap(lib *Library) error {
+	var idx *core.MetaIndex
+	if lib != nil {
+		idx = lib.index
+	}
+	e, err := dlse.New(dl.site, idx)
+	if err != nil {
+		return err
+	}
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	dl.engine.Store(e)
+	for _, s := range dl.servers {
+		s.Swap(e)
+	}
+	return nil
+}
+
+// Snapshot identifies the current engine snapshot; it changes on every
+// Swap. ResultSets and cursors carry the snapshot they were computed on.
+func (dl *DigitalLibrary) Snapshot() int64 { return dl.engine.Load().Snapshot() }
 
 // Query parses and runs a combined query in the demo query language, e.g.:
 //
 //	find Player where sex = "female" and handedness = "left"
 //	  and exists wonFinals
 //	scenes "net-play" via wonFinals.video
+//
+// Deprecated: use Search with Query{Source: text}, which adds pagination,
+// streaming, and explain plans. Query remains as a thin shim over Search
+// and behaves exactly as before.
 func (dl *DigitalLibrary) Query(text string) ([]Result, error) {
-	req, err := dlse.ParseRequest(dl.site.W.Schema(), text)
+	rs, err := dl.Search(context.Background(), Query{Source: text})
 	if err != nil {
 		return nil, err
 	}
-	return dl.engine.Query(req)
+	return itemsToResults(rs.Items), nil
 }
 
 // QueryStruct runs a pre-built structured request.
+//
+// Deprecated: use Search with Query{Request: &req}. QueryStruct remains as
+// a thin shim over Search and behaves exactly as before.
 func (dl *DigitalLibrary) QueryStruct(req Request) ([]Result, error) {
-	return dl.engine.Query(req)
+	rs, err := dl.Search(context.Background(), Query{Request: &req})
+	if err != nil {
+		return nil, err
+	}
+	return itemsToResults(rs.Items), nil
 }
 
 // QueryContext runs a structured request under a context on the concurrent
@@ -384,13 +500,34 @@ func (dl *DigitalLibrary) QueryStruct(req Request) ([]Result, error) {
 // selection, scene retrieval, text ranking) execute in parallel and merge
 // deterministically. A DigitalLibrary is safe for concurrent QueryContext
 // calls from any number of goroutines.
+//
+// Deprecated: use Search with Query{Request: &req}. QueryContext remains
+// as a thin shim over Search and behaves exactly as before.
 func (dl *DigitalLibrary) QueryContext(ctx context.Context, req Request) ([]Result, error) {
-	return dl.engine.QueryContext(ctx, req)
+	rs, err := dl.Search(ctx, Query{Request: &req})
+	if err != nil {
+		return nil, err
+	}
+	return itemsToResults(rs.Items), nil
+}
+
+// itemsToResults converts unified v2 items back to the v1 result shape the
+// deprecated shims return. The merge produces the same objects, scores,
+// and scene slices either way, so shim output is byte-identical to the
+// pre-redesign engines'.
+func itemsToResults(items []Item) []Result {
+	out := make([]Result, 0, len(items))
+	for _, it := range items {
+		out = append(out, Result{Object: it.Object, Score: it.Score, Scenes: it.Scenes})
+	}
+	return out
 }
 
 // Server is the long-lived query-serving layer: a sharded LRU result cache
-// over the engine plus an http.Handler exposing /query, /keyword, /scenes,
-// and /healthz as JSON. It is what cmd/dlserve runs.
+// over the engine plus an http.Handler exposing the v1 endpoints (/query,
+// /keyword, /scenes, /healthz) and the v2 surface (/v2/search with cursor
+// pagination and explain plans, /v2/reload for hot reindexing) as JSON. It
+// is what cmd/dlserve runs.
 type Server = serve.Server
 
 // ServerOptions tunes NewServer (cache capacity, shard count, and the
@@ -399,13 +536,31 @@ type ServerOptions = serve.Options
 
 // NewServer wraps a digital library in the serving layer, giving importers
 // the same cached, concurrency-safe query path the dlserve daemon uses.
+// The server is registered with the library: a later Swap propagates to
+// it, atomically and without invalidating in-flight requests.
 func NewServer(lib *DigitalLibrary, opts ServerOptions) *Server {
-	return serve.New(lib.engine, opts)
+	lib.mu.Lock()
+	defer lib.mu.Unlock()
+	s := serve.New(lib.engine.Load(), opts)
+	lib.servers = append(lib.servers, s)
+	return s
 }
 
 // KeywordSearch is the flattened-pages keyword baseline.
+//
+// Deprecated: use Search with Query{Keyword: query} and WithLimit(k),
+// which adds pagination and explain plans. KeywordSearch remains as a thin
+// shim over Search and behaves exactly as before.
 func (dl *DigitalLibrary) KeywordSearch(query string, k int) ([]Hit, error) {
-	return dl.engine.KeywordSearch(query, k)
+	rs, err := dl.Search(context.Background(), Query{Keyword: query}, WithLimit(k))
+	if err != nil {
+		return nil, err
+	}
+	hits := make([]Hit, 0, len(rs.Items))
+	for _, it := range rs.Items {
+		hits = append(hits, Hit{Doc: it.Doc, Name: it.Page, Score: it.Score})
+	}
+	return hits, nil
 }
 
 // MotivatingQuery returns the paper's running example in query-language

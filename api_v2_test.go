@@ -1,0 +1,305 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// v2Site generates the site used by the v2 facade tests.
+func v2Site(t testing.TB) *Site {
+	t.Helper()
+	site, err := GenerateSite(SiteConfig{Players: 32, YearStart: 1999, YearEnd: 2001, Seed: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return site
+}
+
+// v2Library builds a Library whose meta-index holds synthetic net-play and
+// rally events for every final's video — deterministically, so two calls
+// produce byte-identical indexes (the "reindex yielded the same content"
+// swap case). extraEvents appends that many additional events, producing a
+// distinguishable snapshot.
+func v2Library(t testing.TB, site *Site, extraEvents int) *Library {
+	t.Helper()
+	lib, err := NewLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := lib.Index()
+	for _, vid := range site.W.All("Video") {
+		v, _ := site.W.Get(vid)
+		id, err := idx.AddVideo(Video{Name: v.StringAttr("name"), Width: 160, Height: 120, FPS: 25, Frames: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, err := idx.AddSegment(Segment{VideoID: id, Interval: Interval{Start: 0, End: 200}, Class: "tennis"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := idx.AddEvent(Event{VideoID: id, SegmentID: seg, Kind: "net-play", Interval: Interval{Start: 120, End: 180}, Confidence: 0.9}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := idx.AddEvent(Event{VideoID: id, SegmentID: seg, Kind: "rally", Interval: Interval{Start: 0, End: 100}, Confidence: 0.8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vids, err := idx.Videos()
+	if err != nil || len(vids) == 0 {
+		t.Fatalf("videos: %v", err)
+	}
+	for i := 0; i < extraEvents; i++ {
+		if _, err := idx.AddEvent(Event{VideoID: vids[0].ID, Kind: "net-play",
+			Interval: Interval{Start: 300 + 10*i, End: 305 + 10*i}, Confidence: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return lib
+}
+
+// TestV2PaginationDeterminismAcrossSwap is the acceptance lock for the
+// cursor contract: walking all pages via cursors yields exactly the
+// byte-identical result list of an unpaginated query — while other
+// goroutines run concurrent Searches and the engine is hot-swapped (to an
+// identically-rebuilt snapshot) mid-walk. Run under -race by `make race`.
+func TestV2PaginationDeterminismAcrossSwap(t *testing.T) {
+	site := v2Site(t)
+	dl, err := NewDigitalLibrary(site, v2Library(t, site, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	q := Query{Source: `find Player where sex = "female" and exists wonFinals` +
+		` scenes "net-play" via wonFinals.video rank "australian open final"`}
+
+	golden, err := dl.Search(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden.Total < 3 {
+		t.Fatalf("fixture too small: %d results", golden.Total)
+	}
+
+	var wg sync.WaitGroup
+
+	// The swapper: rebuild an identical library and install it, repeatedly,
+	// while walks are in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			if err := dl.Swap(v2Library(t, site, 0)); err != nil {
+				t.Errorf("swap: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Unpaginated searchers.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 8; r++ {
+				rs, err := dl.Search(ctx, q)
+				if err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+				if !reflect.DeepEqual(rs.Items, golden.Items) {
+					t.Error("concurrent search diverged across swap")
+					return
+				}
+			}
+		}()
+	}
+
+	// Cursor walkers: every page size must concatenate to the golden list.
+	for _, pageSize := range []int{1, 2, 3} {
+		wg.Add(1)
+		go func(pageSize int) {
+			defer wg.Done()
+			for r := 0; r < 4; r++ {
+				var walked []Item
+				cursor := Cursor("")
+				for {
+					page, err := dl.Search(ctx, q, WithLimit(pageSize), WithCursor(cursor))
+					if err != nil {
+						t.Errorf("page (size %d): %v", pageSize, err)
+						return
+					}
+					walked = append(walked, page.Items...)
+					if page.Cursor == "" {
+						break
+					}
+					cursor = page.Cursor
+					if len(walked) > golden.Total {
+						t.Errorf("walk (size %d) overran the answer", pageSize)
+						return
+					}
+				}
+				if !reflect.DeepEqual(walked, golden.Items) {
+					t.Errorf("cursor walk (size %d) diverged from unpaginated answer", pageSize)
+					return
+				}
+			}
+		}(pageSize)
+	}
+	wg.Wait()
+}
+
+// TestV2ShimParity locks the deprecation contract: every v1 method
+// produces exactly what routing the same retrieval through Search yields,
+// and what the pre-redesign engine produced (the existing v1 tests cover
+// the latter; this test pins shim ↔ Search agreement).
+func TestV2ShimParity(t *testing.T) {
+	site := v2Site(t)
+	dl, err := NewDigitalLibrary(site, v2Library(t, site, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	src := `find Player where exists wonFinals scenes "net-play" via wonFinals.video rank "australian open final" limit 5`
+
+	v1, err := dl.Query(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v1) == 0 {
+		t.Fatal("no results")
+	}
+	rs, err := dl.Search(ctx, Query{Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v1, itemsToResults(rs.Items)) {
+		t.Fatal("Query shim diverges from Search")
+	}
+
+	req := Request{Class: "Player", Text: "final", Limit: 4}
+	vs, err := dl.QueryStruct(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := dl.QueryContext(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vs, vc) {
+		t.Fatal("QueryStruct and QueryContext diverge")
+	}
+	rs2, err := dl.Search(ctx, Query{Request: &req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vs, itemsToResults(rs2.Items)) {
+		t.Fatal("QueryStruct shim diverges from Search")
+	}
+
+	hits, err := dl.KeywordSearch("australian open final", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("keyword baseline found nothing")
+	}
+	kw, err := dl.Search(ctx, Query{Keyword: "australian open final"}, WithLimit(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != len(kw.Items) {
+		t.Fatalf("keyword shim %d hits, Search %d items", len(hits), len(kw.Items))
+	}
+	for i, h := range hits {
+		if h.Name != kw.Items[i].Page || h.Doc != kw.Items[i].Doc || h.Score != kw.Items[i].Score {
+			t.Fatalf("keyword hit %d diverges", i)
+		}
+	}
+}
+
+// TestV2SwapVisibility checks that a swap to *different* content is
+// observed: new scenes appear, the snapshot moves, and servers created via
+// NewServer follow along.
+func TestV2SwapVisibility(t *testing.T) {
+	site := v2Site(t)
+	dl, err := NewDigitalLibrary(site, v2Library(t, site, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	srv := NewServer(dl, ServerOptions{CacheSize: 16})
+
+	before, err := dl.Search(ctx, Query{Scenes: "net-play"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapBefore := dl.Snapshot()
+	if _, cached, err := srv.Search(ctx, Query{Scenes: "net-play"}, "", 0, false); err != nil || cached {
+		t.Fatalf("cold server search: cached=%t err=%v", cached, err)
+	}
+
+	if err := dl.Swap(v2Library(t, site, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if dl.Snapshot() == snapBefore {
+		t.Fatal("snapshot unchanged after swap")
+	}
+	after, err := dl.Search(ctx, Query{Scenes: "net-play"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Total != before.Total+2 {
+		t.Fatalf("post-swap scenes = %d, want %d", after.Total, before.Total+2)
+	}
+	// The registered server followed the swap: no stale cache serve, new
+	// engine visible.
+	got, cached, err := srv.Search(ctx, Query{Scenes: "net-play"}, "", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("server served pre-swap cache entry after swap")
+	}
+	if got.Total != after.Total || srv.Engine().Snapshot() != dl.Snapshot() {
+		t.Fatal("server did not follow the swap")
+	}
+
+	// Typed errors surface through the facade.
+	if _, err := dl.Search(ctx, Query{Source: "find Ghost"}); !errors.Is(err, ErrUnknownConcept) {
+		t.Fatalf("unknown concept: %v", err)
+	}
+	var qe *QueryError
+	_, err = dl.Search(ctx, Query{Source: `find Player where sex = "oops`})
+	if !errors.Is(err, ErrParse) || !errors.As(err, &qe) {
+		t.Fatalf("parse taxonomy: %v", err)
+	}
+}
+
+// TestV2StreamFacade exercises the streaming iterator through the facade.
+func TestV2StreamFacade(t *testing.T) {
+	site := v2Site(t)
+	dl, err := NewDigitalLibrary(site, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := dl.Search(context.Background(), Query{Keyword: "australian open final"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := dl.Search(context.Background(), Query{Keyword: "australian open final"}, WithLimit(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for st := page.Stream(); ; n++ {
+		if _, ok := st.Next(); !ok {
+			break
+		}
+	}
+	if n != full.Total {
+		t.Fatalf("stream yielded %d items, want %d", n, full.Total)
+	}
+}

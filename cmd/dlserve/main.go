@@ -1,17 +1,27 @@
 // Command dlserve is the long-lived digital library search daemon: it
 // builds the engine once (synthetic Australian Open site + optional video
 // meta-index from cobraindex) and serves combined, keyword, and scene
-// queries over HTTP with a sharded LRU result cache.
+// queries over HTTP with a sharded LRU result cache — including the v2
+// unified surface with cursor pagination and explain plans.
 //
 // Usage:
 //
 //	dlserve -addr :8372 -meta meta.db -cache-size 4096 -workers 8
 //
 //	curl 'http://localhost:8372/healthz'
+//	curl --get 'http://localhost:8372/v2/search' \
+//	     --data-urlencode 'q=find Player where sex = "female"' \
+//	     --data-urlencode 'limit=10'
+//	curl --get 'http://localhost:8372/v2/search' --data-urlencode 'kw=champion' \
+//	     --data-urlencode 'explain=1'
+//	curl -X POST 'http://localhost:8372/v2/reload'
 //	curl --get 'http://localhost:8372/query' \
-//	     --data-urlencode 'q=find Player where sex = "female" and handedness = "left"'
-//	curl --get 'http://localhost:8372/keyword' --data-urlencode 'q=left-handed champion'
-//	curl 'http://localhost:8372/scenes?kind=net-play'
+//	     --data-urlencode 'q=find Player where handedness = "left"'   # v1
+//
+// Online reindexing: SIGHUP (or POST /v2/reload) re-reads the -meta file
+// and hot-swaps the engine atomically — queries in flight finish on the
+// snapshot they started with, no request is dropped, and the result cache
+// can never serve answers of a superseded snapshot.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // finish (up to a 5s drain) before the process exits.
@@ -40,7 +50,7 @@ func main() {
 	log.SetPrefix("dlserve: ")
 	var (
 		addr      = flag.String("addr", ":8372", "listen address (host:port; port 0 picks a free port)")
-		metaPath  = flag.String("meta", "", "meta-index file from cobraindex (optional)")
+		metaPath  = flag.String("meta", "", "meta-index file from cobraindex (optional; reloaded on SIGHUP)")
 		cacheSize = flag.Int("cache-size", 1024, "query cache capacity in entries (negative disables)")
 		workers   = flag.Int("workers", 0, "max queries executing concurrently (0 = unbounded)")
 		players   = flag.Int("players", 64, "site size: number of players")
@@ -55,23 +65,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var idx *core.MetaIndex
-	if *metaPath != "" {
-		f, err := os.Open(*metaPath)
-		if err != nil {
-			log.Fatal(err)
+	// buildEngine (re)builds an engine over the fixed site and the current
+	// contents of the meta file — the startup path and the hot-reload path
+	// are the same code.
+	buildEngine := func() (*dlse.Engine, error) {
+		var idx *core.MetaIndex
+		if *metaPath != "" {
+			f, err := os.Open(*metaPath)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			idx, err = core.DeserializeMetaIndex(f)
+			if err != nil {
+				return nil, err
+			}
 		}
-		idx, err = core.DeserializeMetaIndex(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
+		return dlse.New(site, idx)
 	}
-	engine, err := dlse.New(site, idx)
+	engine, err := buildEngine()
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv := serve.New(engine, serve.Options{CacheSize: *cacheSize, Workers: *workers})
+	srv.SetReloader(func(ctx context.Context) (*dlse.Engine, error) { return buildEngine() })
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -82,10 +99,29 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// SIGHUP: reload the meta-index and hot-swap without dropping queries.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			t0 := time.Now()
+			e2, err := buildEngine()
+			if err != nil {
+				log.Printf("SIGHUP reload failed (still serving snapshot %d): %v",
+					srv.Engine().Snapshot(), err)
+				continue
+			}
+			srv.Swap(e2)
+			stats := e2.VideoIndex().Stats()
+			log.Printf("SIGHUP reload: snapshot %d live in %v (videos=%d, events=%d)",
+				e2.Snapshot(), time.Since(t0).Round(time.Millisecond), stats.Videos, stats.Events)
+		}
+	}()
+
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.Serve(ln) }()
-	log.Printf("listening on http://%s (docs=%d, cache=%d entries, workers=%d)",
-		ln.Addr(), engine.TextIndex().Docs(), *cacheSize, *workers)
+	log.Printf("listening on http://%s (docs=%d, snapshot=%d, cache=%d entries, workers=%d)",
+		ln.Addr(), engine.TextIndex().Docs(), engine.Snapshot(), *cacheSize, *workers)
 
 	select {
 	case err := <-done:
@@ -93,6 +129,8 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Print("shutting down")
+	signal.Stop(hup)
+	close(hup)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -10,6 +10,7 @@ package dlse
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/ir"
@@ -32,7 +33,12 @@ type Engine struct {
 	pageObj map[ir.DocID]int64
 	// objDocs maps object IDs to their page doc IDs.
 	objDocs map[int64][]ir.DocID
+	// snap is this engine's process-unique snapshot ID (see Snapshot).
+	snap int64
 }
+
+// snapshots issues process-unique engine snapshot IDs.
+var snapshots atomic.Int64
 
 // New builds the engine over a generated site and a (possibly empty) video
 // meta-index. The site's pages are indexed for full-text retrieval.
@@ -53,6 +59,7 @@ func New(site *webspace.Site, video *core.MetaIndex) (*Engine, error) {
 		video:   video,
 		pageObj: map[ir.DocID]int64{},
 		objDocs: map[int64][]ir.DocID{},
+		snap:    snapshots.Add(1),
 	}
 	for _, pg := range site.Pages {
 		id, err := e.text.Add(pg.Name, pg.Text)
@@ -65,6 +72,12 @@ func New(site *webspace.Site, video *core.MetaIndex) (*Engine, error) {
 	e.text.Freeze()
 	return e, nil
 }
+
+// Snapshot returns the engine's process-unique snapshot ID, assigned at
+// construction. Engines are immutable, so the ID identifies one frozen view
+// of site + indexes; hot-swapping installs an engine with a new ID. Result
+// sets and cursors carry it for observability.
+func (e *Engine) Snapshot() int64 { return e.snap }
 
 // Space returns the conceptual layer.
 func (e *Engine) Space() *webspace.Webspace { return e.space }

@@ -1,0 +1,64 @@
+package dlse
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The v2 error taxonomy. Every failure of the query surface is classified
+// under one of these sentinels so callers (the HTTP layer above all) can
+// branch with errors.Is instead of string matching:
+//
+//   - ErrParse: the query text is malformed — lexical or syntactic. A
+//     malformed query can never crash the engine; it always surfaces here.
+//   - ErrUnknownConcept: the query is well-formed but names a class, role,
+//     or attribute the schema does not declare.
+//   - ErrNoIndex: a content-based part of the query needs a video
+//     meta-index and the engine has none (no videos indexed).
+//   - ErrBadCursor: a pagination cursor is malformed, or belongs to a
+//     different query than the one it was presented with.
+//
+// Parse-side failures carry position info through *QueryError, which wraps
+// ErrParse or ErrUnknownConcept.
+var (
+	ErrParse          = errors.New("dlse: malformed query")
+	ErrUnknownConcept = errors.New("dlse: unknown concept")
+	ErrNoIndex        = errors.New("dlse: no video index")
+	ErrBadCursor      = errors.New("dlse: bad cursor")
+)
+
+// QueryError is a structured query-language error: what went wrong and
+// where. It wraps ErrParse (syntax) or ErrUnknownConcept (schema), so both
+// errors.Is(err, ErrParse) and errors.As(err, *QueryError) work.
+type QueryError struct {
+	// Kind is the sentinel this error specializes: ErrParse or
+	// ErrUnknownConcept.
+	Kind error
+	// Pos is the byte offset into the query text where the problem was
+	// detected, -1 when no position applies (e.g. unexpected end of input
+	// reports len(src)).
+	Pos int
+	// Msg describes the problem.
+	Msg string
+}
+
+// Error renders the message with its position.
+func (e *QueryError) Error() string {
+	if e.Pos < 0 {
+		return "dlse: " + e.Msg
+	}
+	return fmt.Sprintf("dlse: %s (at offset %d)", e.Msg, e.Pos)
+}
+
+// Unwrap exposes the sentinel for errors.Is.
+func (e *QueryError) Unwrap() error { return e.Kind }
+
+// parseErr builds a syntax QueryError.
+func parseErr(pos int, format string, args ...any) *QueryError {
+	return &QueryError{Kind: ErrParse, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// conceptErr builds a schema QueryError.
+func conceptErr(pos int, format string, args ...any) *QueryError {
+	return &QueryError{Kind: ErrUnknownConcept, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,97 @@
+package dlse
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/webspace"
+)
+
+// fuzzSchema builds one small site schema shared by every fuzz execution
+// (site generation is far more expensive than a parse).
+var fuzzSchema = sync.OnceValue(func() *webspace.Schema {
+	site, err := webspace.GenerateAusOpen(webspace.SiteConfig{
+		Players: 8, YearStart: 2000, YearEnd: 2001, Seed: 7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return site.W.Schema()
+})
+
+// FuzzParseRequest locks the parser's crash-freedom contract: any input —
+// well-formed, malformed, or hostile — either parses or fails with the
+// typed error taxonomy (ErrParse / ErrUnknownConcept). It must never
+// panic, hang, or return an unclassified error; a malformed user query can
+// never take down the daemon.
+func FuzzParseRequest(f *testing.F) {
+	seeds := []string{
+		// The paper's running example.
+		MotivatingQueryText,
+		// Every query-language string exercised by the test suites.
+		`find Player where sex = "female" and handedness = "left" and exists wonFinals scenes "net-play" via wonFinals.video rank "champion"`,
+		`find Player where handedness = "left"`,
+		`find Final scenes "rally" via video`,
+		`find Player where exists wonFinals rank "final champion" limit 4`,
+		`find Player where exists wonFinals rank "dream childhood crowd" via interviews limit 5`,
+		`find Player limit 3`,
+		`find Player`,
+		`find Player where sex = "female"`,
+		`find Player where sex = female`,
+		`find Final where year >= 2000 and category != "men"`,
+		`find Player where contains(bio, "baseline")`,
+		`find Player where contains(wonFinals.report, "championship")`,
+		`find Player where exists wonFinals scenes "rally" via wonFinals.video required`,
+		`find Player rank "tennis" limit 2`,
+		`find Player where wonFinals.year = 2001`,
+		`find Player where exists wonFinals rank "champion final" limit 0`,
+		`find Player where sex = "female" and exists wonFinals scenes "net-play" via wonFinals.video rank "australian open final" limit 6`,
+		// The malformed corpus.
+		``,
+		`where sex = "f"`,
+		`find Ghost`,
+		`find Player where rank = 1`,
+		`find Player where wonFinals.ghost = 1`,
+		`find Player where nothere.year = 1`,
+		`find Player where year = "x" trailing`,
+		`find Final where year = "notanumber"`,
+		`find Player scenes "x"`,
+		`find Player limit many`,
+		`find Player where contains(bio "x")`,
+		`find Player where sex = "unterminated`,
+		// Lexical edge shapes.
+		`find Player where year ! 1`,
+		`find Player limit -3`,
+		`find Player limit 99999999999999999999`,
+		`find Player where sex = "\x00\xff"`,
+		"find Player\x00",
+		`find Player where a.b.c.d.e.f = 1`,
+		`find . . .`,
+		`(((((`,
+		`find Player where contains(((`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	schema := fuzzSchema()
+	f.Fuzz(func(t *testing.T, src string) {
+		req, err := ParseRequest(schema, src)
+		if err == nil {
+			// A parse that succeeded must round-trip through the canonical
+			// key without panicking (it feeds caches and cursors).
+			_ = req.CanonicalKey()
+			return
+		}
+		if !errors.Is(err, ErrParse) && !errors.Is(err, ErrUnknownConcept) {
+			t.Fatalf("unclassified parse error for %q: %v", src, err)
+		}
+		var qe *QueryError
+		if !errors.As(err, &qe) {
+			t.Fatalf("parse error is not a *QueryError for %q: %v", src, err)
+		}
+		if qe.Pos < -1 || qe.Pos > len(src) {
+			t.Fatalf("error position %d out of range for %q", qe.Pos, src)
+		}
+	})
+}

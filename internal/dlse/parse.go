@@ -1,7 +1,6 @@
 package dlse
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 
@@ -31,6 +30,12 @@ import (
 //	value  := STRING | NUMBER | "true" | "false" | IDENT
 //
 // Attribute values are coerced using the schema's declared types.
+//
+// Errors: every failure is a *QueryError carrying the byte offset of the
+// offending token — syntax problems wrap ErrParse, references to classes,
+// roles, or attributes the schema does not declare wrap ErrUnknownConcept.
+// Malformed input can only ever produce one of those; it never panics
+// (locked in by FuzzParseRequest).
 
 // ParseRequest parses the query text against the schema.
 func ParseRequest(schema *webspace.Schema, src string) (Request, error) {
@@ -38,13 +43,14 @@ func ParseRequest(schema *webspace.Schema, src string) (Request, error) {
 	if err != nil {
 		return Request{}, err
 	}
-	p := &qparser{toks: toks, schema: schema}
+	p := &qparser{toks: toks, eof: len(src), schema: schema}
 	return p.parse()
 }
 
 type qtok struct {
-	kind string // "ident", "string", "number", "op", "punct"
+	kind string // "ident", "string", "number", "op", "punct", "eof"
 	text string
+	pos  int // byte offset of the token's first character
 }
 
 func lexQuery(src string) ([]qtok, error) {
@@ -61,12 +67,12 @@ func lexQuery(src string) ([]qtok, error) {
 				j++
 			}
 			if j >= len(src) {
-				return nil, fmt.Errorf("dlse: unterminated string at %d", i)
+				return nil, parseErr(i, "unterminated string")
 			}
-			toks = append(toks, qtok{"string", src[i+1 : j]})
+			toks = append(toks, qtok{"string", src[i+1 : j], i})
 			i = j + 1
 		case c == '(' || c == ')' || c == ',' || c == '.':
-			toks = append(toks, qtok{"punct", string(c)})
+			toks = append(toks, qtok{"punct", string(c), i})
 			i++
 		case c == '=' || c == '<' || c == '>' || c == '!':
 			j := i + 1
@@ -75,26 +81,26 @@ func lexQuery(src string) ([]qtok, error) {
 			}
 			op := src[i:j]
 			if op == "!" {
-				return nil, fmt.Errorf("dlse: bad operator at %d", i)
+				return nil, parseErr(i, "bad operator %q", op)
 			}
-			toks = append(toks, qtok{"op", op})
+			toks = append(toks, qtok{"op", op, i})
 			i = j
 		case c >= '0' && c <= '9' || c == '-':
 			j := i + 1
 			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
 				j++
 			}
-			toks = append(toks, qtok{"number", src[i:j]})
+			toks = append(toks, qtok{"number", src[i:j], i})
 			i = j
 		case isIdentChar(c):
 			j := i
 			for j < len(src) && isIdentChar(src[j]) {
 				j++
 			}
-			toks = append(toks, qtok{"ident", src[i:j]})
+			toks = append(toks, qtok{"ident", src[i:j], i})
 			i = j
 		default:
-			return nil, fmt.Errorf("dlse: unexpected character %q at %d", c, i)
+			return nil, parseErr(i, "unexpected character %q", c)
 		}
 	}
 	return toks, nil
@@ -107,12 +113,13 @@ func isIdentChar(c byte) bool {
 type qparser struct {
 	toks   []qtok
 	i      int
+	eof    int // src length: the position reported at end of input
 	schema *webspace.Schema
 }
 
 func (p *qparser) peek() qtok {
 	if p.i >= len(p.toks) {
-		return qtok{"eof", ""}
+		return qtok{"eof", "", p.eof}
 	}
 	return p.toks[p.i]
 }
@@ -135,15 +142,15 @@ func (p *qparser) keyword(word string) bool {
 func (p *qparser) parse() (Request, error) {
 	var req Request
 	if !p.keyword("find") {
-		return req, fmt.Errorf("dlse: query must start with 'find'")
+		return req, parseErr(p.peek().pos, "query must start with 'find'")
 	}
 	cls := p.next()
 	if cls.kind != "ident" {
-		return req, fmt.Errorf("dlse: expected class after find")
+		return req, parseErr(cls.pos, "expected class after find")
 	}
 	req.Class = cls.text
-	if _, ok := p.schema.Classes[req.Class]; !ok {
-		return req, fmt.Errorf("dlse: unknown class %q", req.Class)
+	if p.class(req.Class) == nil {
+		return req, conceptErr(cls.pos, "unknown class %q", req.Class)
 	}
 	if p.keyword("where") {
 		for {
@@ -160,11 +167,11 @@ func (p *qparser) parse() (Request, error) {
 	if p.keyword("scenes") {
 		v := p.next()
 		if v.kind != "string" && v.kind != "ident" {
-			return req, fmt.Errorf("dlse: expected event kind after scenes")
+			return req, parseErr(v.pos, "expected event kind after scenes")
 		}
 		req.SceneKind = v.text
 		if !p.keyword("via") {
-			return req, fmt.Errorf("dlse: scenes needs 'via <path>'")
+			return req, parseErr(p.peek().pos, "scenes needs 'via <path>'")
 		}
 		path, err := p.path()
 		if err != nil {
@@ -178,15 +185,16 @@ func (p *qparser) parse() (Request, error) {
 	if p.keyword("rank") {
 		v := p.next()
 		if v.kind != "string" {
-			return req, fmt.Errorf("dlse: rank needs a quoted query")
+			return req, parseErr(v.pos, "rank needs a quoted query")
 		}
 		req.Text = v.text
 		if p.keyword("via") {
+			pathPos := p.peek().pos
 			path, err := p.path()
 			if err != nil {
 				return req, err
 			}
-			if err := p.checkPath(req.Class, path, ""); err != nil {
+			if err := p.checkPath(req.Class, path, "", pathPos); err != nil {
 				return req, err
 			}
 			req.TextPath = path
@@ -195,16 +203,16 @@ func (p *qparser) parse() (Request, error) {
 	if p.keyword("limit") {
 		v := p.next()
 		if v.kind != "number" {
-			return req, fmt.Errorf("dlse: limit needs a number")
+			return req, parseErr(v.pos, "limit needs a number")
 		}
 		n, err := strconv.Atoi(v.text)
 		if err != nil || n < 0 {
-			return req, fmt.Errorf("dlse: bad limit %q", v.text)
+			return req, parseErr(v.pos, "bad limit %q", v.text)
 		}
 		req.Limit = n
 	}
 	if p.peek().kind != "eof" {
-		return req, fmt.Errorf("dlse: trailing input near %q", p.peek().text)
+		return req, parseErr(p.peek().pos, "trailing input near %q", p.peek().text)
 	}
 	return req, nil
 }
@@ -213,14 +221,14 @@ func (p *qparser) parse() (Request, error) {
 func (p *qparser) path() ([]string, error) {
 	t := p.next()
 	if t.kind != "ident" {
-		return nil, fmt.Errorf("dlse: expected path, got %q", t.text)
+		return nil, parseErr(t.pos, "expected path, got %q", t.text)
 	}
 	segs := []string{t.text}
 	for p.peek().kind == "punct" && p.peek().text == "." {
 		p.i++
 		t = p.next()
 		if t.kind != "ident" {
-			return nil, fmt.Errorf("dlse: expected path segment after '.'")
+			return nil, parseErr(t.pos, "expected path segment after '.'")
 		}
 		segs = append(segs, t.text)
 	}
@@ -230,57 +238,60 @@ func (p *qparser) path() ([]string, error) {
 // cond parses one constraint and resolves types against the schema.
 func (p *qparser) cond(class string) (webspace.Constraint, error) {
 	if p.keyword("exists") {
+		pathPos := p.peek().pos
 		path, err := p.path()
 		if err != nil {
 			return webspace.Constraint{}, err
 		}
-		if err := p.checkPath(class, path, ""); err != nil {
+		if err := p.checkPath(class, path, "", pathPos); err != nil {
 			return webspace.Constraint{}, err
 		}
 		return webspace.Constraint{Path: path}, nil
 	}
 	if p.keyword("contains") {
 		if t := p.next(); t.kind != "punct" || t.text != "(" {
-			return webspace.Constraint{}, fmt.Errorf("dlse: contains needs '('")
+			return webspace.Constraint{}, parseErr(t.pos, "contains needs '('")
 		}
+		pathPos := p.peek().pos
 		path, err := p.path()
 		if err != nil {
 			return webspace.Constraint{}, err
 		}
 		if t := p.next(); t.kind != "punct" || t.text != "," {
-			return webspace.Constraint{}, fmt.Errorf("dlse: contains needs ','")
+			return webspace.Constraint{}, parseErr(t.pos, "contains needs ','")
 		}
 		v := p.next()
 		if v.kind != "string" {
-			return webspace.Constraint{}, fmt.Errorf("dlse: contains needs a quoted needle")
+			return webspace.Constraint{}, parseErr(v.pos, "contains needs a quoted needle")
 		}
 		if t := p.next(); t.kind != "punct" || t.text != ")" {
-			return webspace.Constraint{}, fmt.Errorf("dlse: contains needs ')'")
+			return webspace.Constraint{}, parseErr(t.pos, "contains needs ')'")
 		}
 		rolePath, attr := path[:len(path)-1], path[len(path)-1]
-		if err := p.checkPath(class, rolePath, attr); err != nil {
+		if err := p.checkPath(class, rolePath, attr, pathPos); err != nil {
 			return webspace.Constraint{}, err
 		}
 		return webspace.Constraint{Path: rolePath, Attr: attr, Op: webspace.OpContains, Val: v.text}, nil
 	}
+	pathPos := p.peek().pos
 	path, err := p.path()
 	if err != nil {
 		return webspace.Constraint{}, err
 	}
 	opTok := p.next()
 	if opTok.kind != "op" {
-		return webspace.Constraint{}, fmt.Errorf("dlse: expected operator after %v", path)
+		return webspace.Constraint{}, parseErr(opTok.pos, "expected operator after %v", path)
 	}
-	op, err := parseOp(opTok.text)
+	op, err := parseOp(opTok.text, opTok.pos)
 	if err != nil {
 		return webspace.Constraint{}, err
 	}
 	v := p.next()
 	if v.kind != "string" && v.kind != "number" && v.kind != "ident" {
-		return webspace.Constraint{}, fmt.Errorf("dlse: expected value, got %q", v.text)
+		return webspace.Constraint{}, parseErr(v.pos, "expected value, got %q", v.text)
 	}
 	rolePath, attr := path[:len(path)-1], path[len(path)-1]
-	if err := p.checkPath(class, rolePath, attr); err != nil {
+	if err := p.checkPath(class, rolePath, attr, pathPos); err != nil {
 		return webspace.Constraint{}, err
 	}
 	val, err := p.coerce(class, rolePath, attr, v)
@@ -290,7 +301,7 @@ func (p *qparser) cond(class string) (webspace.Constraint, error) {
 	return webspace.Constraint{Path: rolePath, Attr: attr, Op: op, Val: val}, nil
 }
 
-func parseOp(s string) (webspace.Op, error) {
+func parseOp(s string, pos int) (webspace.Op, error) {
 	switch s {
 	case "=", "==":
 		return webspace.OpEq, nil
@@ -305,51 +316,66 @@ func parseOp(s string) (webspace.Op, error) {
 	case ">=":
 		return webspace.OpGe, nil
 	}
-	return 0, fmt.Errorf("dlse: unknown operator %q", s)
+	return 0, parseErr(pos, "unknown operator %q", s)
 }
 
-// checkPath resolves a role path (and optional attribute) from class.
-func (p *qparser) checkPath(class string, path []string, attr string) error {
+// class looks up a schema class, tolerating nil maps so a hostile or
+// half-built schema can never panic the parser.
+func (p *qparser) class(name string) *webspace.Class {
+	if p.schema == nil {
+		return nil
+	}
+	return p.schema.Classes[name]
+}
+
+// checkPath resolves a role path (and optional attribute) from class. pos
+// is the offset of the path's first token, used in error reporting.
+func (p *qparser) checkPath(class string, path []string, attr string, pos int) error {
 	cls := class
 	for _, role := range path {
-		c, ok := p.schema.Classes[cls]
-		if !ok {
-			return fmt.Errorf("dlse: unknown class %q", cls)
+		c := p.class(cls)
+		if c == nil {
+			return conceptErr(pos, "unknown class %q", cls)
 		}
 		a, ok := c.Assocs[role]
 		if !ok {
-			return fmt.Errorf("dlse: class %q has no role %q", cls, role)
+			return conceptErr(pos, "class %q has no role %q", cls, role)
 		}
 		cls = a.Target
 	}
+	c := p.class(cls)
+	if c == nil {
+		return conceptErr(pos, "unknown class %q", cls)
+	}
 	if attr != "" {
-		if _, ok := p.schema.Classes[cls].Attrs[attr]; !ok {
-			return fmt.Errorf("dlse: class %q has no attribute %q", cls, attr)
+		if _, ok := c.Attrs[attr]; !ok {
+			return conceptErr(pos, "class %q has no attribute %q", cls, attr)
 		}
 	}
 	return nil
 }
 
-// coerce converts the token to the attribute's declared type.
+// coerce converts the token to the attribute's declared type. The caller
+// has validated the path and attribute via checkPath.
 func (p *qparser) coerce(class string, path []string, attr string, v qtok) (any, error) {
 	cls := class
 	for _, role := range path {
-		cls = p.schema.Classes[cls].Assocs[role].Target
+		cls = p.class(cls).Assocs[role].Target
 	}
-	at := p.schema.Classes[cls].Attrs[attr]
+	at := p.class(cls).Attrs[attr]
 	switch at {
 	case webspace.AttrString, webspace.AttrText:
 		return v.text, nil
 	case webspace.AttrInt:
 		n, err := strconv.ParseInt(v.text, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("dlse: attribute %s.%s wants an int, got %q", cls, attr, v.text)
+			return nil, parseErr(v.pos, "attribute %s.%s wants an int, got %q", cls, attr, v.text)
 		}
 		return n, nil
 	case webspace.AttrFloat:
 		f, err := strconv.ParseFloat(v.text, 64)
 		if err != nil {
-			return nil, fmt.Errorf("dlse: attribute %s.%s wants a float, got %q", cls, attr, v.text)
+			return nil, parseErr(v.pos, "attribute %s.%s wants a float, got %q", cls, attr, v.text)
 		}
 		return f, nil
 	case webspace.AttrBool:
@@ -359,9 +385,9 @@ func (p *qparser) coerce(class string, path []string, attr string, v qtok) (any,
 		case "false":
 			return false, nil
 		}
-		return nil, fmt.Errorf("dlse: attribute %s.%s wants a bool, got %q", cls, attr, v.text)
+		return nil, parseErr(v.pos, "attribute %s.%s wants a bool, got %q", cls, attr, v.text)
 	}
-	return nil, fmt.Errorf("dlse: unsupported attribute type %v", at)
+	return nil, parseErr(v.pos, "unsupported attribute type %v", at)
 }
 
 // MotivatingQueryText is the textual form of the demo's running example.

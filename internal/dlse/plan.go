@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/ir"
@@ -92,30 +93,87 @@ type execState struct {
 	// backed by the IR kernel's pooled accumulator (invalid when the rank
 	// text has no indexable terms); execute releases it after the merge.
 	textScores ir.Scores // OpText
+	// textStats are the scoring kernel's work counters for OpText, captured
+	// for explain plans.
+	textStats ir.SearchStats
 }
 
 // execute runs the plan: independent operators concurrently, then the
+// deterministic merge.
+func (e *Engine) execute(ctx context.Context, p Plan) ([]Result, error) {
+	results, _, err := e.run(ctx, p, false)
+	return results, err
+}
+
+// run executes the plan: independent operators concurrently, then the
 // deterministic merge. Single-operator plans (concept-only queries, the
 // most common shape) run inline — no goroutine to spawn, nothing to
-// parallelize.
-func (e *Engine) execute(ctx context.Context, p Plan) ([]Result, error) {
+// parallelize. With explain set it also collects per-operator wall times,
+// row counts, and the text operator's kernel stats into an Explain payload;
+// the results themselves are identical either way.
+func (e *Engine) run(ctx context.Context, p Plan, explain bool) ([]Result, *Explain, error) {
 	st := &execState{}
 	defer func() { st.textScores.Release() }() // recycle the text operator's accumulator
-	if len(p.ops) == 1 {
-		if err := e.runOperator(ctx, p.ops[0], p.req, st); err != nil {
-			return nil, err
+	var durs []time.Duration
+	if explain {
+		durs = make([]time.Duration, len(p.ops))
+	}
+	step := func(ctx context.Context, i int) error {
+		if durs == nil {
+			return e.runOperator(ctx, p.ops[i], p.req, st)
 		}
-		return e.merge(p.req, st), nil
+		t0 := time.Now()
+		err := e.runOperator(ctx, p.ops[i], p.req, st)
+		durs[i] = clampDur(time.Since(t0))
+		return err
 	}
-	errs := pipeline.ForEach(ctx, len(p.ops), len(p.ops), func(ctx context.Context, i int) error {
-		return e.runOperator(ctx, p.ops[i], p.req, st)
+	if len(p.ops) == 1 {
+		if err := step(ctx, 0); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		errs := pipeline.ForEach(ctx, len(p.ops), len(p.ops), step)
+		// ops are in priority order, so the first error found is the one the
+		// sequential engine would have reported.
+		if err := pipeline.FirstError(errs); err != nil {
+			return nil, nil, err
+		}
+	}
+	t0 := time.Now()
+	results := e.merge(p.req, st)
+	if durs == nil {
+		return results, nil, nil
+	}
+	ex := &Explain{Plan: p.String()}
+	for i, k := range p.ops {
+		op := OpStat{Op: k.String(), Duration: durs[i]}
+		switch k {
+		case OpConcept:
+			op.Items = len(st.objs)
+		case OpVideo:
+			for _, ss := range st.scenesByName {
+				op.Items += len(ss)
+			}
+		case OpText:
+			op.Items = st.textStats.DocsTouched
+			stats := st.textStats
+			op.Kernel = &stats
+		}
+		ex.Ops = append(ex.Ops, op)
+	}
+	ex.Ops = append(ex.Ops, OpStat{
+		Op: "merge", Duration: clampDur(time.Since(t0)), Items: len(results),
 	})
-	// ops are in priority order, so the first error found is the one the
-	// sequential engine would have reported.
-	if err := pipeline.FirstError(errs); err != nil {
-		return nil, err
+	return results, ex, nil
+}
+
+// clampDur keeps explain timings non-zero: an operator that executed always
+// reports at least one nanosecond, even if the clock did not tick.
+func clampDur(d time.Duration) time.Duration {
+	if d <= 0 {
+		return time.Nanosecond
 	}
-	return e.merge(p.req, st), nil
+	return d
 }
 
 // runOperator dispatches one operator.
@@ -146,13 +204,15 @@ func (e *Engine) runOperator(ctx context.Context, kind OpKind, req Request, st *
 		// construction, no top-k selection, no per-query score table — just
 		// a leased view of the kernel's pooled dense accumulator.
 		var scores ir.Scores
+		var stats ir.SearchStats
 		var err error
 		if req.TopNFragments > 0 {
-			scores, _, err = e.text.ScoreTopN(req.Text, e.text.Docs(),
+			scores, stats, err = e.text.ScoreTopN(req.Text, e.text.Docs(),
 				ir.TopNOptions{Fragments: req.TopNFragments})
 		} else {
-			scores, _, err = e.text.ScoreQuery(req.Text)
+			scores, stats, err = e.text.ScoreQuery(req.Text)
 		}
+		st.textStats = stats
 		if err == ir.ErrEmptyQry {
 			return nil // unrankable text: scores stay zero, like before
 		}

@@ -1,0 +1,382 @@
+package dlse
+
+// The v2 query surface: one composable Search entrypoint over a unified
+// Query type, returning a ResultSet with deterministic cursor pagination, a
+// pull-based streaming iterator, and optional explain plans. The v1
+// methods (Query, QueryContext, KeywordSearch, MetaIndex.Scenes reached
+// through the facade) remain as thin shims over this path.
+//
+// Pagination is deterministic by construction: the planner's merge is a
+// stable sort over operator outputs produced in fixed order, so the full
+// answer list of a query is a pure function of the engine snapshot. A page
+// is a slice of that list; a cursor is (query key, offset, snapshot)
+// encoded as an opaque token. Walking every page therefore reproduces the
+// unpaginated answer byte for byte on the same snapshot — and the serving
+// layer caches the full list under the query's canonical key, so page N is
+// exactly as cacheable as page 1.
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/webspace"
+)
+
+// Query is the unified v2 request: the query-language string, the
+// structured combined request, the keyword baseline, and the raw scene
+// lookup in one type. Exactly one of the four fields must be set.
+type Query struct {
+	// Source is a combined query in the demo query language, parsed
+	// against the site schema.
+	Source string
+	// Request is a pre-built structured combined query.
+	Request *Request
+	// Keyword is the flattened-pages keyword baseline: ranked BM25
+	// retrieval over page text, no concepts, no video content.
+	Keyword string
+	// Scenes looks up all indexed video scenes of this event kind.
+	Scenes string
+}
+
+// forms counts how many request forms are set.
+func (q Query) forms() int {
+	n := 0
+	if q.Source != "" {
+		n++
+	}
+	if q.Request != nil {
+		n++
+	}
+	if q.Keyword != "" {
+		n++
+	}
+	if q.Scenes != "" {
+		n++
+	}
+	return n
+}
+
+// Item is one answer of a v2 Search. Which fields are set depends on the
+// query form:
+//
+//   - combined queries (Source/Request): Object, Score, Scenes
+//   - keyword queries: Page, Doc, Score
+//   - scene queries: Scene
+type Item struct {
+	// Object is the concept object a combined query selected.
+	Object *webspace.Object
+	// Score is the BM25 relevance (combined rank part, or keyword hits).
+	Score float64
+	// Scenes are the video scenes joined onto a combined result.
+	Scenes []core.Scene
+	// Page names the matching page of a keyword hit; Doc is its IR doc ID.
+	Page string
+	Doc  ir.DocID
+	// Scene is one answer of a scene query.
+	Scene *core.Scene
+}
+
+// searchOpts collects the functional options of Search.
+type searchOpts struct {
+	limit   int
+	cursor  Cursor
+	explain bool
+}
+
+// SearchOption tunes one Search call.
+type SearchOption func(*searchOpts)
+
+// WithLimit sets the page size: at most n items are returned and the
+// ResultSet carries a cursor to the remainder. n <= 0 (the default)
+// returns the whole answer.
+func WithLimit(n int) SearchOption { return func(o *searchOpts) { o.limit = n } }
+
+// WithCursor resumes a paginated walk from a cursor returned by an earlier
+// Search of the same query. The empty cursor starts from the beginning.
+func WithCursor(c Cursor) SearchOption { return func(o *searchOpts) { o.cursor = c } }
+
+// WithExplain attaches the planner's operator DAG with per-operator wall
+// times and kernel stats to the ResultSet.
+func WithExplain() SearchOption { return func(o *searchOpts) { o.explain = true } }
+
+// Cursor is an opaque resume token for paginated Search. It is stable
+// across identical engine snapshots: the same query walked by cursor pages
+// reproduces the unpaginated answer exactly. A cursor presented with a
+// different query fails with ErrBadCursor. Cursors remain usable across a
+// hot swap; the continued walk reflects the current snapshot (identical
+// snapshots yield identical pages).
+type Cursor string
+
+// encodeCursor packs (query key, offset, snapshot) into an opaque token.
+func encodeCursor(key uint64, offset int, snap int64) Cursor {
+	buf := make([]byte, 0, 3*binary.MaxVarintLen64)
+	buf = binary.AppendUvarint(buf, key)
+	buf = binary.AppendUvarint(buf, uint64(offset))
+	buf = binary.AppendVarint(buf, snap)
+	return Cursor(base64.RawURLEncoding.EncodeToString(buf))
+}
+
+// decodeCursor unpacks a token; any malformation reports ErrBadCursor.
+func decodeCursor(c Cursor) (key uint64, offset int, snap int64, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(string(c))
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("%w: %v", ErrBadCursor, err)
+	}
+	key, n := binary.Uvarint(raw)
+	if n <= 0 {
+		return 0, 0, 0, fmt.Errorf("%w: truncated key", ErrBadCursor)
+	}
+	raw = raw[n:]
+	off, n := binary.Uvarint(raw)
+	if n <= 0 {
+		return 0, 0, 0, fmt.Errorf("%w: truncated offset", ErrBadCursor)
+	}
+	raw = raw[n:]
+	snap, n = binary.Varint(raw)
+	if n <= 0 || n != len(raw) {
+		return 0, 0, 0, fmt.Errorf("%w: truncated snapshot", ErrBadCursor)
+	}
+	const maxOffset = 1 << 40 // far beyond any in-memory answer list
+	if off > maxOffset {
+		return 0, 0, 0, fmt.Errorf("%w: offset out of range", ErrBadCursor)
+	}
+	return key, int(off), snap, nil
+}
+
+// OpStat is one explain entry: an executed planner operator (or the merge
+// stage), its wall time, and how many rows it produced.
+type OpStat struct {
+	// Op names the operator: "concept", "video", "text", "keyword",
+	// "scenes", or "merge".
+	Op string
+	// Duration is the operator's wall time, always > 0 for an operator
+	// that executed.
+	Duration time.Duration
+	// Items counts the rows the operator produced (documents touched for
+	// text operators).
+	Items int
+	// Kernel carries the IR scoring kernel's work counters for text and
+	// keyword operators, nil otherwise.
+	Kernel *ir.SearchStats
+}
+
+// Explain is the introspection payload of a Search: the compiled plan and
+// one entry per executed operator plus the final merge.
+type Explain struct {
+	// Plan renders the operator DAG, e.g. "[concept ‖ video ‖ text] → merge".
+	Plan string
+	// Ops holds per-operator stats in plan priority order, merge last.
+	Ops []OpStat
+}
+
+// ResultSet is the answer of a v2 Search: one page of items plus the
+// pagination state to fetch the rest.
+type ResultSet struct {
+	// Items is this page of the answer.
+	Items []Item
+	// Total is the number of items in the full (unpaginated) answer.
+	Total int
+	// Cursor resumes the walk after this page; empty when the answer is
+	// exhausted.
+	Cursor Cursor
+	// Snapshot identifies the engine snapshot that computed the answer.
+	Snapshot int64
+	// Explain is the operator introspection payload (only with
+	// WithExplain).
+	Explain *Explain
+
+	// key is the FNV-1a hash of the query's canonical key, binding cursors
+	// to their query. all/offset back Page and Stream.
+	key    uint64
+	all    []Item
+	offset int
+}
+
+// Normalize resolves a query into executable form — the Source text is
+// parsed into its structured Request — and returns the canonical cache key
+// of the retrieval it denotes. Two queries with the same retrieval
+// semantics normalize to the same key; serving-layer caches key on it.
+func (e *Engine) Normalize(q Query) (Query, string, error) {
+	switch n := q.forms(); {
+	case n == 0:
+		return q, "", parseErr(-1, "empty query: set one of Source, Request, Keyword, Scenes")
+	case n > 1:
+		return q, "", parseErr(-1, "ambiguous query: set exactly one of Source, Request, Keyword, Scenes")
+	}
+	switch {
+	case q.Source != "":
+		req, err := ParseRequest(e.space.Schema(), q.Source)
+		if err != nil {
+			return q, "", err
+		}
+		return Query{Request: &req}, "q|" + req.CanonicalKey(), nil
+	case q.Request != nil:
+		return q, "q|" + q.Request.CanonicalKey(), nil
+	case q.Keyword != "":
+		return q, "kw|" + strings.Join(ir.Analyze(q.Keyword), " "), nil
+	default:
+		return q, "sc|" + q.Scenes, nil
+	}
+}
+
+// fnv64 hashes a canonical key for embedding in cursors.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// SearchAll executes a query and returns its full, unpaginated ResultSet —
+// the primitive the serving layer caches, with pages sliced off via Page.
+// Most callers want Search. Keyword queries whose text has no indexable
+// terms return ir.ErrEmptyQry unwrapped, matching the v1 keyword path.
+func (e *Engine) SearchAll(ctx context.Context, q Query, withExplain bool) (*ResultSet, error) {
+	nq, key, err := e.Normalize(q)
+	if err != nil {
+		return nil, err
+	}
+	rs := &ResultSet{Snapshot: e.snap, key: fnv64(key)}
+	switch {
+	case nq.Request != nil:
+		results, ex, err := e.run(ctx, e.Plan(*nq.Request), withExplain)
+		if err != nil {
+			return nil, err
+		}
+		rs.all = make([]Item, len(results))
+		for i, r := range results {
+			rs.all[i] = Item{Object: r.Object, Score: r.Score, Scenes: r.Scenes}
+		}
+		rs.Explain = ex
+	case nq.Keyword != "":
+		t0 := time.Now()
+		hits, stats, err := e.text.Search(nq.Keyword, 0) // full ranking: every matching page
+		if err != nil {
+			return nil, err // incl. ir.ErrEmptyQry, raw
+		}
+		rs.all = make([]Item, len(hits))
+		for i, h := range hits {
+			rs.all[i] = Item{Page: h.Name, Doc: h.Doc, Score: h.Score}
+		}
+		if withExplain {
+			rs.Explain = &Explain{Plan: "[keyword] → rank", Ops: []OpStat{{
+				Op: "keyword", Duration: clampDur(time.Since(t0)),
+				Items: len(hits), Kernel: &stats,
+			}}}
+		}
+	default:
+		if e.video.Stats().Videos == 0 {
+			return nil, fmt.Errorf("%w: scene query %q needs an indexed video library", ErrNoIndex, nq.Scenes)
+		}
+		t0 := time.Now()
+		scenes, err := e.video.Scenes(nq.Scenes)
+		if err != nil {
+			return nil, fmt.Errorf("dlse: scene query: %w", err)
+		}
+		rs.all = make([]Item, len(scenes))
+		for i := range scenes {
+			rs.all[i] = Item{Scene: &scenes[i]}
+		}
+		if withExplain {
+			rs.Explain = &Explain{Plan: "[scenes]", Ops: []OpStat{{
+				Op: "scenes", Duration: clampDur(time.Since(t0)), Items: len(scenes),
+			}}}
+		}
+	}
+	rs.Items = rs.all
+	rs.Total = len(rs.all)
+	return rs, nil
+}
+
+// Search is the unified v2 entrypoint: it executes the query (or, for a
+// cursor resume, re-executes it against the current snapshot) and returns
+// the requested page of the answer. A ResultSet is safe to share between
+// goroutines; Page and Stream never mutate it.
+func (e *Engine) Search(ctx context.Context, q Query, opts ...SearchOption) (*ResultSet, error) {
+	var o searchOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	full, err := e.SearchAll(ctx, q, o.explain)
+	if err != nil {
+		return nil, err
+	}
+	return full.Page(o.cursor, o.limit)
+}
+
+// Page slices one page out of the result set's full answer: the items from
+// the cursor's offset (or this set's own start when the cursor is empty),
+// capped at limit (limit <= 0 returns everything from the offset). The
+// returned set shares the underlying items and carries the cursor to the
+// next page. A cursor minted for a different query fails with ErrBadCursor.
+func (rs *ResultSet) Page(c Cursor, limit int) (*ResultSet, error) {
+	offset := rs.offset
+	if c != "" {
+		key, off, _, err := decodeCursor(c)
+		if err != nil {
+			return nil, err
+		}
+		if key != rs.key {
+			return nil, fmt.Errorf("%w: cursor belongs to a different query", ErrBadCursor)
+		}
+		offset = off
+		if offset > len(rs.all) {
+			// The answer shrank (cursor resumed on a smaller snapshot):
+			// the walk ends with an empty final page.
+			offset = len(rs.all)
+		}
+	}
+	end := len(rs.all)
+	if limit > 0 && offset+limit < end {
+		end = offset + limit
+	}
+	page := &ResultSet{
+		Items:    rs.all[offset:end],
+		Total:    len(rs.all),
+		Snapshot: rs.Snapshot,
+		Explain:  rs.Explain,
+		key:      rs.key,
+		all:      rs.all,
+		offset:   offset,
+	}
+	if end < len(rs.all) {
+		page.Cursor = encodeCursor(rs.key, end, rs.Snapshot)
+	}
+	return page, nil
+}
+
+// Stream returns a pull-based iterator over the remainder of the answer,
+// starting at this page's first item and running through the end of the
+// full result list — the way to consume a large answer without
+// materializing page slices. The stream reads the snapshot the Search
+// computed; it is unaffected by later swaps.
+func (rs *ResultSet) Stream() *Stream {
+	return &Stream{all: rs.all, i: rs.offset}
+}
+
+// Stream is a pull iterator over a ResultSet's answer.
+type Stream struct {
+	all []Item
+	i   int
+}
+
+// Next returns the next item. ok is false when the answer is exhausted.
+func (s *Stream) Next() (item Item, ok bool) {
+	if s.i >= len(s.all) {
+		return Item{}, false
+	}
+	item = s.all[s.i]
+	s.i++
+	return item, true
+}
+
+// Remaining reports how many items Next will still yield.
+func (s *Stream) Remaining() int { return len(s.all) - s.i }

@@ -188,9 +188,13 @@ type Hit struct {
 	Score float64
 }
 
-// SearchStats reports the work a query performed, the currency of the
-// top-N optimization experiments.
+// SearchStats reports the work a query performed — the currency of the
+// top-N optimization experiments, and the kernel payload of the query
+// layer's explain plans.
 type SearchStats struct {
+	// TermsMatched counts the query's analyzed terms present in the
+	// vocabulary (the terms that contributed postings).
+	TermsMatched int
 	// PostingsScored counts scored (doc, term) pairs.
 	PostingsScored int
 	// DocsTouched counts distinct documents receiving any score.
@@ -233,6 +237,7 @@ func (ix *Index) scoreTerms(terms []string, ac *accum) SearchStats {
 		for i, p := range pl.docOrder {
 			ac.add(p.Doc, float64(imps[i]))
 		}
+		stats.TermsMatched++
 		stats.PostingsScored += len(pl.docOrder)
 	}
 	stats.DocsTouched = len(ac.touched)

@@ -31,6 +31,7 @@ func (ix *Index) searchMapReference(query string, k int) ([]Hit, SearchStats, er
 			scores[p.Doc] += float64(pl.docImp[i])
 			stats.PostingsScored++
 		}
+		stats.TermsMatched++
 	}
 	stats.DocsTouched = len(scores)
 	return topKMap(ix, scores, k), stats, nil

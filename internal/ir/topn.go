@@ -103,7 +103,7 @@ func (ix *Index) scoreTopN(query string, k int, opts TopNOptions) (*accum, Searc
 		states = append(states, st)
 	}
 	ac := ix.getAccum()
-	var stats SearchStats
+	stats := SearchStats{TermsMatched: len(states)}
 	switch {
 	case len(states) == 0: // no known terms: empty, all scores zero
 	case opts.MaxFragments > 0:

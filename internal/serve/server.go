@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -27,21 +28,31 @@ type Options struct {
 	Workers int
 }
 
-// Server answers digital-library queries over one shared engine. It is safe
-// for concurrent use: the engine is read-only at serving time and the cache
-// is internally synchronized. Results handed out may be shared with other
-// callers — treat them as read-only.
+// Server answers digital-library queries over one shared engine snapshot.
+// It is safe for concurrent use: engines are immutable at serving time, the
+// snapshot pointer is atomic, and the cache is internally synchronized.
+// Results handed out may be shared with other callers — treat them as
+// read-only.
+//
+// The engine can be replaced at runtime with Swap: requests in flight keep
+// the snapshot they started on (engines are immutable, so they finish
+// correctly), new requests see the new snapshot, and the result cache can
+// never serve an answer computed on a superseded snapshot — entries are
+// tagged with a version that folds in the swap generation.
 type Server struct {
-	engine *dlse.Engine
-	cache  *Cache // nil when caching is disabled
-	sem    chan struct{}
-	mux    *http.ServeMux
-	start  time.Time
+	engine   atomic.Pointer[dlse.Engine]
+	gen      atomic.Int64 // swap generation, folded into cache versions
+	reloader atomic.Pointer[func(context.Context) (*dlse.Engine, error)]
+	cache    *Cache // nil when caching is disabled
+	sem      chan struct{}
+	mux      *http.ServeMux
+	start    time.Time
 }
 
 // New builds a Server over an engine.
 func New(engine *dlse.Engine, opts Options) *Server {
-	s := &Server{engine: engine, start: time.Now()}
+	s := &Server{start: time.Now()}
+	s.engine.Store(engine)
 	if opts.CacheSize >= 0 {
 		s.cache = NewCache(opts.CacheSize, opts.CacheShards)
 	}
@@ -53,11 +64,31 @@ func New(engine *dlse.Engine, opts Options) *Server {
 	s.mux.HandleFunc("/keyword", s.handleKeyword)
 	s.mux.HandleFunc("/scenes", s.handleScenes)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/v2/search", s.handleV2Search)
+	s.mux.HandleFunc("/v2/reload", s.handleV2Reload)
 	return s
 }
 
-// Engine returns the underlying search engine.
-func (s *Server) Engine() *dlse.Engine { return s.engine }
+// Engine returns the current engine snapshot.
+func (s *Server) Engine() *dlse.Engine { return s.engine.Load() }
+
+// Swap atomically installs a new engine snapshot. In-flight queries finish
+// against the snapshot they started on; subsequent requests (and cache
+// versioning) see the new one. The old cache entries are purged eagerly —
+// even unpurged they could never be served, since the version tag of every
+// lookup now carries the bumped swap generation.
+func (s *Server) Swap(engine *dlse.Engine) {
+	s.engine.Store(engine)
+	s.gen.Add(1)
+	s.InvalidateCache()
+}
+
+// SetReloader installs the callback POST /v2/reload uses to build a
+// replacement engine (e.g. re-reading a meta-index file). The server swaps
+// to the returned engine on success.
+func (s *Server) SetReloader(fn func(context.Context) (*dlse.Engine, error)) {
+	s.reloader.Store(&fn)
+}
 
 // InvalidateCache drops every cached result. Callers that mutate the
 // meta-index do not strictly need it — entries are version-tagged and a
@@ -97,26 +128,54 @@ func (s *Server) release() {
 	}
 }
 
-// version is the meta-index version cache entries are tagged with.
-func (s *Server) version() int64 { return s.engine.VideoIndex().Version() }
+// version is the tag cache entries are stored and looked up under: the
+// swap generation in the high bits, the current snapshot's meta-index
+// write version in the low ones. Either kind of index change — an in-place
+// append or a whole-engine swap — moves the version, so a stale entry can
+// never match a fresh lookup.
+func (s *Server) version() int64 {
+	return s.gen.Load()<<32 | s.engine.Load().VideoIndex().Version()&0xffffffff
+}
+
+// pin snapshots the engine together with the cache version tag any fill
+// against it must use. Reading the generation on both sides of the engine
+// load makes the pair consistent: Swap stores the engine before bumping
+// the generation, so an engine observed under an unchanged generation can
+// never be older than that generation — a fill can therefore never be
+// stored under a tag newer than the engine that computed it (which would
+// let a pre-swap result serve as fresh forever). The benign race direction
+// (new engine under the old generation, when pin straddles a Swap) only
+// produces an entry that can never match again.
+func (s *Server) pin() (*dlse.Engine, int64) {
+	for {
+		gen := s.gen.Load()
+		e := s.engine.Load()
+		if s.gen.Load() == gen {
+			return e, gen<<32 | e.VideoIndex().Version()&0xffffffff
+		}
+	}
+}
 
 // Query parses a query-language string and answers it, consulting the
 // cache. The bool reports whether the answer came from the cache.
 func (s *Server) Query(ctx context.Context, text string) ([]dlse.Result, bool, error) {
-	req, err := dlse.ParseRequest(s.engine.Space().Schema(), text)
+	e, ver := s.pin()
+	req, err := dlse.ParseRequest(e.Space().Schema(), text)
 	if err != nil {
 		return nil, false, err
 	}
-	return s.QueryRequest(ctx, req)
+	return s.queryEngine(ctx, e, ver, req)
 }
 
 // lookupOrFill is the cache protocol every query type shares: consult the
-// cache; on a miss take a worker slot, observe the index version *before*
-// executing (so a write racing the fill makes the entry stale, never
-// fresh), run fill, and store the result under that version.
-func (s *Server) lookupOrFill(ctx context.Context, key string, fill func() (any, error)) (any, bool, error) {
+// cache; on a miss take a worker slot, run fill, and store the result
+// under ver — the version tag pinned together with the engine the fill
+// runs against (see pin). The tag is observed *before* the fill executes,
+// so an index write or swap racing the fill can only make the entry
+// stale-tagged (it will never match again), never falsely fresh.
+func (s *Server) lookupOrFill(ctx context.Context, key string, ver int64, fill func() (any, error)) (any, bool, error) {
 	if s.cache != nil {
-		if v, ok := s.cache.Get(key, s.version()); ok {
+		if v, ok := s.cache.Get(key, ver); ok {
 			return v, true, nil
 		}
 	}
@@ -124,7 +183,6 @@ func (s *Server) lookupOrFill(ctx context.Context, key string, fill func() (any,
 		return nil, false, err
 	}
 	defer s.release()
-	ver := s.version()
 	v, err := fill()
 	if err != nil {
 		return nil, false, err
@@ -137,8 +195,14 @@ func (s *Server) lookupOrFill(ctx context.Context, key string, fill func() (any,
 
 // QueryRequest answers a structured request, consulting the cache.
 func (s *Server) QueryRequest(ctx context.Context, req dlse.Request) ([]dlse.Result, bool, error) {
-	v, cached, err := s.lookupOrFill(ctx, "q|"+req.CanonicalKey(), func() (any, error) {
-		return s.engine.QueryContext(ctx, req)
+	e, ver := s.pin()
+	return s.queryEngine(ctx, e, ver, req)
+}
+
+// queryEngine answers a structured request against one pinned snapshot.
+func (s *Server) queryEngine(ctx context.Context, e *dlse.Engine, ver int64, req dlse.Request) ([]dlse.Result, bool, error) {
+	v, cached, err := s.lookupOrFill(ctx, "q|"+req.CanonicalKey(), ver, func() (any, error) {
+		return e.QueryContext(ctx, req)
 	})
 	if err != nil {
 		return nil, false, err
@@ -152,9 +216,10 @@ func (s *Server) Keyword(ctx context.Context, query string, k int) ([]ir.Hit, bo
 	if k <= 0 {
 		k = 10
 	}
+	e, ver := s.pin()
 	key := fmt.Sprintf("kw|%s|%d", strings.Join(ir.Analyze(query), " "), k)
-	v, cached, err := s.lookupOrFill(ctx, key, func() (any, error) {
-		return s.engine.KeywordSearch(query, k)
+	v, cached, err := s.lookupOrFill(ctx, key, ver, func() (any, error) {
+		return e.KeywordSearch(query, k)
 	})
 	if err != nil {
 		return nil, false, err
@@ -164,13 +229,50 @@ func (s *Server) Keyword(ctx context.Context, query string, k int) ([]ir.Hit, bo
 
 // Scenes returns all indexed scenes of an event kind, consulting the cache.
 func (s *Server) Scenes(ctx context.Context, kind string) ([]core.Scene, bool, error) {
-	v, cached, err := s.lookupOrFill(ctx, "sc|"+kind, func() (any, error) {
-		return s.engine.VideoIndex().Scenes(kind)
+	e, ver := s.pin()
+	v, cached, err := s.lookupOrFill(ctx, "sc|"+kind, ver, func() (any, error) {
+		return e.VideoIndex().Scenes(kind)
 	})
 	if err != nil {
 		return nil, false, err
 	}
 	return v.([]core.Scene), cached, nil
+}
+
+// Search answers a v2 unified query with cursor pagination, consulting the
+// cache. The full (unpaginated) result set is what gets cached, keyed on
+// the query's canonical key — so every page of a walk hits the same entry,
+// making page N exactly as cacheable as page 1. Explain requests bypass
+// the cache: an explain describes an execution, so one is performed.
+func (s *Server) Search(ctx context.Context, q dlse.Query, cursor dlse.Cursor, limit int, explain bool) (*dlse.ResultSet, bool, error) {
+	e, ver := s.pin()
+	nq, key, err := e.Normalize(q)
+	if err != nil {
+		return nil, false, err
+	}
+	if explain {
+		if err := s.acquire(ctx); err != nil {
+			return nil, false, err
+		}
+		defer s.release()
+		full, err := e.SearchAll(ctx, nq, true)
+		if err != nil {
+			return nil, false, err
+		}
+		rs, err := full.Page(cursor, limit)
+		return rs, false, err
+	}
+	v, cached, err := s.lookupOrFill(ctx, "v2|"+key, ver, func() (any, error) {
+		return e.SearchAll(ctx, nq, false)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	rs, err := v.(*dlse.ResultSet).Page(cursor, limit)
+	if err != nil {
+		return nil, false, err
+	}
+	return rs, cached, nil
 }
 
 // ---------------------------------------------------------------- HTTP
@@ -275,7 +377,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing q parameter"))
 		return
 	}
-	req, err := dlse.ParseRequest(s.engine.Space().Schema(), q)
+	e, ver := s.pin()
+	req, err := dlse.ParseRequest(e.Space().Schema(), q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -289,7 +392,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		req.Limit = n
 	}
 	start := time.Now()
-	results, cached, err := s.QueryRequest(r.Context(), req)
+	results, cached, err := s.queryEngine(r.Context(), e, ver, req)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -383,12 +486,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !onlyGet(w, r) {
 		return
 	}
-	stats := s.engine.VideoIndex().Stats()
+	e := s.engine.Load()
+	stats := e.VideoIndex().Stats()
 	entries, hits, misses := s.CacheStats()
 	writeJSON(w, http.StatusOK, healthResponse{
 		Status:       "ok",
 		UptimeSec:    time.Since(s.start).Seconds(),
-		Docs:         s.engine.TextIndex().Docs(),
+		Docs:         e.TextIndex().Docs(),
 		Videos:       stats.Videos,
 		Events:       stats.Events,
 		IndexVersion: s.version(),

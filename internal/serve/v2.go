@@ -1,0 +1,240 @@
+package serve
+
+// The v2 HTTP surface: one /v2/search endpoint over the unified query
+// type, with opaque page tokens, optional explain plans, and typed errors
+// mapped to proper HTTP statuses; plus /v2/reload, the online-reindexing
+// hook that hot-swaps the engine without dropping in-flight queries.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/dlse"
+	"repro/internal/ir"
+)
+
+// JSON shapes of the v2 HTTP API.
+type (
+	// v2Item mirrors dlse.Item: the fields set depend on the query form.
+	v2Item struct {
+		ObjectID int64       `json:"objectId,omitempty"`
+		Class    string      `json:"class,omitempty"`
+		Name     string      `json:"name,omitempty"`
+		Score    float64     `json:"score,omitempty"`
+		Scenes   []sceneJSON `json:"scenes,omitempty"`
+		Page     string      `json:"page,omitempty"`
+		Scene    *sceneJSON  `json:"scene,omitempty"`
+	}
+	v2KernelJSON struct {
+		TermsMatched   int  `json:"termsMatched"`
+		PostingsScored int  `json:"postingsScored"`
+		DocsTouched    int  `json:"docsTouched"`
+		Terminated     bool `json:"terminated"`
+	}
+	v2OpJSON struct {
+		Op     string        `json:"op"`
+		TookNs int64         `json:"tookNs"`
+		Items  int           `json:"items"`
+		Kernel *v2KernelJSON `json:"kernel,omitempty"`
+	}
+	v2ExplainJSON struct {
+		Plan string     `json:"plan"`
+		Ops  []v2OpJSON `json:"ops"`
+	}
+	v2SearchResponse struct {
+		Count    int            `json:"count"`
+		Total    int            `json:"total"`
+		Cached   bool           `json:"cached"`
+		TookMs   float64        `json:"tookMs"`
+		Snapshot int64          `json:"snapshot"`
+		Cursor   string         `json:"cursor,omitempty"`
+		Items    []v2Item       `json:"items"`
+		Explain  *v2ExplainJSON `json:"explain,omitempty"`
+	}
+	v2ReloadResponse struct {
+		Snapshot int64   `json:"snapshot"`
+		Docs     int     `json:"docs"`
+		Videos   int     `json:"videos"`
+		TookMs   float64 `json:"tookMs"`
+	}
+	v2ErrorResponse struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+		Pos   *int   `json:"pos,omitempty"`
+	}
+)
+
+// v2Status maps the typed error taxonomy onto HTTP statuses and stable
+// machine-readable codes.
+func v2Status(err error) (int, string) {
+	switch {
+	case errors.Is(err, dlse.ErrParse):
+		return http.StatusBadRequest, "parse"
+	case errors.Is(err, dlse.ErrBadCursor):
+		return http.StatusBadRequest, "bad_cursor"
+	case errors.Is(err, ir.ErrEmptyQry):
+		return http.StatusBadRequest, "empty_query"
+	case errors.Is(err, dlse.ErrUnknownConcept):
+		return http.StatusUnprocessableEntity, "unknown_concept"
+	case errors.Is(err, dlse.ErrNoIndex):
+		return http.StatusNotFound, "no_index"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, "unavailable"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// writeV2Error renders a typed error with status, code, and (for query
+// errors) the byte position of the problem.
+func writeV2Error(w http.ResponseWriter, err error) {
+	status, code := v2Status(err)
+	resp := v2ErrorResponse{Error: err.Error(), Code: code}
+	var qe *dlse.QueryError
+	if errors.As(err, &qe) && qe.Pos >= 0 {
+		pos := qe.Pos
+		resp.Pos = &pos
+	}
+	writeJSON(w, status, resp)
+}
+
+func toV2Items(items []dlse.Item) []v2Item {
+	out := make([]v2Item, len(items))
+	for i, it := range items {
+		v := v2Item{Score: it.Score, Page: it.Page}
+		if it.Object != nil {
+			v.ObjectID = it.Object.ID
+			v.Class = it.Object.Class
+			v.Name = it.Object.StringAttr("name")
+		}
+		if len(it.Scenes) > 0 {
+			v.Scenes = toSceneJSON(it.Scenes)
+		}
+		if it.Scene != nil {
+			sc := it.Scene
+			v.Scene = &sceneJSON{
+				Video: sc.Video.Name, Kind: sc.Event.Kind,
+				Start: sc.Event.Start, End: sc.Event.End,
+				Confidence: sc.Event.Confidence,
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func toV2Explain(ex *dlse.Explain) *v2ExplainJSON {
+	if ex == nil {
+		return nil
+	}
+	out := &v2ExplainJSON{Plan: ex.Plan, Ops: make([]v2OpJSON, len(ex.Ops))}
+	for i, op := range ex.Ops {
+		j := v2OpJSON{Op: op.Op, TookNs: op.Duration.Nanoseconds(), Items: op.Items}
+		if op.Kernel != nil {
+			j.Kernel = &v2KernelJSON{
+				TermsMatched:   op.Kernel.TermsMatched,
+				PostingsScored: op.Kernel.PostingsScored,
+				DocsTouched:    op.Kernel.DocsTouched,
+				Terminated:     op.Kernel.Terminated,
+			}
+		}
+		out.Ops[i] = j
+	}
+	return out
+}
+
+// handleV2Search answers GET /v2/search with exactly one of:
+//
+//	q=<query language>     — combined conceptual/content/text query
+//	kw=<terms>             — flattened-pages keyword baseline
+//	kind=<event kind>      — raw scene lookup
+//
+// plus optional limit=<page size>, cursor=<opaque token from a previous
+// page>, and explain=1.
+func (s *Server) handleV2Search(w http.ResponseWriter, r *http.Request) {
+	if !onlyGet(w, r) {
+		return
+	}
+	params := r.URL.Query()
+	q := dlse.Query{
+		Source:  params.Get("q"),
+		Keyword: params.Get("kw"),
+		Scenes:  params.Get("kind"),
+	}
+	limit := 0
+	if ls := params.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, v2ErrorResponse{
+				Error: fmt.Sprintf("bad limit %q", ls), Code: "parse",
+			})
+			return
+		}
+		limit = n
+	}
+	explain := params.Get("explain") == "1" || params.Get("explain") == "true"
+	cursor := dlse.Cursor(params.Get("cursor"))
+
+	start := time.Now()
+	rs, cached, err := s.Search(r.Context(), q, cursor, limit, explain)
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v2SearchResponse{
+		Count:    len(rs.Items),
+		Total:    rs.Total,
+		Cached:   cached,
+		TookMs:   float64(time.Since(start).Microseconds()) / 1000,
+		Snapshot: rs.Snapshot,
+		Cursor:   string(rs.Cursor),
+		Items:    toV2Items(rs.Items),
+		Explain:  toV2Explain(rs.Explain),
+	})
+}
+
+// handleV2Reload answers POST /v2/reload: it rebuilds the engine through
+// the configured reloader and hot-swaps it in. Queries in flight finish on
+// the snapshot they started with; the response carries the new snapshot's
+// identity. Without a reloader the endpoint reports 501.
+func (s *Server) handleV2Reload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, v2ErrorResponse{
+			Error: fmt.Sprintf("method %s not allowed", r.Method), Code: "method",
+		})
+		return
+	}
+	fn := s.reloader.Load()
+	if fn == nil {
+		writeJSON(w, http.StatusNotImplemented, v2ErrorResponse{
+			Error: "no reloader configured", Code: "no_reloader",
+		})
+		return
+	}
+	start := time.Now()
+	engine, err := (*fn)(r.Context())
+	if err != nil {
+		writeV2Error(w, fmt.Errorf("reload: %w", err))
+		return
+	}
+	s.Swap(engine)
+	stats := engine.VideoIndex().Stats()
+	writeJSON(w, http.StatusOK, v2ReloadResponse{
+		Snapshot: engine.Snapshot(),
+		Docs:     engine.TextIndex().Docs(),
+		Videos:   stats.Videos,
+		TookMs:   float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// RenderItems converts a page of items to the v2 JSON encoding — exported
+// for cmd/dlsearch's -json output so CLI and daemon emit the same shape.
+func RenderItems(items []dlse.Item) ([]byte, error) {
+	return json.MarshalIndent(toV2Items(items), "", "  ")
+}

@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR4.json}"
 BENCHTIME="${BENCHTIME:-1s}"
 BENCH="${BENCH:-BenchmarkIRQueryFull|BenchmarkE7TopNOptimization|BenchmarkDLSEQuery|BenchmarkDLSETextRank|BenchmarkHistogram\$|BenchmarkE2ShotBoundarySweep}"
 

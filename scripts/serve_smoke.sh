@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# serve_smoke.sh — build dlserve, start it on a random port, hit /healthz
-# and /query, then shut it down gracefully (SIGINT) and check it exits 0.
-# Run via `make serve-smoke`; CI runs it alongside the race job.
+# serve_smoke.sh — build dlserve, start it on a random port, hit /healthz,
+# /query (v1), and the v2 surface (/v2/search pagination, explain, SIGHUP
+# hot reload, POST /v2/reload), then shut it down gracefully (SIGINT) and
+# check it exits 0. Run via `make serve-smoke`; CI runs it alongside the
+# race job.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,6 +46,45 @@ out=$(curl -fsS --get "http://127.0.0.1:$port/query" \
 echo "$out" | head -c 300
 echo
 echo "$out" | grep -q '"count":'
+
+echo "--- /v2/search (page 1)"
+page1=$(curl -fsS --get "http://127.0.0.1:$port/v2/search" \
+    --data-urlencode 'q=find Player where sex = "female"' \
+    --data-urlencode 'limit=2')
+echo "$page1" | head -c 300
+echo
+echo "$page1" | grep -q '"total":'
+cursor=$(echo "$page1" | sed -n 's/.*"cursor":"\([^"]*\)".*/\1/p')
+if [ -z "$cursor" ]; then
+    echo "serve-smoke: page 1 returned no cursor" >&2
+    exit 1
+fi
+
+echo "--- /v2/search (page 2 via cursor, must be cached)"
+page2=$(curl -fsS --get "http://127.0.0.1:$port/v2/search" \
+    --data-urlencode 'q=find Player where sex = "female"' \
+    --data-urlencode 'limit=2' --data-urlencode "cursor=$cursor")
+echo "$page2" | head -c 300
+echo
+echo "$page2" | grep -q '"cached":true'
+
+echo "--- /v2/search explain"
+curl -fsS --get "http://127.0.0.1:$port/v2/search" \
+    --data-urlencode 'kw=final' --data-urlencode 'explain=1' \
+    | grep -q '"plan":'
+
+echo "--- SIGHUP hot reload"
+kill -HUP "$pid"
+sleep 0.3
+curl -fsS "http://127.0.0.1:$port/healthz" | grep -q '"status":"ok"'
+
+echo "--- POST /v2/reload"
+reload=$(curl -fsS -X POST "http://127.0.0.1:$port/v2/reload")
+echo "$reload"
+echo "$reload" | grep -q '"snapshot":'
+curl -fsS --get "http://127.0.0.1:$port/v2/search" \
+    --data-urlencode 'q=find Player' --data-urlencode 'limit=1' \
+    | grep -q '"count":1'
 
 kill -INT "$pid"
 wait "$pid"
