@@ -25,15 +25,17 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Machine-readable perf trajectory: run the scoring-kernel benchmark set
-# with -benchmem and write BENCH_PR4.json (the committed trajectory point
-# of this PR; BENCH_PR3.json is the previous one). BENCHTIME=1x for smoke.
+# with -benchmem and write BENCH_PR5.json (the committed trajectory point
+# of this PR; BENCH_PR4.json is the previous one). BENCHTIME=1x for smoke.
 bench-json:
 	bash scripts/bench_json.sh
 
 # Guard the perf trajectory: fail when BenchmarkIRQueryFull regressed more
-# than 3x against the previous committed point.
+# than 3x between the two committed points. (BenchmarkSegmentedSearch has
+# no earlier committed point; it is gated against a fresh run by
+# bench-json-smoke below.)
 bench-compare:
-	bash scripts/bench_compare.sh BENCH_PR3.json BENCH_PR4.json
+	bash scripts/bench_compare.sh BENCH_PR4.json BENCH_PR5.json
 
 # staticcheck (honnef.co/go/tools). CI installs it; locally the target
 # skips with a notice when the binary is absent (this repo vendors nothing
@@ -63,12 +65,14 @@ vet:
 ci: fmt-check vet staticcheck build test race bench-smoke bench-json-smoke serve-smoke
 
 # The bench-json CI step: one iteration per benchmark, same script. Writes
-# to a scratch path so it never clobbers the committed BENCH_PR4.json (the
+# to a scratch path so it never clobbers the committed BENCH_PR5.json (the
 # real trajectory point, regenerated deliberately via `make bench-json`),
-# then fails the build if the fresh run shows BenchmarkIRQueryFull more
-# than 3x slower than the previous committed point.
+# then fails the build if the fresh run shows BenchmarkIRQueryFull (vs the
+# previous committed point) or BenchmarkSegmentedSearch (vs this PR's
+# committed point) more than 3x slower.
 .PHONY: bench-json-smoke
 bench-json-smoke:
 	BENCHTIME=1x bash scripts/bench_json.sh /tmp/bench_smoke.json
 	@cat /tmp/bench_smoke.json
-	bash scripts/bench_compare.sh BENCH_PR3.json /tmp/bench_smoke.json
+	bash scripts/bench_compare.sh BENCH_PR4.json /tmp/bench_smoke.json
+	bash scripts/bench_compare.sh BENCH_PR5.json /tmp/bench_smoke.json 'BenchmarkSegmentedSearch/segs=4'

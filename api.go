@@ -149,10 +149,24 @@ func ReadSVF(path string) ([]*Image, int, error) {
 }
 
 // Library is a content-based video library: the tennis FDE plus the COBRA
-// meta-index it populates.
+// meta-index it populates — stored as an ordered set of immutable index
+// segments. The legacy Index* methods append to the newest segment; Commit
+// ingests a batch into a brand-new segment (the incremental-growth path),
+// and Compact merges small adjacent segments back together. Splitting the
+// corpus across segments never changes an answer: every read concatenates
+// or routes across segments in global ID order, byte-identical to one
+// monolithic index of the same videos.
+//
+// Concurrency: a Library is single-writer. Readers holding a View (or an
+// engine snapshot built from one) are never disturbed by Commit or
+// Compact, which assemble new segments privately and install them by
+// building a new view.
 type Library struct {
-	engine *fde.Engine
-	index  *core.MetaIndex
+	engine  *fde.Engine
+	parts   []*core.MetaIndex
+	metas   []core.SegmentMeta
+	gen     int64 // segment-set generation: bumped by Commit and Compact
+	nextSeg int64 // next segment ID
 }
 
 // NewLibrary creates an empty library with the standard tennis FDE.
@@ -165,7 +179,28 @@ func NewLibrary() (*Library, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Library{engine: engine, index: index}, nil
+	return &Library{
+		engine:  engine,
+		parts:   []*core.MetaIndex{index},
+		metas:   []core.SegmentMeta{{ID: 1}},
+		nextSeg: 2,
+	}, nil
+}
+
+// head returns the newest segment — the write target of the legacy Index*
+// methods.
+func (l *Library) head() *core.MetaIndex { return l.parts[len(l.parts)-1] }
+
+// View returns an immutable snapshot of the library's segment set: the
+// read side every query path (and engine build) runs against. Later
+// commits and compactions build new views; existing ones are undisturbed.
+func (l *Library) View() *core.SegmentedIndex {
+	si, err := core.NewSegmentedIndex(l.parts, l.metas, l.gen)
+	if err != nil {
+		// parts and metas are maintained in lockstep; this cannot fail.
+		panic(fmt.Sprintf("repro: inconsistent segment set: %v", err))
+	}
+	return si
 }
 
 // IndexFrames runs the full detector pipeline over the frames and stores
@@ -182,7 +217,7 @@ func (l *Library) IndexFrames(name string, frames []*Image, fps int) (int64, err
 	if err != nil {
 		return 0, fmt.Errorf("repro: indexing %q: %w", name, err)
 	}
-	return fde.IndexResult(res, l.index)
+	return fde.IndexResult(res, l.head())
 }
 
 // IndexSVF indexes a video stored in an SVF file.
@@ -199,7 +234,7 @@ func (l *Library) IndexSVF(name, path string) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("repro: indexing %q: %w", name, err)
 	}
-	return fde.IndexResult(res, l.index)
+	return fde.IndexResult(res, l.head())
 }
 
 // IngestJob describes one video of a batch-ingestion request. Exactly one
@@ -272,6 +307,12 @@ type BatchResult struct {
 // cancellation; otherwise it is nil when every job succeeded, the first
 // failure by default, or all failures joined when ContinueOnError is set.
 func (l *Library) IndexBatch(ctx context.Context, jobs []IngestJob, opts BatchOptions) ([]BatchResult, error) {
+	return l.runBatch(ctx, jobs, opts, l.head())
+}
+
+// runBatch is the shared ingestion engine of IndexBatch (merging into the
+// newest segment) and Commit (merging into a brand-new one).
+func (l *Library) runBatch(ctx context.Context, jobs []IngestJob, opts BatchOptions, dst *core.MetaIndex) ([]BatchResult, error) {
 	pjobs := make([]pipeline.Job, len(jobs))
 	for i, job := range jobs {
 		switch {
@@ -321,7 +362,7 @@ func (l *Library) IndexBatch(ctx context.Context, jobs []IngestJob, opts BatchOp
 		return nil, err
 	}
 	results, runErr := in.Run(ctx, pjobs)
-	ids, mergeErr := in.MergeInto(l.index)
+	ids, mergeErr := in.MergeInto(dst)
 	if mergeErr != nil {
 		return nil, fmt.Errorf("repro: merging batch: %w", mergeErr)
 	}
@@ -349,26 +390,103 @@ func (l *Library) IndexBatch(ctx context.Context, jobs []IngestJob, opts BatchOp
 	return out, nil
 }
 
+// Commit ingests a batch of new videos into a brand-new index segment and
+// appends it to the library's segment set — the incremental-growth path:
+// nothing already indexed is touched or re-read, and a search engine built
+// over the extended set answers exactly as if the whole corpus had been
+// indexed monolithically. Job semantics (workers, progress, errors,
+// cancellation) match IndexBatch. A commit whose jobs all fail (or that is
+// cancelled before any video lands) appends no segment.
+func (l *Library) Commit(ctx context.Context, jobs []IngestJob, opts BatchOptions) ([]BatchResult, error) {
+	base := l.head().IDState()
+	seg, err := core.NewMetaIndexAt(base)
+	if err != nil {
+		return nil, err
+	}
+	results, runErr := l.runBatch(ctx, jobs, opts, seg)
+	if seg.Stats().Videos > 0 {
+		l.parts = append(l.parts, seg)
+		l.metas = append(l.metas, core.SegmentMeta{ID: l.nextSeg, Base: base})
+		l.nextSeg++
+		l.gen++
+	}
+	return results, runErr
+}
+
+// Compact merges runs of adjacent segments whose combined video count
+// stays within target (target <= 0 merges everything into one segment).
+// Compaction preserves every ID and row order, so query answers — and the
+// merged segments' serialized bytes — are identical before and after; only
+// the partitioning changes. It reports whether anything was merged.
+func (l *Library) Compact(target int) (bool, error) {
+	if len(l.parts) < 2 {
+		return false, nil
+	}
+	var nparts []*core.MetaIndex
+	var nmetas []core.SegmentMeta
+	changed := false
+	for i := 0; i < len(l.parts); {
+		j := i + 1
+		run := l.parts[i].Stats().Videos
+		for j < len(l.parts) {
+			next := l.parts[j].Stats().Videos
+			if target > 0 && run+next > target {
+				break
+			}
+			run += next
+			j++
+		}
+		if j-i >= 2 {
+			merged, meta, err := core.MergeSegmentRange(l.parts, l.metas, i, j)
+			if err != nil {
+				return false, fmt.Errorf("repro: compacting: %w", err)
+			}
+			nparts = append(nparts, merged)
+			nmetas = append(nmetas, meta)
+			changed = true
+		} else {
+			nparts = append(nparts, l.parts[i])
+			nmetas = append(nmetas, l.metas[i])
+		}
+		i = j
+	}
+	if !changed {
+		return false, nil
+	}
+	l.parts, l.metas = nparts, nmetas
+	l.gen++
+	return true, nil
+}
+
 // Scenes returns all indexed scenes showing the given event kind
 // ("net-play", "rally", "service").
 func (l *Library) Scenes(kind string) ([]Scene, error) {
-	return l.index.Scenes(kind)
+	return l.View().Scenes(kind)
 }
 
 // Segments returns the classified shots of a video.
 func (l *Library) Segments(videoID int64) ([]Segment, error) {
-	return l.index.SegmentsOf(videoID)
+	return l.View().SegmentsOf(videoID)
 }
 
-// Index exposes the underlying meta-index for advanced queries.
-func (l *Library) Index() *MetaIndex { return l.index }
+// Index exposes the newest meta-index segment — the write target of the
+// Index* methods — for advanced direct use. Whole-library reads should go
+// through View, which spans every segment.
+func (l *Library) Index() *MetaIndex { return l.head() }
 
-// SaveIndex persists the meta-index.
-func (l *Library) SaveIndex(w io.Writer) error { return l.index.Serialize(w) }
+// SaveIndex persists the segmented meta-index: the segment manifest
+// followed by each segment, all in the column store's stream format.
+// Single-segment saves of the same videos are byte-identical however the
+// segment was populated (sequentially or batched).
+func (l *Library) SaveIndex(w io.Writer) error {
+	return core.SaveSegmented(w, l.parts, l.metas, l.gen)
+}
 
-// LoadLibrary restores a library around a previously saved meta-index.
+// LoadLibrary restores a library around a previously saved meta-index —
+// either the segmented format written by SaveIndex or a legacy stream
+// holding one bare meta-index database (loaded as a single segment).
 func LoadLibrary(r io.Reader) (*Library, error) {
-	idx, err := core.DeserializeMetaIndex(r)
+	parts, metas, gen, err := core.LoadSegmented(r)
 	if err != nil {
 		return nil, err
 	}
@@ -376,7 +494,13 @@ func LoadLibrary(r io.Reader) (*Library, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Library{engine: engine, index: idx}, nil
+	nextSeg := int64(1)
+	for _, m := range metas {
+		if m.ID >= nextSeg {
+			nextSeg = m.ID + 1
+		}
+	}
+	return &Library{engine: engine, parts: parts, metas: metas, gen: gen, nextSeg: nextSeg}, nil
 }
 
 // GrammarDOT returns the tennis feature grammar's detector dependency
@@ -397,31 +521,38 @@ func GenerateSite(cfg SiteConfig) (*Site, error) {
 //
 // Internally it holds an immutable engine snapshot behind an atomic
 // pointer: every query runs against the snapshot current at its start, and
-// Swap installs a rebuilt snapshot without disturbing queries in flight. A
-// DigitalLibrary is safe for concurrent use from any number of goroutines,
-// Swap included.
+// Swap (a full rebuild) or Commit (an incremental segment install) replace
+// the snapshot without disturbing queries in flight. A DigitalLibrary is
+// safe for concurrent use from any number of goroutines, Swap and Commit
+// included.
 type DigitalLibrary struct {
 	engine atomic.Pointer[dlse.Engine]
 	site   *webspace.Site
 
-	// mu serializes Swap and guards servers, the serving layers that must
-	// follow a swap.
+	// commitMu serializes the writers of the backing library (Commit,
+	// Compact, Swap) — queries never take it.
+	commitMu sync.Mutex
+	lib      *Library // commit target; guarded by commitMu
+
+	// mu serializes snapshot installs and guards servers, the serving
+	// layers that must follow them.
 	mu      sync.Mutex
 	servers []*Server
 }
 
 // NewDigitalLibrary combines a generated site with an indexed video
-// library. lib may be nil for a text/concept-only engine.
+// library. lib may be nil for a text/concept-only engine (Commit then
+// reports an error until Swap installs a library).
 func NewDigitalLibrary(site *Site, lib *Library) (*DigitalLibrary, error) {
-	var idx *core.MetaIndex
+	var view *core.SegmentedIndex
 	if lib != nil {
-		idx = lib.index
+		view = lib.View()
 	}
-	e, err := dlse.New(site, idx)
+	e, err := dlse.NewSegmented(site, view, dlse.Options{})
 	if err != nil {
 		return nil, err
 	}
-	dl := &DigitalLibrary{site: site}
+	dl := &DigitalLibrary{site: site, lib: lib}
 	dl.engine.Store(e)
 	return dl, nil
 }
@@ -445,21 +576,74 @@ func (dl *DigitalLibrary) Search(ctx context.Context, q Query, opts ...SearchOpt
 // started with; servers created by NewServer follow the swap and can never
 // serve results of a superseded snapshot from their caches.
 func (dl *DigitalLibrary) Swap(lib *Library) error {
-	var idx *core.MetaIndex
+	dl.commitMu.Lock()
+	defer dl.commitMu.Unlock()
+	var view *core.SegmentedIndex
 	if lib != nil {
-		idx = lib.index
+		view = lib.View()
 	}
-	e, err := dlse.New(dl.site, idx)
+	e, err := dlse.NewSegmented(dl.site, view, dlse.Options{})
 	if err != nil {
 		return err
 	}
+	dl.lib = lib
+	dl.install(e)
+	return nil
+}
+
+// install atomically publishes an engine snapshot to the library and every
+// registered server.
+func (dl *DigitalLibrary) install(e *dlse.Engine) {
 	dl.mu.Lock()
 	defer dl.mu.Unlock()
 	dl.engine.Store(e)
 	for _, s := range dl.servers {
 		s.Swap(e)
 	}
-	return nil
+}
+
+// Commit ingests new videos into a brand-new segment of the backing
+// library and atomically installs an engine snapshot over the extended
+// segment set — the incremental scale-out path: the site's text index and
+// every existing video segment are reused as-is (nothing is re-indexed or
+// re-frozen), queries in flight finish on the snapshot they started with,
+// result sets and cursor walks pinned to the old snapshot stay
+// byte-identical, and the serving layer's cache generation moves so no
+// stale answer can be served. Commits are serialized; Search never blocks
+// on one.
+func (dl *DigitalLibrary) Commit(ctx context.Context, jobs []IngestJob, opts BatchOptions) ([]BatchResult, error) {
+	dl.commitMu.Lock()
+	defer dl.commitMu.Unlock()
+	if dl.lib == nil {
+		return nil, fmt.Errorf("repro: commit: no video library attached (use Swap to install one)")
+	}
+	genBefore := dl.lib.gen
+	results, err := dl.lib.Commit(ctx, jobs, opts)
+	// Install only when a segment actually landed: a commit whose jobs all
+	// failed must not bump the swap generation (which would purge every
+	// server's result cache for an unchanged corpus).
+	if dl.lib.gen != genBefore {
+		dl.install(dl.engine.Load().WithVideo(dl.lib.View()))
+	}
+	return results, err
+}
+
+// Compact merges small adjacent segments of the backing library (see
+// Library.Compact) and, if anything changed, installs a snapshot over the
+// compacted set. Safe to run in the background: answers are identical
+// before, during, and after — only the partitioning changes.
+func (dl *DigitalLibrary) Compact(target int) (bool, error) {
+	dl.commitMu.Lock()
+	defer dl.commitMu.Unlock()
+	if dl.lib == nil {
+		return false, nil
+	}
+	changed, err := dl.lib.Compact(target)
+	if err != nil || !changed {
+		return false, err
+	}
+	dl.install(dl.engine.Load().WithVideo(dl.lib.View()))
+	return true, nil
 }
 
 // Snapshot identifies the current engine snapshot; it changes on every

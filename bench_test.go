@@ -825,6 +825,68 @@ func BenchmarkIRQueryFull(b *testing.B) {
 	}
 }
 
+var (
+	segSearchOnce sync.Once
+	segSearchSets map[int]*ir.Segments
+)
+
+// benchSegmentedCorpus builds the BenchmarkIRQueryFull corpus (same seed,
+// same 20k documents) split across 1 and 4 immutable segments.
+func benchSegmentedCorpus(b *testing.B) map[int]*ir.Segments {
+	b.Helper()
+	segSearchOnce.Do(func() {
+		segSearchSets = map[int]*ir.Segments{}
+		for _, nseg := range []int{1, 4} {
+			rng := rand.New(rand.NewSource(2000))
+			zipf := rand.NewZipf(rng, 1.15, 1, 2999)
+			parts := make([]*ir.Index, nseg)
+			for i := range parts {
+				parts[i] = ir.NewIndex()
+			}
+			const docs = 20000
+			per := (docs + nseg - 1) / nseg
+			for d := 0; d < docs; d++ {
+				n := 40 + rng.Intn(120)
+				var sb strings.Builder
+				for w := 0; w < n; w++ {
+					fmt.Fprintf(&sb, "w%d ", zipf.Uint64())
+				}
+				if _, err := parts[d/per].Add(fmt.Sprintf("d%05d", d), sb.String()); err != nil {
+					panic(err)
+				}
+			}
+			segs, err := ir.NewSegments(parts)
+			if err != nil {
+				panic(err)
+			}
+			segSearchSets[nseg] = segs
+		}
+	})
+	return segSearchSets
+}
+
+// BenchmarkSegmentedSearch measures scatter-gather ranked retrieval across
+// 1 vs 4 immutable segments of the same 20k-document corpus. Answers are
+// byte-identical to the monolithic index by construction (segments freeze
+// against union corpus statistics; ir.TestSegmentsMatchMonolithic locks
+// it); this measures what the scatter legs and the top-K stream merge cost
+// — the latency shape of the incremental, shard-per-commit engine.
+func BenchmarkSegmentedSearch(b *testing.B) {
+	sets := benchSegmentedCorpus(b)
+	for _, nseg := range []int{1, 4} {
+		segs := sets[nseg]
+		b.Run(fmt.Sprintf("segs=%d", nseg), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := segs.Search("w0 w1", 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // -------------------------------------------------------- ablations
 
 var ablHistOnce sync.Once

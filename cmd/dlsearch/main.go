@@ -23,11 +23,13 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
+	"unicode/utf8"
 
 	"repro/internal/core"
 	"repro/internal/dlse"
@@ -67,19 +69,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var idx *core.MetaIndex
+	var view *core.SegmentedIndex
 	if *metaPath != "" {
 		f, err := os.Open(*metaPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		idx, err = core.DeserializeMetaIndex(f)
+		parts, metas, gen, err := core.LoadSegmented(f)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
+		view, err = core.NewSegmentedIndex(parts, metas, gen)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
-	engine, err := dlse.New(site, idx)
+	engine, err := dlse.NewSegmented(site, view, dlse.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,12 +97,33 @@ func main() {
 	}
 
 	q := dlse.Query{Source: *query}
+	src := *query
 	if *keyword != "" {
 		q = dlse.Query{Keyword: *keyword}
+		src = *keyword
 	}
 	if err := runSearch(engine, q, p); err != nil {
-		log.Fatal(err)
+		printQueryError(src, err)
+		os.Exit(1)
 	}
+}
+
+// printQueryError renders a search failure; for *QueryError with a byte
+// offset it echoes the query with a caret under the offending position:
+//
+//	error: dlse: expected attribute or role name (at offset 12)
+//	  find Player wehre sex = "female"
+//	              ^
+func printQueryError(src string, err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	var qe *dlse.QueryError
+	if !errors.As(err, &qe) || qe.Pos < 0 || qe.Pos > len(src) || src == "" {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "  "+src)
+	// The parser reports byte offsets; the caret column is the rune count
+	// of the text before the offset.
+	fmt.Fprintln(os.Stderr, "  "+strings.Repeat(" ", utf8.RuneCountInString(src[:qe.Pos]))+"^")
 }
 
 // printer renders v2 result sets for the terminal or as JSON.
@@ -213,25 +240,28 @@ func runREPL(engine *dlse.Engine, site *webspace.Site, p printer) {
 		case line == "motivating":
 			fmt.Println(dlse.MotivatingQueryText)
 		case strings.HasPrefix(line, "kw "):
-			if err := runSearch(engine, dlse.Query{Keyword: strings.TrimPrefix(line, "kw ")}, p); err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
+			kw := strings.TrimPrefix(line, "kw ")
+			if err := runSearch(engine, dlse.Query{Keyword: kw}, p); err != nil {
+				printQueryError(kw, err)
 			}
 		case strings.HasPrefix(line, "plan "):
-			req, err := dlse.ParseRequest(site.W.Schema(), strings.TrimPrefix(line, "plan "))
+			src := strings.TrimPrefix(line, "plan ")
+			req, err := dlse.ParseRequest(site.W.Schema(), src)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
+				printQueryError(src, err)
 				continue
 			}
 			fmt.Println(engine.Plan(req))
 		case strings.HasPrefix(line, "explain "):
 			px := p
 			px.explain = true
-			if err := runSearch(engine, dlse.Query{Source: strings.TrimPrefix(line, "explain ")}, px); err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
+			src := strings.TrimPrefix(line, "explain ")
+			if err := runSearch(engine, dlse.Query{Source: src}, px); err != nil {
+				printQueryError(src, err)
 			}
 		default:
 			if err := runSearch(engine, dlse.Query{Source: line}, p); err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
+				printQueryError(line, err)
 			}
 		}
 	}

@@ -2,26 +2,34 @@
 // builds the engine once (synthetic Australian Open site + optional video
 // meta-index from cobraindex) and serves combined, keyword, and scene
 // queries over HTTP with a sharded LRU result cache — including the v2
-// unified surface with cursor pagination and explain plans.
+// unified surface with cursor pagination, explain plans, and incremental
+// index growth.
 //
 // Usage:
 //
-//	dlserve -addr :8372 -meta meta.db -cache-size 4096 -workers 8
+//	dlserve -addr :8372 -meta meta.db -cache-size 4096 -workers 8 \
+//	        -segment-target 64
 //
 //	curl 'http://localhost:8372/healthz'
+//	curl 'http://localhost:8372/metrics'
 //	curl --get 'http://localhost:8372/v2/search' \
 //	     --data-urlencode 'q=find Player where sex = "female"' \
 //	     --data-urlencode 'limit=10'
-//	curl --get 'http://localhost:8372/v2/search' --data-urlencode 'kw=champion' \
-//	     --data-urlencode 'explain=1'
+//	curl -X POST 'http://localhost:8372/v2/commit' \
+//	     -d '{"paths":["/data/new-broadcast.svf"]}'
 //	curl -X POST 'http://localhost:8372/v2/reload'
-//	curl --get 'http://localhost:8372/query' \
-//	     --data-urlencode 'q=find Player where handedness = "left"'   # v1
+//
+// Incremental growth: POST /v2/commit ingests new SVF files into a
+// brand-new index segment and installs the extended segment set atomically
+// — existing segments are not re-read, queries in flight finish on their
+// snapshot, and the result cache generation moves so nothing stale serves.
+// With -segment-target N, a background compaction merges adjacent small
+// segments (combined videos <= N) after each commit; answers are identical
+// before and after, only the partitioning changes.
 //
 // Online reindexing: SIGHUP (or POST /v2/reload) re-reads the -meta file
-// and hot-swaps the engine atomically — queries in flight finish on the
-// snapshot they started with, no request is dropped, and the result cache
-// can never serve answers of a superseded snapshot.
+// and hot-swaps the whole library atomically — the full-rebuild path, for
+// when the file changed on disk.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // finish (up to a 5s drain) before the process exits.
@@ -39,10 +47,8 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/dlse"
-	"repro/internal/serve"
-	"repro/internal/webspace"
 )
 
 func main() {
@@ -53,42 +59,95 @@ func main() {
 		metaPath  = flag.String("meta", "", "meta-index file from cobraindex (optional; reloaded on SIGHUP)")
 		cacheSize = flag.Int("cache-size", 1024, "query cache capacity in entries (negative disables)")
 		workers   = flag.Int("workers", 0, "max queries executing concurrently (0 = unbounded)")
-		players   = flag.Int("players", 64, "site size: number of players")
-		seed      = flag.Int64("seed", 16, "site generation seed")
-		years     = flag.Int("years", 10, "site size: number of tournament editions")
+		segTarget = flag.Int("segment-target", 0,
+			"background-compact adjacent segments up to this many videos after each commit (0 disables)")
+		players = flag.Int("players", 64, "site size: number of players")
+		seed    = flag.Int64("seed", 16, "site generation seed")
+		years   = flag.Int("years", 10, "site size: number of tournament editions")
 	)
 	flag.Parse()
 
-	site, err := webspace.GenerateAusOpen(webspace.SiteConfig{
+	site, err := repro.GenerateSite(repro.SiteConfig{
 		Players: *players, YearStart: 2001 - *years + 1, YearEnd: 2001, Seed: *seed,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	// buildEngine (re)builds an engine over the fixed site and the current
-	// contents of the meta file — the startup path and the hot-reload path
-	// are the same code.
-	buildEngine := func() (*dlse.Engine, error) {
-		var idx *core.MetaIndex
-		if *metaPath != "" {
-			f, err := os.Open(*metaPath)
-			if err != nil {
-				return nil, err
-			}
-			defer f.Close()
-			idx, err = core.DeserializeMetaIndex(f)
-			if err != nil {
-				return nil, err
-			}
+	// loadLib (re)builds the video library from the current contents of the
+	// meta file — the startup path and the hot-reload path are the same
+	// code. Without -meta the library starts empty and grows via commits.
+	loadLib := func() (*repro.Library, error) {
+		if *metaPath == "" {
+			return repro.NewLibrary()
 		}
-		return dlse.New(site, idx)
+		f, err := os.Open(*metaPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return repro.LoadLibrary(f)
 	}
-	engine, err := buildEngine()
+	lib, err := loadLib()
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := serve.New(engine, serve.Options{CacheSize: *cacheSize, Workers: *workers})
-	srv.SetReloader(func(ctx context.Context) (*dlse.Engine, error) { return buildEngine() })
+	dl, err := repro.NewDigitalLibrary(site, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := repro.NewServer(dl, repro.ServerOptions{CacheSize: *cacheSize, Workers: *workers})
+
+	// /v2/reload: rebuild the library from the meta file and install it
+	// across every registered server; returning nil tells the endpoint the
+	// swap already happened.
+	srv.SetReloader(func(ctx context.Context) (*dlse.Engine, error) {
+		lib2, err := loadLib()
+		if err != nil {
+			return nil, err
+		}
+		if err := dl.Swap(lib2); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	})
+
+	// compacting admits one background compaction at a time; a commit that
+	// lands while one runs just skips scheduling another (the next commit
+	// will pick the merge up).
+	compacting := make(chan struct{}, 1)
+	maybeCompact := func() {
+		if *segTarget <= 0 {
+			return
+		}
+		select {
+		case compacting <- struct{}{}:
+		default:
+			return
+		}
+		go func() {
+			defer func() { <-compacting }()
+			changed, err := dl.Compact(*segTarget)
+			switch {
+			case err != nil:
+				log.Printf("background compaction failed: %v", err)
+			case changed:
+				log.Printf("background compaction installed snapshot %d", dl.Snapshot())
+			}
+		}()
+	}
+
+	// /v2/commit: ingest the named SVF files into a new segment.
+	srv.SetCommitter(func(ctx context.Context, paths []string) error {
+		jobs := make([]repro.IngestJob, len(paths))
+		for i, p := range paths {
+			jobs[i] = repro.IngestJob{Path: p}
+		}
+		if _, err := dl.Commit(ctx, jobs, repro.BatchOptions{}); err != nil {
+			return err
+		}
+		maybeCompact()
+		return nil
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -105,23 +164,28 @@ func main() {
 	go func() {
 		for range hup {
 			t0 := time.Now()
-			e2, err := buildEngine()
+			lib2, err := loadLib()
+			if err == nil {
+				err = dl.Swap(lib2)
+			}
 			if err != nil {
 				log.Printf("SIGHUP reload failed (still serving snapshot %d): %v",
-					srv.Engine().Snapshot(), err)
+					dl.Snapshot(), err)
 				continue
 			}
-			srv.Swap(e2)
-			stats := e2.VideoIndex().Stats()
-			log.Printf("SIGHUP reload: snapshot %d live in %v (videos=%d, events=%d)",
-				e2.Snapshot(), time.Since(t0).Round(time.Millisecond), stats.Videos, stats.Events)
+			view := lib2.View()
+			log.Printf("SIGHUP reload: snapshot %d live in %v (videos=%d, segments=%d)",
+				dl.Snapshot(), time.Since(t0).Round(time.Millisecond),
+				view.Stats().Videos, view.NumSegments())
 		}
 	}()
 
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.Serve(ln) }()
-	log.Printf("listening on http://%s (docs=%d, snapshot=%d, cache=%d entries, workers=%d)",
-		ln.Addr(), engine.TextIndex().Docs(), engine.Snapshot(), *cacheSize, *workers)
+	view := lib.View()
+	log.Printf("listening on http://%s (docs=%d, snapshot=%d, videos=%d, segments=%d, cache=%d entries, workers=%d)",
+		ln.Addr(), srv.Engine().TextIndex().Docs(), dl.Snapshot(),
+		view.Stats().Videos, view.NumSegments(), *cacheSize, *workers)
 
 	select {
 	case err := <-done:

@@ -154,6 +154,60 @@ func (m *MetaIndex) id(kind string) int64 {
 	return m.nextID[kind]
 }
 
+// ID-counter kinds, also the keys of nextID.
+const (
+	idVideo   = "video"
+	idSegment = "segment"
+	idObject  = "object"
+	idEvent   = "event"
+)
+
+// NewMetaIndexAt creates an empty meta-index whose ID counters start at the
+// given base — the building block of segmented libraries, where a new
+// partition continues the global ID sequence of the partitions before it.
+func NewMetaIndexAt(base IDBase) (*MetaIndex, error) {
+	m, err := NewMetaIndex()
+	if err != nil {
+		return nil, err
+	}
+	m.setIDs(base)
+	return m, nil
+}
+
+// IDState returns the current ID-counter state: the base the next segment
+// of a segmented library must start at.
+func (m *MetaIndex) IDState() IDBase {
+	return IDBase{
+		Video:   m.nextID[idVideo],
+		Segment: m.nextID[idSegment],
+		Object:  m.nextID[idObject],
+		Event:   m.nextID[idEvent],
+	}
+}
+
+func (m *MetaIndex) setIDs(base IDBase) {
+	m.nextID[idVideo] = base.Video
+	m.nextID[idSegment] = base.Segment
+	m.nextID[idObject] = base.Object
+	m.nextID[idEvent] = base.Event
+}
+
+// floorIDs raises any counter below the given base up to it (counters
+// already past the base — restored from persisted rows — are kept).
+func (m *MetaIndex) floorIDs(base IDBase) {
+	for _, kv := range []struct {
+		kind string
+		min  int64
+	}{
+		{idVideo, base.Video}, {idSegment, base.Segment},
+		{idObject, base.Object}, {idEvent, base.Event},
+	} {
+		if m.nextID[kv.kind] < kv.min {
+			m.nextID[kv.kind] = kv.min
+		}
+	}
+}
+
 // AddVideo registers a video and returns its assigned ID.
 func (m *MetaIndex) AddVideo(v Video) (int64, error) {
 	v.ID = m.id("video")
@@ -491,7 +545,15 @@ func DeserializeMetaIndex(r io.Reader) (*MetaIndex, error) {
 	if err != nil {
 		return nil, err
 	}
+	return metaIndexFromDB(db)
+}
+
+// metaIndexFromDB rebuilds a meta-index around an already-deserialized
+// database: secondary indexes and ID counters (restored from the row
+// maxima; segmented loads additionally floor them at the manifest base).
+func metaIndexFromDB(db *store.DB) (*MetaIndex, error) {
 	m := &MetaIndex{db: db, nextID: map[string]int64{}}
+	var err error
 	get := func(name string) *store.Table {
 		if err != nil {
 			return nil

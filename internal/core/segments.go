@@ -1,0 +1,350 @@
+package core
+
+// Segmented meta-index: an ordered set of immutable MetaIndex partitions
+// read as one logical COBRA meta-index. Every entity ID space (video,
+// segment, object, event) is partitioned contiguously in segment order —
+// segment i's counters start where segment i-1's ended — so concatenating
+// per-segment answers in segment order reproduces, row for row, the answer
+// a single monolithic index built from the same videos in the same order
+// would give. A manifest records the partitioning (segment IDs, ID bases,
+// generation) and is persisted via the column store alongside the parts.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/store"
+)
+
+// IDBase is the state of the meta-index ID counters at a segment boundary:
+// the last video, segment, object, and event IDs assigned before the
+// segment begins. A segment created at base b owns IDs (b, next-base].
+type IDBase struct {
+	Video, Segment, Object, Event int64
+}
+
+// SegmentMeta is one manifest entry: a partition's identity and ID range.
+type SegmentMeta struct {
+	// ID identifies the segment; monotonically assigned, stable across
+	// saves. Compaction keeps the first merged segment's ID.
+	ID int64
+	// Base is the ID-counter state at the segment's start.
+	Base IDBase
+}
+
+// SegmentedIndex is an immutable reader over an ordered set of MetaIndex
+// partitions. The value itself is a snapshot: installing a new segment set
+// builds a new SegmentedIndex, so readers holding an old one are never
+// disturbed. (The underlying parts follow the MetaIndex concurrency rule:
+// safe for concurrent readers as long as no writer is active.)
+type SegmentedIndex struct {
+	parts []*MetaIndex
+	metas []SegmentMeta
+	gen   int64
+}
+
+// NewSegmentedIndex builds a reader over the given parts. parts and metas
+// must be the same length and in segment order; the slices are copied.
+func NewSegmentedIndex(parts []*MetaIndex, metas []SegmentMeta, gen int64) (*SegmentedIndex, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("core: segmented index needs at least one partition")
+	}
+	if len(parts) != len(metas) {
+		return nil, fmt.Errorf("core: %d parts but %d manifest entries", len(parts), len(metas))
+	}
+	return &SegmentedIndex{
+		parts: append([]*MetaIndex(nil), parts...),
+		metas: append([]SegmentMeta(nil), metas...),
+		gen:   gen,
+	}, nil
+}
+
+// SingleSegment wraps one MetaIndex as a one-partition segmented view —
+// the bridge from the monolithic API surface.
+func SingleSegment(m *MetaIndex) *SegmentedIndex {
+	return &SegmentedIndex{parts: []*MetaIndex{m}, metas: []SegmentMeta{{ID: 1}}}
+}
+
+// NumSegments returns the partition count.
+func (s *SegmentedIndex) NumSegments() int { return len(s.parts) }
+
+// Part returns partition i.
+func (s *SegmentedIndex) Part(i int) *MetaIndex { return s.parts[i] }
+
+// Meta returns partition i's manifest entry.
+func (s *SegmentedIndex) Meta(i int) SegmentMeta { return s.metas[i] }
+
+// Generation returns the segment-set generation: it increases every time
+// the set changes (commit, compaction, reload).
+func (s *SegmentedIndex) Generation() int64 { return s.gen }
+
+// Version returns a counter that changes whenever any partition is written
+// or the segment set itself changes — the staleness signal for caches
+// layered above the index, like MetaIndex.Version.
+func (s *SegmentedIndex) Version() int64 {
+	v := s.gen
+	for _, p := range s.parts {
+		v += p.Version()
+	}
+	return v
+}
+
+// Stats sums row counts across partitions.
+func (s *SegmentedIndex) Stats() Stats {
+	var out Stats
+	for _, p := range s.parts {
+		st := p.Stats()
+		out.Videos += st.Videos
+		out.Segments += st.Segments
+		out.Features += st.Features
+		out.Objects += st.Objects
+		out.States += st.States
+		out.Events += st.Events
+	}
+	return out
+}
+
+// partFor returns the partition owning the given ID of the named counter
+// (the last partition whose base is below id).
+func (s *SegmentedIndex) partFor(id int64, base func(SegmentMeta) int64) *MetaIndex {
+	for i := len(s.metas) - 1; i > 0; i-- {
+		if base(s.metas[i]) < id {
+			return s.parts[i]
+		}
+	}
+	return s.parts[0]
+}
+
+// Videos returns all registered videos in ID order.
+func (s *SegmentedIndex) Videos() ([]Video, error) {
+	var out []Video
+	for _, p := range s.parts {
+		vs, err := p.Videos()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	return out, nil
+}
+
+// VideoByID returns the video with the given ID.
+func (s *SegmentedIndex) VideoByID(id int64) (Video, error) {
+	return s.partFor(id, func(m SegmentMeta) int64 { return m.Base.Video }).VideoByID(id)
+}
+
+// VideoByName returns the video with the given name (first match in
+// segment order, like the monolithic index's row order). Real storage
+// errors propagate; only a genuinely absent name reports not-found.
+func (s *SegmentedIndex) VideoByName(name string) (Video, error) {
+	for _, p := range s.parts {
+		rows, err := p.videos.Select(store.Eq("name", store.Str(name)))
+		if err != nil {
+			return Video{}, err
+		}
+		if len(rows) > 0 {
+			return p.videoAt(rows[0])
+		}
+	}
+	return Video{}, fmt.Errorf("core: no video named %q", name)
+}
+
+// SegmentsOf returns all shots of a video in index order.
+func (s *SegmentedIndex) SegmentsOf(videoID int64) ([]Segment, error) {
+	return s.partFor(videoID, func(m SegmentMeta) int64 { return m.Base.Video }).SegmentsOf(videoID)
+}
+
+// EventsOf returns all events of a video.
+func (s *SegmentedIndex) EventsOf(videoID int64) ([]Event, error) {
+	return s.partFor(videoID, func(m SegmentMeta) int64 { return m.Base.Video }).EventsOf(videoID)
+}
+
+// EventsByKind returns all events of the given kind, in segment order —
+// the append order of the monolithic build.
+func (s *SegmentedIndex) EventsByKind(kind string) ([]Event, error) {
+	var out []Event
+	for _, p := range s.parts {
+		evs, err := p.EventsByKind(kind)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, evs...)
+	}
+	return out, nil
+}
+
+// Scenes returns playable scenes for all events of the given kind.
+func (s *SegmentedIndex) Scenes(kind string) ([]Scene, error) {
+	var out []Scene
+	for _, p := range s.parts {
+		sc, err := p.Scenes(kind)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc...)
+	}
+	return out, nil
+}
+
+// EventsRelated answers the composite temporal query across all
+// partitions. Related events always share a video, and a video lives
+// wholly inside one partition, so the per-partition answers concatenate in
+// segment order — the monolithic pair order (ascending by the position of
+// the first event in EventsByKind).
+func (s *SegmentedIndex) EventsRelated(kindA, kindB string, wanted ...AllenRelation) ([]EventPair, error) {
+	var out []EventPair
+	for _, p := range s.parts {
+		ps, err := p.EventsRelated(kindA, kindB, wanted...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ps...)
+	}
+	return out, nil
+}
+
+// EventsFollowing returns kindB events starting within maxGap frames after
+// a kindA event ends, across all partitions.
+func (s *SegmentedIndex) EventsFollowing(kindA, kindB string, maxGap int) ([]EventPair, error) {
+	var out []EventPair
+	for _, p := range s.parts {
+		ps, err := p.EventsFollowing(kindA, kindB, maxGap)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ps...)
+	}
+	return out, nil
+}
+
+// ------------------------------------------------------------ compaction
+
+// MergeSegmentRange replays partitions [from, to) into one new partition
+// seeded at the range's starting ID base. Because every ID was originally
+// assigned sequentially from that same base, the replay reassigns each row
+// the ID it already had: the merged partition is byte-identical (Serialize)
+// to indexing the same videos into one index at that base, and every query
+// answer over the compacted set matches the uncompacted set exactly.
+func MergeSegmentRange(parts []*MetaIndex, metas []SegmentMeta, from, to int) (*MetaIndex, SegmentMeta, error) {
+	if from < 0 || to > len(parts) || to-from < 1 {
+		return nil, SegmentMeta{}, fmt.Errorf("core: bad merge range [%d, %d)", from, to)
+	}
+	dst, err := NewMetaIndexAt(metas[from].Base)
+	if err != nil {
+		return nil, SegmentMeta{}, err
+	}
+	for i := from; i < to; i++ {
+		vids, err := parts[i].Videos()
+		if err != nil {
+			return nil, SegmentMeta{}, err
+		}
+		for _, v := range vids {
+			nvid, err := copyVideo(dst, parts[i], v.ID)
+			if err != nil {
+				return nil, SegmentMeta{}, fmt.Errorf("core: compacting segment %d: %w", metas[i].ID, err)
+			}
+			if nvid != v.ID {
+				return nil, SegmentMeta{}, fmt.Errorf("core: compaction renumbered video %d to %d", v.ID, nvid)
+			}
+		}
+	}
+	return dst, SegmentMeta{ID: metas[from].ID, Base: metas[from].Base}, nil
+}
+
+// ------------------------------------------------------------ persistence
+
+// manifestTable is the table name that marks a stream as a segmented
+// library. Legacy streams (one bare MetaIndex database) have no manifest
+// and load as a single segment.
+const manifestTable = "dl_manifest"
+
+// SaveSegmented writes a segmented library: a manifest database followed
+// by each partition's database, all in the column store's stream format.
+func SaveSegmented(w io.Writer, parts []*MetaIndex, metas []SegmentMeta, gen int64) error {
+	if len(parts) != len(metas) {
+		return fmt.Errorf("core: %d parts but %d manifest entries", len(parts), len(metas))
+	}
+	db := store.NewDB()
+	t, err := db.Create(store.Schema{Name: manifestTable, Columns: []store.Column{
+		{Name: "segment", Type: store.TInt},
+		{Name: "videos", Type: store.TInt},
+		{Name: "base_video", Type: store.TInt},
+		{Name: "base_segment", Type: store.TInt},
+		{Name: "base_object", Type: store.TInt},
+		{Name: "base_event", Type: store.TInt},
+		{Name: "generation", Type: store.TInt},
+	}})
+	if err != nil {
+		return fmt.Errorf("core: manifest schema: %w", err)
+	}
+	for i, m := range metas {
+		err := t.Append(
+			store.Int(m.ID), store.Int(int64(parts[i].Stats().Videos)),
+			store.Int(m.Base.Video), store.Int(m.Base.Segment),
+			store.Int(m.Base.Object), store.Int(m.Base.Event),
+			store.Int(gen),
+		)
+		if err != nil {
+			return fmt.Errorf("core: manifest row: %w", err)
+		}
+	}
+	if err := db.Serialize(w); err != nil {
+		return err
+	}
+	for i, p := range parts {
+		if err := p.Serialize(w); err != nil {
+			return fmt.Errorf("core: segment %d: %w", metas[i].ID, err)
+		}
+	}
+	return nil
+}
+
+// LoadSegmented reads a library written by SaveSegmented — or a legacy
+// stream holding one bare MetaIndex database, which loads as a single
+// segment at base zero.
+func LoadSegmented(r io.Reader) (parts []*MetaIndex, metas []SegmentMeta, gen int64, err error) {
+	// One shared buffered reader: store.Deserialize reads exactly one
+	// database's bytes from it, so consecutive databases parse in sequence.
+	br := bufio.NewReader(r)
+	db, err := store.Deserialize(br)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	mt, err := db.Table(manifestTable)
+	if err != nil {
+		// Legacy format: the stream is one monolithic meta-index.
+		m, err := metaIndexFromDB(db)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return []*MetaIndex{m}, []SegmentMeta{{ID: 1}}, 0, nil
+	}
+	if mt.Len() == 0 {
+		return nil, nil, 0, fmt.Errorf("core: empty segment manifest")
+	}
+	for i := 0; i < mt.Len(); i++ {
+		row, err := mt.Row(i)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("core: manifest row %d: %w", i, err)
+		}
+		metas = append(metas, SegmentMeta{
+			ID:   row[0].I,
+			Base: IDBase{Video: row[2].I, Segment: row[3].I, Object: row[4].I, Event: row[5].I},
+		})
+		gen = row[6].I
+		pdb, err := store.Deserialize(br)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("core: segment %d: %w", metas[i].ID, err)
+		}
+		p, err := metaIndexFromDB(pdb)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("core: segment %d: %w", metas[i].ID, err)
+		}
+		// An empty partition's restored counters are zero; floor them at
+		// the manifest base so later appends continue the global sequence.
+		p.floorIDs(metas[i].Base)
+		parts = append(parts, p)
+	}
+	return parts, metas, gen, nil
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// fillVideo materializes one synthetic video (video + segment + events)
+// into idx, the way fde.IndexResult would, deterministically from seq.
+func fillVideo(t *testing.T, idx *MetaIndex, seq int) {
+	t.Helper()
+	vid, err := idx.AddVideo(Video{
+		Name: fmt.Sprintf("clip-%02d", seq), Width: 160, Height: 120,
+		FPS: 25, Frames: 300 + seq,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := idx.AddSegment(Segment{
+		VideoID: vid, Interval: Interval{Start: 0, End: 200}, Class: "tennis",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := idx.AddObject(Object{
+		VideoID: vid, SegmentID: seg, Name: "player",
+		Interval: Interval{Start: 0, End: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < 3; f++ {
+		if err := idx.AddState(ObjectState{ObjectID: obj, Frame: f, Found: true, X: float64(f)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := idx.AddFeature(FeatureValue{VideoID: vid, Frame: 0, Name: "netline", Value: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	kinds := []string{"net-play", "rally", "service"}
+	for e := 0; e < 2+seq%2; e++ {
+		k := kinds[(seq+e)%len(kinds)]
+		if _, err := idx.AddEvent(Event{
+			VideoID: vid, SegmentID: seg, Kind: k, ActorID: obj,
+			Interval:   Interval{Start: 10 * e, End: 10*e + 8},
+			Confidence: 0.5 + float64(e)/10,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// buildMonoMeta indexes n videos into one monolithic MetaIndex.
+func buildMonoMeta(t *testing.T, n int) *MetaIndex {
+	t.Helper()
+	m, err := NewMetaIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		fillVideo(t, m, i)
+	}
+	return m
+}
+
+// buildSegMeta splits the same n videos across partitions of the given
+// sizes, each partition seeded at the previous one's ID state.
+func buildSegMeta(t *testing.T, sizes []int) (*SegmentedIndex, []*MetaIndex, []SegmentMeta) {
+	t.Helper()
+	var parts []*MetaIndex
+	var metas []SegmentMeta
+	base := IDBase{}
+	seq := 0
+	for i, sz := range sizes {
+		p, err := NewMetaIndexAt(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < sz; v++ {
+			fillVideo(t, p, seq)
+			seq++
+		}
+		parts = append(parts, p)
+		metas = append(metas, SegmentMeta{ID: int64(i + 1), Base: base})
+		base = p.IDState()
+	}
+	si, err := NewSegmentedIndex(parts, metas, int64(len(sizes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return si, parts, metas
+}
+
+// serializeAll renders every partition's database, concatenated — the
+// byte-level identity check between builds.
+func serializeAll(t *testing.T, parts ...*MetaIndex) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, p := range parts {
+		if err := p.Serialize(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestSegmentedMatchesMonolithic locks the partitioning invariant: the
+// same videos split across partitions answer every read exactly like the
+// monolithic index.
+func TestSegmentedMatchesMonolithic(t *testing.T) {
+	const n = 7
+	mono := buildMonoMeta(t, n)
+	for _, sizes := range [][]int{{7}, {4, 3}, {2, 2, 2, 1}} {
+		si, _, _ := buildSegMeta(t, sizes)
+		name := fmt.Sprintf("sizes=%v", sizes)
+		t.Run(name, func(t *testing.T) {
+			if si.Stats() != mono.Stats() {
+				t.Fatalf("stats %+v vs %+v", si.Stats(), mono.Stats())
+			}
+			wantV, err := mono.Videos()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotV, err := si.Videos()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(wantV) != fmt.Sprint(gotV) {
+				t.Fatalf("videos diverge:\n%v\n%v", wantV, gotV)
+			}
+			for _, kind := range []string{"net-play", "rally", "service", "absent"} {
+				want, err := mono.Scenes(kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := si.Scenes(kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fmt.Sprint(want) != fmt.Sprint(got) {
+					t.Fatalf("scenes(%q) diverge:\n%v\n%v", kind, want, got)
+				}
+			}
+			for _, v := range wantV {
+				wantS, _ := mono.SegmentsOf(v.ID)
+				gotS, err := si.SegmentsOf(v.ID)
+				if err != nil || fmt.Sprint(wantS) != fmt.Sprint(gotS) {
+					t.Fatalf("segments of %d diverge (%v)", v.ID, err)
+				}
+				byID, err := si.VideoByID(v.ID)
+				if err != nil || byID != v {
+					t.Fatalf("VideoByID(%d) = %+v, %v", v.ID, byID, err)
+				}
+				byName, err := si.VideoByName(v.Name)
+				if err != nil || byName != v {
+					t.Fatalf("VideoByName(%q) = %+v, %v", v.Name, byName, err)
+				}
+			}
+			wantP, err := mono.EventsRelated("net-play", "rally", RelDuring, RelOverlaps, RelMeets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotP, err := si.EventsRelated("net-play", "rally", RelDuring, RelOverlaps, RelMeets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(wantP) != fmt.Sprint(gotP) {
+				t.Fatalf("EventsRelated diverge:\n%v\n%v", wantP, gotP)
+			}
+		})
+	}
+}
+
+// TestMergeSegmentRange locks compaction: merging all partitions yields a
+// partition whose serialized bytes equal the monolithic build, and merging
+// a middle run preserves every query answer.
+func TestMergeSegmentRange(t *testing.T) {
+	const n = 7
+	mono := buildMonoMeta(t, n)
+	si, parts, metas := buildSegMeta(t, []int{2, 2, 2, 1})
+
+	merged, meta, err := MergeSegmentRange(parts, metas, 0, len(parts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.ID != 1 || meta.Base != (IDBase{}) {
+		t.Fatalf("merged meta %+v", meta)
+	}
+	if got, want := serializeAll(t, merged), serializeAll(t, mono); !bytes.Equal(got, want) {
+		t.Fatal("full compaction is not byte-identical to the monolithic build")
+	}
+	if merged.IDState() != mono.IDState() {
+		t.Fatalf("ID state %+v vs %+v", merged.IDState(), mono.IDState())
+	}
+
+	// Partial compaction: merge partitions 1..3 of four, keep 0 and 3.
+	mid, midMeta, err := MergeSegmentRange(parts, metas, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si2, err := NewSegmentedIndex(
+		[]*MetaIndex{parts[0], mid, parts[3]},
+		[]SegmentMeta{metas[0], midMeta, metas[3]}, si.Generation()+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"net-play", "rally", "service"} {
+		want, _ := si.Scenes(kind)
+		got, err := si2.Scenes(kind)
+		if err != nil || fmt.Sprint(want) != fmt.Sprint(got) {
+			t.Fatalf("scenes(%q) changed by compaction (%v)", kind, err)
+		}
+	}
+}
+
+// TestSegmentedPersistRoundTrip locks SaveSegmented/LoadSegmented: a
+// segmented library round-trips with partitions, manifest, generation, and
+// ID counters intact — and a legacy monolithic stream still loads, as one
+// segment.
+func TestSegmentedPersistRoundTrip(t *testing.T) {
+	si, parts, metas := buildSegMeta(t, []int{3, 2, 2})
+	var buf bytes.Buffer
+	if err := SaveSegmented(&buf, parts, metas, 5); err != nil {
+		t.Fatal(err)
+	}
+	parts2, metas2, gen, err := LoadSegmented(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 5 || len(parts2) != 3 {
+		t.Fatalf("gen=%d parts=%d", gen, len(parts2))
+	}
+	if fmt.Sprint(metas2) != fmt.Sprint(metas) {
+		t.Fatalf("manifest diverged:\n%v\n%v", metas2, metas)
+	}
+	if got, want := serializeAll(t, parts2...), serializeAll(t, parts...); !bytes.Equal(got, want) {
+		t.Fatal("partition bytes diverged across round-trip")
+	}
+	for i := range parts {
+		if parts2[i].IDState() != parts[i].IDState() {
+			t.Fatalf("segment %d ID state %+v vs %+v", i, parts2[i].IDState(), parts[i].IDState())
+		}
+	}
+	si2, err := NewSegmentedIndex(parts2, metas2, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScenes, _ := si.Scenes("net-play")
+	gotScenes, err := si2.Scenes("net-play")
+	if err != nil || fmt.Sprint(wantScenes) != fmt.Sprint(gotScenes) {
+		t.Fatalf("scenes diverged across round-trip (%v)", err)
+	}
+
+	// Legacy compatibility: a bare MetaIndex stream loads as one segment.
+	mono := buildMonoMeta(t, 3)
+	var legacy bytes.Buffer
+	if err := mono.Serialize(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	lparts, lmetas, lgen, err := LoadSegmented(&legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lparts) != 1 || lgen != 0 || lmetas[0].Base != (IDBase{}) {
+		t.Fatalf("legacy load: parts=%d gen=%d metas=%v", len(lparts), lgen, lmetas)
+	}
+	if lparts[0].Stats() != mono.Stats() {
+		t.Fatalf("legacy stats %+v vs %+v", lparts[0].Stats(), mono.Stats())
+	}
+}

@@ -20,16 +20,18 @@ import (
 // Engine is the combined digital-library search engine.
 //
 // Concurrency: an Engine is immutable after New — the webspace graph, the
-// frozen inverted file, and the doc↔object maps are only read — so any
-// number of goroutines may call QueryContext, Query, and the keyword
-// searches concurrently on one shared Engine. The meta-index may be
-// appended to between queries (single writer, no concurrent readers); its
-// Version feeds the serving layer's cache invalidation.
+// frozen inverted-file segments, and the doc↔object maps are only read —
+// so any number of goroutines may call Search, QueryContext, Query, and
+// the keyword searches concurrently on one shared Engine. The video
+// segment set is an immutable snapshot; its newest partition may be
+// appended to between queries (single writer, no concurrent readers), and
+// its Version feeds the serving layer's cache invalidation. Growing the
+// segment set (a commit) installs a new Engine via WithVideo.
 type Engine struct {
 	space *webspace.Webspace
-	text  *ir.Index
-	video *core.MetaIndex
-	// pageObj maps IR doc IDs back to webspace object IDs.
+	text  *ir.Segments
+	video *core.SegmentedIndex
+	// pageObj maps global IR doc IDs back to webspace object IDs.
 	pageObj map[ir.DocID]int64
 	// objDocs maps object IDs to their page doc IDs.
 	objDocs map[int64][]ir.DocID
@@ -40,12 +42,18 @@ type Engine struct {
 // snapshots issues process-unique engine snapshot IDs.
 var snapshots atomic.Int64
 
+// Options tunes engine construction.
+type Options struct {
+	// TextSegments partitions the site's pages into this many contiguous
+	// full-text index segments, scored scatter-gather. Results are
+	// byte-identical for every value (segments freeze against union corpus
+	// statistics); < 1 selects 1.
+	TextSegments int
+}
+
 // New builds the engine over a generated site and a (possibly empty) video
 // meta-index. The site's pages are indexed for full-text retrieval.
 func New(site *webspace.Site, video *core.MetaIndex) (*Engine, error) {
-	if site == nil || site.W == nil {
-		return nil, fmt.Errorf("dlse: nil site")
-	}
 	if video == nil {
 		var err error
 		video, err = core.NewMetaIndex()
@@ -53,24 +61,74 @@ func New(site *webspace.Site, video *core.MetaIndex) (*Engine, error) {
 			return nil, err
 		}
 	}
+	return NewSegmented(site, core.SingleSegment(video), Options{})
+}
+
+// NewSegmented builds the engine over a generated site and a segmented
+// video meta-index — the entry point of segmented libraries and the commit
+// path. video may be nil for a text/concept-only engine.
+func NewSegmented(site *webspace.Site, video *core.SegmentedIndex, opts Options) (*Engine, error) {
+	if site == nil || site.W == nil {
+		return nil, fmt.Errorf("dlse: nil site")
+	}
+	if video == nil {
+		m, err := core.NewMetaIndex()
+		if err != nil {
+			return nil, err
+		}
+		video = core.SingleSegment(m)
+	}
+	nseg := opts.TextSegments
+	if nseg < 1 {
+		nseg = 1
+	}
+	if nseg > len(site.Pages) && len(site.Pages) > 0 {
+		nseg = len(site.Pages)
+	}
 	e := &Engine{
 		space:   site.W,
-		text:    ir.NewIndex(),
 		video:   video,
 		pageObj: map[ir.DocID]int64{},
 		objDocs: map[int64][]ir.DocID{},
 		snap:    snapshots.Add(1),
 	}
-	for _, pg := range site.Pages {
-		id, err := e.text.Add(pg.Name, pg.Text)
-		if err != nil {
+	// Partition the pages contiguously: global doc ID = position in
+	// site.Pages, exactly as the monolithic build assigned them.
+	parts := make([]*ir.Index, nseg)
+	for i := range parts {
+		parts[i] = ir.NewIndex()
+	}
+	per := (len(site.Pages) + nseg - 1) / nseg
+	for i, pg := range site.Pages {
+		p := i / per
+		if p >= nseg {
+			p = nseg - 1
+		}
+		if _, err := parts[p].Add(pg.Name, pg.Text); err != nil {
 			return nil, fmt.Errorf("dlse: indexing page %s: %w", pg.Name, err)
 		}
+		id := ir.DocID(i)
 		e.pageObj[id] = pg.ObjectID
 		e.objDocs[pg.ObjectID] = append(e.objDocs[pg.ObjectID], id)
 	}
-	e.text.Freeze()
+	text, err := ir.NewSegments(parts)
+	if err != nil {
+		return nil, fmt.Errorf("dlse: freezing text segments: %w", err)
+	}
+	e.text = text
 	return e, nil
+}
+
+// WithVideo returns a new engine snapshot sharing this engine's site,
+// text segments, and doc↔object maps (all immutable) over a different
+// video segment set — the cheap install path of an incremental commit,
+// which must not re-index the site or any existing video segment. The new
+// engine has its own snapshot ID.
+func (e *Engine) WithVideo(video *core.SegmentedIndex) *Engine {
+	ne := *e
+	ne.video = video
+	ne.snap = snapshots.Add(1)
+	return &ne
 }
 
 // Snapshot returns the engine's process-unique snapshot ID, assigned at
@@ -82,11 +140,12 @@ func (e *Engine) Snapshot() int64 { return e.snap }
 // Space returns the conceptual layer.
 func (e *Engine) Space() *webspace.Webspace { return e.space }
 
-// TextIndex returns the full-text layer (also the keyword-only baseline).
-func (e *Engine) TextIndex() *ir.Index { return e.text }
+// TextIndex returns the full-text layer (also the keyword-only baseline):
+// a scatter-gather reader over the page index segments.
+func (e *Engine) TextIndex() *ir.Segments { return e.text }
 
-// VideoIndex returns the video meta-index.
-func (e *Engine) VideoIndex() *core.MetaIndex { return e.video }
+// VideoIndex returns the segmented video meta-index.
+func (e *Engine) VideoIndex() *core.SegmentedIndex { return e.video }
 
 // Request is a combined query.
 type Request struct {

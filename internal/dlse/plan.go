@@ -89,13 +89,20 @@ func (e *Engine) Plan(req Request) Plan {
 type execState struct {
 	objs         []*webspace.Object      // OpConcept
 	scenesByName map[string][]core.Scene // OpVideo
+	// videoSegs are the per-segment scatter stats of OpVideo, collected
+	// only for explain plans (one entry per video index partition when the
+	// library is segmented).
+	videoSegs []OpStat
 	// textScores is a leased view of the rank text's dense per-doc scores,
-	// backed by the IR kernel's pooled accumulator (invalid when the rank
-	// text has no indexable terms); execute releases it after the merge.
-	textScores ir.Scores // OpText
-	// textStats are the scoring kernel's work counters for OpText, captured
-	// for explain plans.
+	// backed by one pooled kernel accumulator per text segment (invalid
+	// when the rank text has no indexable terms); execute releases it after
+	// the merge.
+	textScores ir.SegScores // OpText
+	// textStats are the scoring kernel's merged work counters for OpText,
+	// captured for explain plans.
 	textStats ir.SearchStats
+	// explain asks operators to record per-segment stats.
+	explain bool
 }
 
 // execute runs the plan: independent operators concurrently, then the
@@ -112,7 +119,7 @@ func (e *Engine) execute(ctx context.Context, p Plan) ([]Result, error) {
 // row counts, and the text operator's kernel stats into an Explain payload;
 // the results themselves are identical either way.
 func (e *Engine) run(ctx context.Context, p Plan, explain bool) ([]Result, *Explain, error) {
-	st := &execState{}
+	st := &execState{explain: explain}
 	defer func() { st.textScores.Release() }() // recycle the text operator's accumulator
 	var durs []time.Duration
 	if explain {
@@ -154,10 +161,20 @@ func (e *Engine) run(ctx context.Context, p Plan, explain bool) ([]Result, *Expl
 			for _, ss := range st.scenesByName {
 				op.Items += len(ss)
 			}
+			op.Segments = st.videoSegs
 		case OpText:
 			op.Items = st.textStats.DocsTouched
 			stats := st.textStats
 			op.Kernel = &stats
+			if e.text.NumSegments() > 1 && st.textScores.Valid() {
+				for si, ss := range st.textScores.SegmentStats() {
+					kernel := ss.Stats
+					op.Segments = append(op.Segments, OpStat{
+						Op: fmt.Sprintf("text[%d]", si), Duration: clampDur(ss.Duration),
+						Items: kernel.DocsTouched, Kernel: &kernel,
+					})
+				}
+			}
 		}
 		ex.Ops = append(ex.Ops, op)
 	}
@@ -189,7 +206,7 @@ func (e *Engine) runOperator(ctx context.Context, kind OpKind, req Request, st *
 		}
 		st.objs = objs
 	case OpVideo:
-		scenes, err := e.video.Scenes(req.SceneKind)
+		scenes, err := e.videoScatter(ctx, req.SceneKind, st)
 		if err != nil {
 			return fmt.Errorf("dlse: video part: %w", err)
 		}
@@ -202,8 +219,8 @@ func (e *Engine) runOperator(ctx context.Context, kind OpKind, req Request, st *
 		// The merge only joins scores by doc ID, so the ranking-free
 		// ScoreQuery/ScoreTopN forms of the scoring kernel apply: no hit
 		// construction, no top-k selection, no per-query score table — just
-		// a leased view of the kernel's pooled dense accumulator.
-		var scores ir.Scores
+		// a leased view of one pooled dense accumulator per text segment.
+		var scores ir.SegScores
 		var stats ir.SearchStats
 		var err error
 		if req.TopNFragments > 0 {
@@ -224,6 +241,44 @@ func (e *Engine) runOperator(ctx context.Context, kind OpKind, req Request, st *
 		return fmt.Errorf("dlse: unknown operator %v", kind)
 	}
 	return nil
+}
+
+// videoScatter retrieves the scenes of an event kind across the video
+// index's partitions. A single-partition library reads directly; a
+// segmented one fans the per-partition lookups out on the executor's
+// worker goroutines and concatenates in segment order — the append order
+// of the monolithic index, so the gathered list is byte-identical to the
+// unsegmented read. With explain set it records one OpStat per partition.
+func (e *Engine) videoScatter(ctx context.Context, kind string, st *execState) ([]core.Scene, error) {
+	n := e.video.NumSegments()
+	if n <= 1 {
+		return e.video.Scenes(kind)
+	}
+	perSeg := make([][]core.Scene, n)
+	durs := make([]time.Duration, n)
+	errs := pipeline.ForEach(ctx, n, n, func(sctx context.Context, i int) error {
+		if err := sctx.Err(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		scenes, err := e.video.Part(i).Scenes(kind)
+		durs[i] = clampDur(time.Since(t0))
+		perSeg[i] = scenes
+		return err
+	})
+	if err := pipeline.FirstError(errs); err != nil {
+		return nil, err
+	}
+	var out []core.Scene
+	for i, scenes := range perSeg {
+		out = append(out, scenes...)
+		if st.explain {
+			st.videoSegs = append(st.videoSegs, OpStat{
+				Op: fmt.Sprintf("video[%d]", i), Duration: durs[i], Items: len(scenes),
+			})
+		}
+	}
+	return out, nil
 }
 
 // merge joins the operator outputs deterministically: scene attachment (in

@@ -122,9 +122,15 @@ func encodeCursor(key uint64, offset int, snap int64) Cursor {
 	return Cursor(base64.RawURLEncoding.EncodeToString(buf))
 }
 
+// cursorEncoding is strict base64: tokens with non-canonical trailing
+// bits are rejected instead of aliasing to a valid cursor, so every
+// decodable token is exactly the one the encoder minted (found by
+// FuzzCursor's round-trip check).
+var cursorEncoding = base64.RawURLEncoding.Strict()
+
 // decodeCursor unpacks a token; any malformation reports ErrBadCursor.
 func decodeCursor(c Cursor) (key uint64, offset int, snap int64, err error) {
-	raw, err := base64.RawURLEncoding.DecodeString(string(c))
+	raw, err := cursorEncoding.DecodeString(string(c))
 	if err != nil {
 		return 0, 0, 0, fmt.Errorf("%w: %v", ErrBadCursor, err)
 	}
@@ -164,6 +170,10 @@ type OpStat struct {
 	// Kernel carries the IR scoring kernel's work counters for text and
 	// keyword operators, nil otherwise.
 	Kernel *ir.SearchStats
+	// Segments holds per-index-segment scatter stats when the operator
+	// fanned out across a segmented index (one entry per segment, e.g.
+	// "video[0]", "text[1]"); empty for single-segment execution.
+	Segments []OpStat
 }
 
 // Explain is the introspection payload of a Search: the compiled plan and
@@ -258,7 +268,9 @@ func (e *Engine) SearchAll(ctx context.Context, q Query, withExplain bool) (*Res
 		rs.Explain = ex
 	case nq.Keyword != "":
 		t0 := time.Now()
-		hits, stats, err := e.text.Search(nq.Keyword, 0) // full ranking: every matching page
+		// Full ranking (k=0): every matching page, scattered across the
+		// text segments and gathered under the global total order.
+		hits, stats, perSeg, err := e.text.SearchSegments(nq.Keyword, 0)
 		if err != nil {
 			return nil, err // incl. ir.ErrEmptyQry, raw
 		}
@@ -267,10 +279,20 @@ func (e *Engine) SearchAll(ctx context.Context, q Query, withExplain bool) (*Res
 			rs.all[i] = Item{Page: h.Name, Doc: h.Doc, Score: h.Score}
 		}
 		if withExplain {
-			rs.Explain = &Explain{Plan: "[keyword] → rank", Ops: []OpStat{{
+			op := OpStat{
 				Op: "keyword", Duration: clampDur(time.Since(t0)),
 				Items: len(hits), Kernel: &stats,
-			}}}
+			}
+			if e.text.NumSegments() > 1 {
+				for si, ss := range perSeg {
+					kernel := ss.Stats
+					op.Segments = append(op.Segments, OpStat{
+						Op: fmt.Sprintf("keyword[%d]", si), Duration: clampDur(ss.Duration),
+						Items: kernel.DocsTouched, Kernel: &kernel,
+					})
+				}
+			}
+			rs.Explain = &Explain{Plan: "[keyword] → rank", Ops: []OpStat{op}}
 		}
 	default:
 		if e.video.Stats().Videos == 0 {

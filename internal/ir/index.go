@@ -98,16 +98,41 @@ func (ix *Index) Add(name, text string) (DocID, error) {
 	return id, nil
 }
 
+// corpusStats is the collection-wide statistics BM25 scoring depends on:
+// document count, summed analyzed length, and per-term document frequency.
+// A standalone index freezes with its own stats; a segment of a Segments
+// reader freezes with the stats of the whole segmented collection, which is
+// what makes scatter-gather scoring byte-identical to one merged index.
+type corpusStats struct {
+	docs    int
+	totalLn int64
+	df      func(term string) int
+}
+
+// localStats returns the index's own collection statistics.
+func (ix *Index) localStats() corpusStats {
+	return corpusStats{docs: len(ix.docs), totalLn: ix.totalLn, df: ix.df}
+}
+
 // Freeze finalizes the index: impact-ordered lists and per-posting impact
 // vectors are built, the accumulator pool is sized, and the index becomes
 // searchable. Adding after Freeze fails.
-func (ix *Index) Freeze() {
+func (ix *Index) Freeze() { ix.freezeWith(ix.localStats()) }
+
+// freezeWith finalizes the index against the given collection statistics.
+// Freeze passes the index's own stats; NewSegments passes the union stats
+// of all segments so per-posting impacts (idf, length normalization) come
+// out bit-identical to a monolithic build of the whole collection.
+func (ix *Index) freezeWith(cs corpusStats) {
 	if ix.frozen {
 		return
 	}
-	avg := ix.avgDocLen()
+	var avg float64
+	if cs.docs > 0 {
+		avg = float64(cs.totalLn) / float64(cs.docs)
+	}
 	for term, pl := range ix.terms {
-		pl.idf = ix.idf(term)
+		pl.idf = idfFor(cs.docs, cs.df(term))
 		pl.impactOrder = append([]Posting(nil), pl.docOrder...)
 		sort.SliceStable(pl.impactOrder, func(a, b int) bool {
 			return pl.impactOrder[a].TF > pl.impactOrder[b].TF
@@ -157,15 +182,20 @@ func (ix *Index) avgDocLen() float64 {
 	return float64(ix.totalLn) / float64(len(ix.docs))
 }
 
-// idf returns the BM25 idf of a term (0 for unknown terms).
+// idf returns the BM25 idf of a term against this index's own collection
+// (0 for unknown terms).
 func (ix *Index) idf(term string) float64 {
-	pl := ix.terms[term]
-	if pl == nil {
+	return idfFor(len(ix.docs), ix.df(term))
+}
+
+// idfFor computes the BM25 idf for a term with document frequency df in a
+// collection of n documents (0 for df == 0).
+func idfFor(n, df int) float64 {
+	if df == 0 {
 		return 0
 	}
-	n := float64(len(ix.docs))
-	df := float64(len(pl.docOrder))
-	return math.Log(1 + (n-df+0.5)/(df+0.5))
+	nf, dff := float64(n), float64(df)
+	return math.Log(1 + (nf-dff+0.5)/(dff+0.5))
 }
 
 // bm25 scores one posting from scratch: the reference formula the impact

@@ -1,0 +1,340 @@
+package ir
+
+// Segmented retrieval: a Segments reader treats N immutable frozen indexes
+// as one logical collection. Every segment is frozen against the *union*
+// collection statistics (document count, summed length, per-term df), so a
+// posting's precomputed impact is bit-identical to the impact the same
+// posting would carry in one merged index. Queries scatter across segments
+// — each segment scores on its own pooled kernel accumulator — and the
+// per-segment top-K streams merge under the global (score desc, DocID asc)
+// total order, which makes the gathered answer byte-identical to searching
+// the monolithic build: same hits, same float64 scores, same tie-breaks.
+// segments_test.go locks the equivalence on 1-, 2-, and N-way splits.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Segments is a scatter-gather reader over an ordered set of immutable
+// index segments. Global document IDs are assigned contiguously in segment
+// order: segment i owns [base(i), base(i)+segs[i].Docs()).
+//
+// Concurrency: a Segments value is immutable after NewSegments; all read
+// paths are safe for any number of concurrent goroutines, exactly like a
+// frozen Index.
+type Segments struct {
+	segs []*Index
+	base []DocID // global doc-id offset per segment, ascending
+	docs int
+	vocb int // union vocabulary size
+}
+
+// NewSegments freezes the given unfrozen index parts against their union
+// collection statistics and returns the scatter-gather reader over them.
+// Parts must be built (Add) but not yet frozen: freezing is what bakes the
+// collection-wide idf and length normalization into each posting's impact.
+func NewSegments(parts []*Index) (*Segments, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("ir: NewSegments needs at least one segment")
+	}
+	var docs int
+	var totalLn int64
+	df := map[string]int{}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("ir: segment %d is nil", i)
+		}
+		if p.frozen {
+			return nil, fmt.Errorf("ir: segment %d is already frozen", i)
+		}
+		docs += len(p.docs)
+		totalLn += p.totalLn
+		for t, pl := range p.terms {
+			df[t] += len(pl.docOrder)
+		}
+	}
+	s := &Segments{
+		segs: append([]*Index(nil), parts...),
+		base: make([]DocID, len(parts)),
+		docs: docs,
+		vocb: len(df),
+	}
+	var b DocID
+	cs := corpusStats{docs: docs, totalLn: totalLn, df: func(t string) int { return df[t] }}
+	for i, p := range parts {
+		s.base[i] = b
+		b += DocID(len(p.docs))
+		p.freezeWith(cs)
+	}
+	return s, nil
+}
+
+// NumSegments returns the segment count.
+func (s *Segments) NumSegments() int { return len(s.segs) }
+
+// Part returns segment i (a frozen Index; its doc IDs are segment-local).
+func (s *Segments) Part(i int) *Index { return s.segs[i] }
+
+// Base returns segment i's global doc-ID offset.
+func (s *Segments) Base(i int) DocID { return s.base[i] }
+
+// Docs returns the total document count across segments.
+func (s *Segments) Docs() int { return s.docs }
+
+// Terms returns the union vocabulary size.
+func (s *Segments) Terms() int { return s.vocb }
+
+// segOf returns the index of the segment owning global doc ID d.
+func (s *Segments) segOf(d DocID) int {
+	// First segment whose base exceeds d, minus one.
+	i := sort.Search(len(s.base), func(i int) bool { return s.base[i] > d })
+	return i - 1
+}
+
+// DocName returns the name a document was indexed under.
+func (s *Segments) DocName(d DocID) (string, error) {
+	if d < 0 || int(d) >= s.docs {
+		return "", fmt.Errorf("ir: no document %d", d)
+	}
+	i := s.segOf(d)
+	return s.segs[i].DocName(d - s.base[i])
+}
+
+// SegStat reports one scatter leg: the segment's kernel work counters and
+// the leg's wall time — the payload of per-segment explain plans.
+type SegStat struct {
+	Stats    SearchStats
+	Duration time.Duration
+}
+
+// scatter runs fn for every segment index — concurrently when there is
+// more than one segment — and returns each leg's wall time. Each
+// invocation writes only its own slot in the caller's slices, so the
+// gather that follows is deterministic.
+func (s *Segments) scatter(fn func(i int)) []time.Duration {
+	durs := make([]time.Duration, len(s.segs))
+	run := func(i int) {
+		t0 := time.Now()
+		fn(i)
+		durs[i] = time.Since(t0)
+	}
+	if len(s.segs) == 1 {
+		run(0)
+		return durs
+	}
+	var wg sync.WaitGroup
+	for i := range s.segs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run(i)
+		}(i)
+	}
+	wg.Wait()
+	return durs
+}
+
+// zipSegStats pairs per-segment kernel stats with their leg wall times.
+func zipSegStats(stats []SearchStats, durs []time.Duration) []SegStat {
+	out := make([]SegStat, len(stats))
+	for i := range stats {
+		out[i] = SegStat{Stats: stats[i], Duration: durs[i]}
+	}
+	return out
+}
+
+// mergeStats folds per-segment kernel stats into the stats a monolithic run
+// would have reported: TermsMatched counts query terms present anywhere in
+// the collection, the work counters sum (segments touch disjoint docs), and
+// early termination is reported if any segment terminated early.
+func (s *Segments) mergeStats(terms []string, per []SearchStats) SearchStats {
+	var out SearchStats
+	for _, t := range terms {
+		for _, ix := range s.segs {
+			if ix.terms[t] != nil {
+				out.TermsMatched++
+				break
+			}
+		}
+	}
+	for _, st := range per {
+		out.PostingsScored += st.PostingsScored
+		out.DocsTouched += st.DocsTouched
+		out.Terminated = out.Terminated || st.Terminated
+	}
+	return out
+}
+
+// mergeHits gathers per-segment best-first hit streams into one ranked
+// list under the global (score desc, DocID asc) total order, capped at k
+// (k <= 0 keeps everything).
+func mergeHits(per [][]Hit, k int) []Hit {
+	total := 0
+	for _, h := range per {
+		total += len(h)
+	}
+	n := total
+	if k > 0 && k < n {
+		n = k
+	}
+	out := make([]Hit, 0, n)
+	pos := make([]int, len(per))
+	for len(out) < n {
+		best := -1
+		for i := range per {
+			if pos[i] >= len(per[i]) {
+				continue
+			}
+			if best < 0 || worseHit(per[best][pos[best]], per[i][pos[i]]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, per[best][pos[best]])
+		pos[best]++
+	}
+	return out
+}
+
+// Search runs an exhaustive ranked BM25 query across all segments and
+// returns the top k hits — byte-identical to Index.Search on the merged
+// collection (same hits, scores, and tie-breaks).
+func (s *Segments) Search(query string, k int) ([]Hit, SearchStats, error) {
+	hits, stats, _, err := s.SearchSegments(query, k)
+	return hits, stats, err
+}
+
+// SearchSegments is Search returning, additionally, the kernel stats and
+// wall time of each segment's scatter leg — the payload of per-segment
+// explain plans.
+func (s *Segments) SearchSegments(query string, k int) ([]Hit, SearchStats, []SegStat, error) {
+	terms := dedupe(Analyze(query))
+	if len(terms) == 0 {
+		return nil, SearchStats{}, nil, ErrEmptyQry
+	}
+	per := make([][]Hit, len(s.segs))
+	perStats := make([]SearchStats, len(s.segs))
+	durs := s.scatter(func(i int) {
+		ix := s.segs[i]
+		ac := ix.getAccum()
+		perStats[i] = ix.scoreTerms(terms, ac)
+		hits := ix.topKDense(ac, k)
+		ix.putAccum(ac)
+		for j := range hits {
+			hits[j].Doc += s.base[i]
+		}
+		per[i] = hits
+	})
+	return mergeHits(per, k), s.mergeStats(terms, perStats), zipSegStats(perStats, durs), nil
+}
+
+// SearchTopN runs the fragment-at-a-time top-N optimization independently
+// inside every segment and merges the per-segment top k. Safe mode returns
+// the same hit set a monolithic safe run would; as in the monolithic case,
+// reported scores may be partial when early termination fires, so exact
+// score bytes depend on the fragment schedule (and hence the segmentation).
+func (s *Segments) SearchTopN(query string, k int, opts TopNOptions) ([]Hit, SearchStats, error) {
+	if k <= 0 {
+		k = 10
+	}
+	terms := dedupe(Analyze(query))
+	if len(terms) == 0 {
+		return nil, SearchStats{}, ErrEmptyQry
+	}
+	per := make([][]Hit, len(s.segs))
+	perStats := make([]SearchStats, len(s.segs))
+	s.scatter(func(i int) {
+		ix := s.segs[i]
+		ac, st := ix.scoreTopNTerms(terms, k, opts)
+		perStats[i] = st
+		hits := ix.topKDense(ac, k)
+		ix.putAccum(ac)
+		for j := range hits {
+			hits[j].Doc += s.base[i]
+		}
+		per[i] = hits
+	})
+	return mergeHits(per, k), s.mergeStats(terms, perStats), nil
+}
+
+// SegScores is the segmented counterpart of Scores: a leased, read-only
+// view over one query's dense per-doc scores, one pooled accumulator per
+// segment, addressed by global doc ID. Release returns every accumulator
+// to its segment's pool; the handle must not be used after Release. The
+// zero value is invalid (Valid reports false) and safe to Release.
+type SegScores struct {
+	s   *Segments
+	acs []*accum
+	per []SegStat
+}
+
+// Valid reports whether the handle holds a scored query.
+func (sc SegScores) Valid() bool { return sc.acs != nil }
+
+// Get returns doc d's score (0 for documents the query did not touch).
+func (sc SegScores) Get(d DocID) float64 {
+	if d < 0 || int(d) >= sc.s.docs {
+		return 0
+	}
+	i := sc.s.segOf(d)
+	return sc.acs[i].get(d - sc.s.base[i])
+}
+
+// SegmentStats returns the kernel stats and wall time of each segment's
+// scatter leg.
+func (sc SegScores) SegmentStats() []SegStat { return sc.per }
+
+// Release returns the backing accumulators to their segments' pools. Safe
+// on the zero value.
+func (sc SegScores) Release() {
+	for i, ac := range sc.acs {
+		sc.s.segs[i].putAccum(ac)
+	}
+}
+
+// ScoreQuery runs the exhaustive scorer across all segments and returns a
+// leased handle over the per-doc scores — the ranking-free form of Search
+// for callers that join scores into their own result sets. Scores are
+// byte-identical to Index.ScoreQuery on the merged collection.
+func (s *Segments) ScoreQuery(query string) (SegScores, SearchStats, error) {
+	terms := dedupe(Analyze(query))
+	if len(terms) == 0 {
+		return SegScores{}, SearchStats{}, ErrEmptyQry
+	}
+	acs := make([]*accum, len(s.segs))
+	per := make([]SearchStats, len(s.segs))
+	durs := s.scatter(func(i int) {
+		ix := s.segs[i]
+		ac := ix.getAccum()
+		per[i] = ix.scoreTerms(terms, ac)
+		acs[i] = ac
+	})
+	return SegScores{s: s, acs: acs, per: zipSegStats(per, durs)}, s.mergeStats(terms, per), nil
+}
+
+// ScoreTopN is ScoreQuery for the fragmented top-N scorer, run per segment
+// with the same k. The handle must be Released.
+func (s *Segments) ScoreTopN(query string, k int, opts TopNOptions) (SegScores, SearchStats, error) {
+	if k <= 0 {
+		k = 10
+	}
+	terms := dedupe(Analyze(query))
+	if len(terms) == 0 {
+		return SegScores{}, SearchStats{}, ErrEmptyQry
+	}
+	acs := make([]*accum, len(s.segs))
+	per := make([]SearchStats, len(s.segs))
+	durs := s.scatter(func(i int) {
+		ix := s.segs[i]
+		ac, st := ix.scoreTopNTerms(terms, k, opts)
+		per[i] = st
+		acs[i] = ac
+	})
+	return SegScores{s: s, acs: acs, per: zipSegStats(per, durs)}, s.mergeStats(terms, per), nil
+}

@@ -1,0 +1,222 @@
+package ir
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// segCorpus builds a deterministic synthetic corpus: docs[i] is the text of
+// document i. A few documents are exact duplicates so equal scores exercise
+// the cross-segment DocID tie-break.
+func segCorpus(n int) []string {
+	rng := rand.New(rand.NewSource(41))
+	docs := make([]string, n)
+	for i := range docs {
+		var sb strings.Builder
+		for w := 0; w < 30+rng.Intn(40); w++ {
+			fmt.Fprintf(&sb, "w%d ", rng.Intn(300))
+		}
+		docs[i] = sb.String()
+	}
+	// Duplicates scattered across the corpus: identical analyzed content
+	// yields identical BM25 scores, so only the DocID tie-break orders them.
+	for i := 10; i < n; i += 37 {
+		docs[i] = docs[3]
+	}
+	return docs
+}
+
+// buildMono indexes the corpus into one frozen monolithic index.
+func buildMono(t testing.TB, docs []string) *Index {
+	t.Helper()
+	ix := NewIndex()
+	for i, d := range docs {
+		if _, err := ix.Add(fmt.Sprintf("doc-%03d", i), d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix.Freeze()
+	return ix
+}
+
+// buildSegs splits the corpus into nseg contiguous parts and builds the
+// scatter-gather reader over them.
+func buildSegs(t testing.TB, docs []string, nseg int) *Segments {
+	t.Helper()
+	parts := make([]*Index, nseg)
+	for i := range parts {
+		parts[i] = NewIndex()
+	}
+	per := (len(docs) + nseg - 1) / nseg
+	for i, d := range docs {
+		p := i / per
+		if p >= nseg {
+			p = nseg - 1
+		}
+		if _, err := parts[p].Add(fmt.Sprintf("doc-%03d", i), d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := NewSegments(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return segs
+}
+
+var segQueries = []string{
+	"w0 w1",
+	"w3 w17 w200",
+	"w299",
+	"w5 w5 w5 w12",
+	"zzz unknown terms",
+	"w0 w1 w2 w3 w4 w5 w6 w7 w8 w9 w10 w11",
+}
+
+// TestSegmentsMatchMonolithic is the acceptance lock of the segmented IR
+// reader: for the same corpus, a 1-, 2-, 3-, and 7-way segmented search is
+// byte-identical to the monolithic index — same hits, same float64 scores,
+// same tie-breaks, same kernel stats — for both full and top-k ranking.
+func TestSegmentsMatchMonolithic(t *testing.T) {
+	docs := segCorpus(200)
+	mono := buildMono(t, docs)
+	for _, nseg := range []int{1, 2, 3, 7} {
+		segs := buildSegs(t, docs, nseg)
+		t.Run(fmt.Sprintf("segs=%d", nseg), func(t *testing.T) {
+			if segs.Docs() != mono.Docs() {
+				t.Fatalf("docs: %d != %d", segs.Docs(), mono.Docs())
+			}
+			if segs.Terms() != mono.Terms() {
+				t.Fatalf("terms: %d != %d", segs.Terms(), mono.Terms())
+			}
+			for _, q := range segQueries {
+				for _, k := range []int{0, 1, 5, 1000} {
+					want, wantStats, wantErr := mono.Search(q, k)
+					got, gotStats, gotErr := segs.Search(q, k)
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("q=%q k=%d: err %v vs %v", q, k, wantErr, gotErr)
+					}
+					if wantErr != nil {
+						continue
+					}
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("q=%q k=%d: hits diverge\nmono: %v\nsegs: %v", q, k, want, got)
+					}
+					if wantStats != gotStats {
+						t.Fatalf("q=%q k=%d: stats %+v vs %+v", q, k, wantStats, gotStats)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSegScoresMatchMonolithic locks the ranking-free join path: per-doc
+// scores from the segmented handle equal the monolithic handle for every
+// document in the collection.
+func TestSegScoresMatchMonolithic(t *testing.T) {
+	docs := segCorpus(150)
+	mono := buildMono(t, docs)
+	segs := buildSegs(t, docs, 4)
+	for _, q := range segQueries {
+		ms, mStats, mErr := mono.ScoreQuery(q)
+		ss, sStats, sErr := segs.ScoreQuery(q)
+		if (mErr == nil) != (sErr == nil) {
+			t.Fatalf("q=%q: err %v vs %v", q, mErr, sErr)
+		}
+		if mErr != nil {
+			continue
+		}
+		if mStats != sStats {
+			t.Fatalf("q=%q: stats %+v vs %+v", q, mStats, sStats)
+		}
+		for d := DocID(0); int(d) < len(docs); d++ {
+			if m, s := ms.Get(d), ss.Get(d); m != s {
+				t.Fatalf("q=%q doc %d: score %v vs %v", q, d, m, s)
+			}
+		}
+		ms.Release()
+		ss.Release()
+	}
+}
+
+// TestSegmentsTopNSafeHitSet checks the per-segment safe top-N merge
+// returns the same documents in the same rank order as the exhaustive
+// segmented search (the safe-termination contract), and that budget mode
+// reports early termination.
+func TestSegmentsTopNSafeHitSet(t *testing.T) {
+	docs := segCorpus(200)
+	segs := buildSegs(t, docs, 3)
+	const k = 10
+	for _, q := range segQueries[:4] {
+		full, _, err := segs.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		safe, _, err := segs.SearchTopN(q, k, TopNOptions{Fragments: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(full) != len(safe) {
+			t.Fatalf("q=%q: %d exhaustive vs %d safe hits", q, len(full), len(safe))
+		}
+		for i := range full {
+			if full[i].Doc != safe[i].Doc {
+				t.Fatalf("q=%q rank %d: doc %d vs %d", q, i, full[i].Doc, safe[i].Doc)
+			}
+		}
+	}
+	// Budget mode on a heavy query terminates early and says so.
+	_, stats, err := segs.SearchTopN("w0 w1 w2 w3", k, TopNOptions{Fragments: 16, MaxFragments: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Terminated {
+		t.Fatal("budget run did not report early termination")
+	}
+}
+
+// TestSegmentsDocName checks global doc-ID routing across segment bounds,
+// including out-of-range IDs.
+func TestSegmentsDocName(t *testing.T) {
+	docs := segCorpus(50)
+	segs := buildSegs(t, docs, 3)
+	mono := buildMono(t, docs)
+	for d := DocID(0); int(d) < len(docs); d++ {
+		want, err := mono.DocName(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := segs.DocName(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != got {
+			t.Fatalf("doc %d: %q vs %q", d, want, got)
+		}
+	}
+	if _, err := segs.DocName(DocID(len(docs))); err == nil {
+		t.Fatal("out-of-range DocName succeeded")
+	}
+	if _, err := segs.DocName(-1); err == nil {
+		t.Fatal("negative DocName succeeded")
+	}
+}
+
+// TestNewSegmentsRejects locks the construction contract.
+func TestNewSegmentsRejects(t *testing.T) {
+	if _, err := NewSegments(nil); err == nil {
+		t.Fatal("empty segment list accepted")
+	}
+	if _, err := NewSegments([]*Index{nil}); err == nil {
+		t.Fatal("nil segment accepted")
+	}
+	frozen := NewIndex()
+	frozen.Freeze()
+	if _, err := NewSegments([]*Index{frozen}); err == nil {
+		t.Fatal("pre-frozen segment accepted")
+	}
+}

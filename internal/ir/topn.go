@@ -86,11 +86,18 @@ func (ix *Index) scoreTopN(query string, k int, opts TopNOptions) (*accum, Searc
 	if !ix.frozen {
 		return nil, SearchStats{}, ErrNotFrozen
 	}
-	opts = opts.withDefaults()
 	terms := dedupe(Analyze(query))
 	if len(terms) == 0 {
 		return nil, SearchStats{}, ErrEmptyQry
 	}
+	ac, stats := ix.scoreTopNTerms(terms, k, opts)
+	return ac, stats, nil
+}
+
+// scoreTopNTerms is scoreTopN after query analysis: the entry point the
+// Segments reader scatters across segments with one shared term list.
+func (ix *Index) scoreTopNTerms(terms []string, k int, opts TopNOptions) (*accum, SearchStats) {
+	opts = opts.withDefaults()
 	var states []*termState
 	for _, t := range terms {
 		pl := ix.terms[t]
@@ -112,7 +119,7 @@ func (ix *Index) scoreTopN(query string, k int, opts TopNOptions) (*accum, Searc
 		runSafe(states, ac, &stats, k)
 	}
 	stats.DocsTouched = len(ac.touched)
-	return ac, stats, nil
+	return ac, stats
 }
 
 // runBudget processes fragment rounds round-robin across terms: round r

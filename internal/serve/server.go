@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"expvar"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -40,18 +41,26 @@ type Options struct {
 // never serve an answer computed on a superseded snapshot — entries are
 // tagged with a version that folds in the swap generation.
 type Server struct {
-	engine   atomic.Pointer[dlse.Engine]
-	gen      atomic.Int64 // swap generation, folded into cache versions
-	reloader atomic.Pointer[func(context.Context) (*dlse.Engine, error)]
-	cache    *Cache // nil when caching is disabled
-	sem      chan struct{}
-	mux      *http.ServeMux
-	start    time.Time
+	engine    atomic.Pointer[dlse.Engine]
+	gen       atomic.Int64 // swap/commit generation, folded into cache versions
+	reloader  atomic.Pointer[func(context.Context) (*dlse.Engine, error)]
+	committer atomic.Pointer[func(context.Context, []string) error]
+	cache     *Cache // nil when caching is disabled
+	sem       chan struct{}
+	mux       *http.ServeMux
+	start     time.Time
+
+	// Serving counters, exported (with live gauges) on /metrics. The map
+	// is per-server, not globally published, so many servers can coexist
+	// in one process without expvar name collisions.
+	queries *expvar.Int
+	commits *expvar.Int
+	metrics *expvar.Map
 }
 
 // New builds a Server over an engine.
 func New(engine *dlse.Engine, opts Options) *Server {
-	s := &Server{start: time.Now()}
+	s := &Server{start: time.Now(), queries: new(expvar.Int), commits: new(expvar.Int)}
 	s.engine.Store(engine)
 	if opts.CacheSize >= 0 {
 		s.cache = NewCache(opts.CacheSize, opts.CacheShards)
@@ -59,13 +68,27 @@ func New(engine *dlse.Engine, opts Options) *Server {
 	if opts.Workers > 0 {
 		s.sem = make(chan struct{}, opts.Workers)
 	}
+	s.metrics = new(expvar.Map).Init()
+	s.metrics.Set("queries", s.queries)
+	s.metrics.Set("commits", s.commits)
+	s.metrics.Set("cache_entries", expvar.Func(func() any { e, _, _ := s.CacheStats(); return e }))
+	s.metrics.Set("cache_hits", expvar.Func(func() any { _, h, _ := s.CacheStats(); return h }))
+	s.metrics.Set("cache_misses", expvar.Func(func() any { _, _, m := s.CacheStats(); return m }))
+	s.metrics.Set("active_segments", expvar.Func(func() any {
+		return s.engine.Load().VideoIndex().NumSegments()
+	}))
+	s.metrics.Set("generation", expvar.Func(func() any { return s.gen.Load() }))
+	s.metrics.Set("snapshot", expvar.Func(func() any { return s.engine.Load().Snapshot() }))
+	s.metrics.Set("uptime_sec", expvar.Func(func() any { return time.Since(s.start).Seconds() }))
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/keyword", s.handleKeyword)
 	s.mux.HandleFunc("/scenes", s.handleScenes)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v2/search", s.handleV2Search)
 	s.mux.HandleFunc("/v2/reload", s.handleV2Reload)
+	s.mux.HandleFunc("/v2/commit", s.handleV2Commit)
 	return s
 }
 
@@ -85,9 +108,21 @@ func (s *Server) Swap(engine *dlse.Engine) {
 
 // SetReloader installs the callback POST /v2/reload uses to build a
 // replacement engine (e.g. re-reading a meta-index file). The server swaps
-// to the returned engine on success.
+// to the returned engine on success. A callback that installs the engine
+// itself (e.g. a library-level swap that fans out to every registered
+// server) may return a nil engine: the endpoint then reports the server's
+// current snapshot.
 func (s *Server) SetReloader(fn func(context.Context) (*dlse.Engine, error)) {
 	s.reloader.Store(&fn)
+}
+
+// SetCommitter installs the callback POST /v2/commit uses to ingest new
+// videos (by path) into the library behind this server. The callback is
+// expected to install the extended engine snapshot itself — the facade's
+// DigitalLibrary.Commit swaps every registered server — so the endpoint
+// reports the snapshot current after it returns.
+func (s *Server) SetCommitter(fn func(ctx context.Context, paths []string) error) {
+	s.committer.Store(&fn)
 }
 
 // InvalidateCache drops every cached result. Callers that mutate the
@@ -201,6 +236,7 @@ func (s *Server) QueryRequest(ctx context.Context, req dlse.Request) ([]dlse.Res
 
 // queryEngine answers a structured request against one pinned snapshot.
 func (s *Server) queryEngine(ctx context.Context, e *dlse.Engine, ver int64, req dlse.Request) ([]dlse.Result, bool, error) {
+	s.queries.Add(1)
 	v, cached, err := s.lookupOrFill(ctx, "q|"+req.CanonicalKey(), ver, func() (any, error) {
 		return e.QueryContext(ctx, req)
 	})
@@ -216,6 +252,7 @@ func (s *Server) Keyword(ctx context.Context, query string, k int) ([]ir.Hit, bo
 	if k <= 0 {
 		k = 10
 	}
+	s.queries.Add(1)
 	e, ver := s.pin()
 	key := fmt.Sprintf("kw|%s|%d", strings.Join(ir.Analyze(query), " "), k)
 	v, cached, err := s.lookupOrFill(ctx, key, ver, func() (any, error) {
@@ -229,6 +266,7 @@ func (s *Server) Keyword(ctx context.Context, query string, k int) ([]ir.Hit, bo
 
 // Scenes returns all indexed scenes of an event kind, consulting the cache.
 func (s *Server) Scenes(ctx context.Context, kind string) ([]core.Scene, bool, error) {
+	s.queries.Add(1)
 	e, ver := s.pin()
 	v, cached, err := s.lookupOrFill(ctx, "sc|"+kind, ver, func() (any, error) {
 		return e.VideoIndex().Scenes(kind)
@@ -245,6 +283,7 @@ func (s *Server) Scenes(ctx context.Context, kind string) ([]core.Scene, bool, e
 // making page N exactly as cacheable as page 1. Explain requests bypass
 // the cache: an explain describes an execution, so one is performed.
 func (s *Server) Search(ctx context.Context, q dlse.Query, cursor dlse.Cursor, limit int, explain bool) (*dlse.ResultSet, bool, error) {
+	s.queries.Add(1)
 	e, ver := s.pin()
 	nq, key, err := e.Normalize(q)
 	if err != nil {
@@ -321,6 +360,8 @@ type (
 		Docs         int     `json:"docs"`
 		Videos       int     `json:"videos"`
 		Events       int     `json:"events"`
+		Segments     int     `json:"segments"`
+		Generation   int64   `json:"generation"`
 		IndexVersion int64   `json:"indexVersion"`
 		CacheEntries int     `json:"cacheEntries"`
 		CacheHits    int64   `json:"cacheHits"`
@@ -495,6 +536,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Docs:         e.TextIndex().Docs(),
 		Videos:       stats.Videos,
 		Events:       stats.Events,
+		Segments:     e.VideoIndex().NumSegments(),
+		Generation:   e.VideoIndex().Generation(),
 		IndexVersion: s.version(),
 		CacheEntries: entries,
 		CacheHits:    hits,

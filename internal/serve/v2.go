@@ -37,10 +37,11 @@ type (
 		Terminated     bool `json:"terminated"`
 	}
 	v2OpJSON struct {
-		Op     string        `json:"op"`
-		TookNs int64         `json:"tookNs"`
-		Items  int           `json:"items"`
-		Kernel *v2KernelJSON `json:"kernel,omitempty"`
+		Op       string        `json:"op"`
+		TookNs   int64         `json:"tookNs"`
+		Items    int           `json:"items"`
+		Kernel   *v2KernelJSON `json:"kernel,omitempty"`
+		Segments []v2OpJSON    `json:"segments,omitempty"`
 	}
 	v2ExplainJSON struct {
 		Plan string     `json:"plan"`
@@ -61,6 +62,16 @@ type (
 		Docs     int     `json:"docs"`
 		Videos   int     `json:"videos"`
 		TookMs   float64 `json:"tookMs"`
+	}
+	v2CommitRequest struct {
+		Paths []string `json:"paths"`
+	}
+	v2CommitResponse struct {
+		Snapshot   int64   `json:"snapshot"`
+		Segments   int     `json:"segments"`
+		Videos     int     `json:"videos"`
+		Generation int64   `json:"generation"`
+		TookMs     float64 `json:"tookMs"`
 	}
 	v2ErrorResponse struct {
 		Error string `json:"error"`
@@ -128,22 +139,29 @@ func toV2Items(items []dlse.Item) []v2Item {
 	return out
 }
 
+func toV2Op(op dlse.OpStat) v2OpJSON {
+	j := v2OpJSON{Op: op.Op, TookNs: op.Duration.Nanoseconds(), Items: op.Items}
+	if op.Kernel != nil {
+		j.Kernel = &v2KernelJSON{
+			TermsMatched:   op.Kernel.TermsMatched,
+			PostingsScored: op.Kernel.PostingsScored,
+			DocsTouched:    op.Kernel.DocsTouched,
+			Terminated:     op.Kernel.Terminated,
+		}
+	}
+	for _, seg := range op.Segments {
+		j.Segments = append(j.Segments, toV2Op(seg))
+	}
+	return j
+}
+
 func toV2Explain(ex *dlse.Explain) *v2ExplainJSON {
 	if ex == nil {
 		return nil
 	}
 	out := &v2ExplainJSON{Plan: ex.Plan, Ops: make([]v2OpJSON, len(ex.Ops))}
 	for i, op := range ex.Ops {
-		j := v2OpJSON{Op: op.Op, TookNs: op.Duration.Nanoseconds(), Items: op.Items}
-		if op.Kernel != nil {
-			j.Kernel = &v2KernelJSON{
-				TermsMatched:   op.Kernel.TermsMatched,
-				PostingsScored: op.Kernel.PostingsScored,
-				DocsTouched:    op.Kernel.DocsTouched,
-				Terminated:     op.Kernel.Terminated,
-			}
-		}
-		out.Ops[i] = j
+		out.Ops[i] = toV2Op(op)
 	}
 	return out
 }
@@ -223,7 +241,13 @@ func (s *Server) handleV2Reload(w http.ResponseWriter, r *http.Request) {
 		writeV2Error(w, fmt.Errorf("reload: %w", err))
 		return
 	}
-	s.Swap(engine)
+	if engine != nil {
+		s.Swap(engine)
+	} else {
+		// The reloader installed the engine itself (library-level swap);
+		// report whatever is serving now.
+		engine = s.Engine()
+	}
 	stats := engine.VideoIndex().Stats()
 	writeJSON(w, http.StatusOK, v2ReloadResponse{
 		Snapshot: engine.Snapshot(),
@@ -231,6 +255,71 @@ func (s *Server) handleV2Reload(w http.ResponseWriter, r *http.Request) {
 		Videos:   stats.Videos,
 		TookMs:   float64(time.Since(start).Microseconds()) / 1000,
 	})
+}
+
+// handleV2Commit answers POST /v2/commit with a JSON body naming SVF files
+// to ingest:
+//
+//	{"paths": ["/data/new-broadcast.svf", ...]}
+//
+// The configured committer ingests them into a brand-new index segment and
+// installs the extended engine snapshot (existing segments untouched, no
+// full reload); the response reports the post-commit serving state.
+// Without a committer the endpoint reports 501.
+func (s *Server) handleV2Commit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, v2ErrorResponse{
+			Error: fmt.Sprintf("method %s not allowed", r.Method), Code: "method",
+		})
+		return
+	}
+	fn := s.committer.Load()
+	if fn == nil {
+		writeJSON(w, http.StatusNotImplemented, v2ErrorResponse{
+			Error: "no committer configured", Code: "no_committer",
+		})
+		return
+	}
+	var req v2CommitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, v2ErrorResponse{
+			Error: fmt.Sprintf("bad commit body: %v", err), Code: "parse",
+		})
+		return
+	}
+	if len(req.Paths) == 0 {
+		writeJSON(w, http.StatusBadRequest, v2ErrorResponse{
+			Error: "commit body names no paths", Code: "parse",
+		})
+		return
+	}
+	start := time.Now()
+	if err := (*fn)(r.Context(), req.Paths); err != nil {
+		writeV2Error(w, fmt.Errorf("commit: %w", err))
+		return
+	}
+	s.commits.Add(1)
+	engine := s.Engine()
+	vi := engine.VideoIndex()
+	writeJSON(w, http.StatusOK, v2CommitResponse{
+		Snapshot:   engine.Snapshot(),
+		Segments:   vi.NumSegments(),
+		Videos:     vi.Stats().Videos,
+		Generation: vi.Generation(),
+		TookMs:     float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// handleMetrics answers GET /metrics with the server's expvar map: query
+// and commit counters plus live gauges (cache hit/miss, active segments,
+// swap/commit generation, current snapshot).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !onlyGet(w, r) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.metrics.String())
 }
 
 // RenderItems converts a page of items to the v2 JSON encoding — exported

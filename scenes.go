@@ -30,13 +30,13 @@ const (
 // pairs of events of the two kinds standing in one of the wanted Allen
 // relations within the same video (e.g. net-play During rally).
 func (l *Library) ScenesRelated(kindA, kindB string, rels ...AllenRelation) ([]EventPair, error) {
-	return l.index.EventsRelated(kindA, kindB, rels...)
+	return l.View().EventsRelated(kindA, kindB, rels...)
 }
 
 // ScenesFollowing returns kindB events starting within maxGap frames after
 // a kindA event ends (e.g. rally following a service).
 func (l *Library) ScenesFollowing(kindA, kindB string, maxGap int) ([]EventPair, error) {
-	return l.index.EventsFollowing(kindA, kindB, maxGap)
+	return l.View().EventsFollowing(kindA, kindB, maxGap)
 }
 
 // ExtractScene cuts the frames of a scene out of its source video. The

@@ -17,7 +17,8 @@ BENCH="${3:-BenchmarkIRQueryFull}"
 FACTOR="${4:-3}"
 
 extract() { # extract <file> -> ns_per_op of $BENCH
-    sed -n "s/.*\"name\": \"$BENCH\".*\"ns_per_op\": \([0-9.]*\).*/\1/p" "$1" | head -1
+    # | as the sed delimiter: benchmark names may contain / (sub-benchmarks).
+    sed -n "s|.*\"name\": \"$BENCH\".*\"ns_per_op\": \([0-9.]*\).*|\1|p" "$1" | head -1
 }
 
 base_ns=$(extract "$BASE")

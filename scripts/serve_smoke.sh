@@ -73,6 +73,27 @@ curl -fsS --get "http://127.0.0.1:$port/v2/search" \
     --data-urlencode 'kw=final' --data-urlencode 'explain=1' \
     | grep -q '"plan":'
 
+echo "--- /metrics"
+metrics=$(curl -fsS "http://127.0.0.1:$port/metrics")
+echo "$metrics"
+echo "$metrics" | grep -q '"queries":'
+echo "$metrics" | grep -q '"active_segments": 1'
+
+echo "--- /v2/commit (grow the corpus by one broadcast, no reload)"
+go build -o "$tmp/synthgen" ./cmd/synthgen
+"$tmp/synthgen" -out "$tmp/corpus" -n 1 -shots 3 >/dev/null
+commit=$(curl -fsS -X POST "http://127.0.0.1:$port/v2/commit" \
+    -d "{\"paths\":[\"$tmp/corpus/clip-000.svf\"]}")
+echo "$commit"
+echo "$commit" | grep -q '"segments":2'
+curl -fsS --get "http://127.0.0.1:$port/v2/search" \
+    --data-urlencode 'kind=rally' | grep -q '"total":'
+curl -fsS "http://127.0.0.1:$port/metrics" | grep -q '"commits": 1'
+# Commit error paths: no paths, malformed body.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+    "http://127.0.0.1:$port/v2/commit" -d '{"paths":[]}')
+[ "$code" = 400 ] || { echo "serve-smoke: empty commit got $code" >&2; exit 1; }
+
 echo "--- SIGHUP hot reload"
 kill -HUP "$pid"
 sleep 0.3
