@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json bench-compare staticcheck serve-smoke fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke bench-json bench-compare staticcheck serve-smoke cluster-smoke fmt fmt-check vet ci
 
 all: build test
 
@@ -52,6 +52,12 @@ staticcheck:
 serve-smoke:
 	bash scripts/serve_smoke.sh
 
+# End-to-end cluster check: two dlserve nodes behind dlrouter, byte-
+# identical answers vs a single node, commit visibility, node-death
+# failover, Prometheus metrics.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
+
 fmt:
 	gofmt -w .
 
@@ -62,7 +68,7 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet staticcheck build test race bench-smoke bench-json-smoke serve-smoke
+ci: fmt-check vet staticcheck build test race bench-smoke bench-json-smoke serve-smoke cluster-smoke
 
 # The bench-json CI step: one iteration per benchmark, same script. Writes
 # to a scratch path so it never clobbers the committed BENCH_PR5.json (the

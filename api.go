@@ -528,6 +528,7 @@ func GenerateSite(cfg SiteConfig) (*Site, error) {
 type DigitalLibrary struct {
 	engine atomic.Pointer[dlse.Engine]
 	site   *webspace.Site
+	opts   LibraryOptions
 
 	// commitMu serializes the writers of the backing library (Commit,
 	// Compact, Swap) — queries never take it.
@@ -540,19 +541,35 @@ type DigitalLibrary struct {
 	servers []*Server
 }
 
+// LibraryOptions tunes how a DigitalLibrary builds its engines.
+type LibraryOptions struct {
+	// TextSegments partitions the site's pages into this many contiguous
+	// full-text index segments, scored scatter-gather. Answers are
+	// byte-identical for every value (segments freeze against union corpus
+	// statistics); < 1 selects 1. Multi-segment text is what gives a
+	// distributed router (cmd/dlrouter) keyword placement to spread.
+	TextSegments int
+}
+
 // NewDigitalLibrary combines a generated site with an indexed video
 // library. lib may be nil for a text/concept-only engine (Commit then
 // reports an error until Swap installs a library).
 func NewDigitalLibrary(site *Site, lib *Library) (*DigitalLibrary, error) {
+	return NewDigitalLibraryWith(site, lib, LibraryOptions{})
+}
+
+// NewDigitalLibraryWith is NewDigitalLibrary with explicit engine options;
+// rebuilds triggered by Swap keep using them.
+func NewDigitalLibraryWith(site *Site, lib *Library, opts LibraryOptions) (*DigitalLibrary, error) {
 	var view *core.SegmentedIndex
 	if lib != nil {
 		view = lib.View()
 	}
-	e, err := dlse.NewSegmented(site, view, dlse.Options{})
+	e, err := dlse.NewSegmented(site, view, dlse.Options{TextSegments: opts.TextSegments})
 	if err != nil {
 		return nil, err
 	}
-	dl := &DigitalLibrary{site: site, lib: lib}
+	dl := &DigitalLibrary{site: site, lib: lib, opts: opts}
 	dl.engine.Store(e)
 	return dl, nil
 }
@@ -582,7 +599,7 @@ func (dl *DigitalLibrary) Swap(lib *Library) error {
 	if lib != nil {
 		view = lib.View()
 	}
-	e, err := dlse.NewSegmented(dl.site, view, dlse.Options{})
+	e, err := dlse.NewSegmented(dl.site, view, dlse.Options{TextSegments: dl.opts.TextSegments})
 	if err != nil {
 		return err
 	}

@@ -8,16 +8,25 @@
 // Usage:
 //
 //	dlserve -addr :8372 -meta meta.db -cache-size 4096 -workers 8 \
-//	        -segment-target 64
+//	        -segment-target 64 -text-segments 4
 //
 //	curl 'http://localhost:8372/healthz'
-//	curl 'http://localhost:8372/metrics'
+//	curl 'http://localhost:8372/metrics'      # Prometheus text format
+//	curl 'http://localhost:8372/debug/vars'   # same counters, expvar JSON
+//	curl 'http://localhost:8372/v2/manifest'  # segment sets (router placement)
 //	curl --get 'http://localhost:8372/v2/search' \
 //	     --data-urlencode 'q=find Player where sex = "female"' \
 //	     --data-urlencode 'limit=10'
 //	curl -X POST 'http://localhost:8372/v2/commit' \
 //	     -d '{"paths":["/data/new-broadcast.svf"]}'
+//	curl -X POST 'http://localhost:8372/v2/compact' -d '{"target":64}'
 //	curl -X POST 'http://localhost:8372/v2/reload'
+//
+// Cluster serving: GET /v2/partial answers partial top-K text search and
+// per-partition scene lookups over an explicit segment selection — the
+// surface cmd/dlrouter scatters over. -text-segments N partitions the
+// site's full-text index so keyword placement has something to spread;
+// answers are byte-identical for every N.
 //
 // Incremental growth: POST /v2/commit ingests new SVF files into a
 // brand-new index segment and installs the extended segment set atomically
@@ -61,6 +70,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "max queries executing concurrently (0 = unbounded)")
 		segTarget = flag.Int("segment-target", 0,
 			"background-compact adjacent segments up to this many videos after each commit (0 disables)")
+		textSegs = flag.Int("text-segments", 0,
+			"partition the full-text index into this many segments (router keyword placement; 0 = 1 segment)")
 		players = flag.Int("players", 64, "site size: number of players")
 		seed    = flag.Int64("seed", 16, "site generation seed")
 		years   = flag.Int("years", 10, "site size: number of tournament editions")
@@ -91,7 +102,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	dl, err := repro.NewDigitalLibrary(site, lib)
+	dl, err := repro.NewDigitalLibraryWith(site, lib, repro.LibraryOptions{TextSegments: *textSegs})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -147,6 +158,12 @@ func main() {
 		}
 		maybeCompact()
 		return nil
+	})
+
+	// /v2/compact: merge segments on demand (the foreground counterpart of
+	// -segment-target's background compaction).
+	srv.SetCompactor(func(ctx context.Context, target int) (bool, error) {
+		return dl.Compact(target)
 	})
 
 	ln, err := net.Listen("tcp", *addr)

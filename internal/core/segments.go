@@ -75,6 +75,24 @@ func (s *SegmentedIndex) Part(i int) *MetaIndex { return s.parts[i] }
 // Meta returns partition i's manifest entry.
 func (s *SegmentedIndex) Meta(i int) SegmentMeta { return s.metas[i] }
 
+// Metas returns a copy of the full segment manifest in partition order —
+// the placement input of the distributed tier.
+func (s *SegmentedIndex) Metas() []SegmentMeta {
+	return append([]SegmentMeta(nil), s.metas...)
+}
+
+// PartScenes returns partition ord's scenes of the given event kind — the
+// partial-read primitive of the distributed tier. Concatenating PartScenes
+// answers in ordinal order reproduces Scenes exactly (that is how Scenes
+// itself is built), so a gather over nodes serving disjoint ordinal sets
+// is byte-identical to the local read.
+func (s *SegmentedIndex) PartScenes(ord int, kind string) ([]Scene, error) {
+	if ord < 0 || ord >= len(s.parts) {
+		return nil, fmt.Errorf("core: no segment ordinal %d (have %d)", ord, len(s.parts))
+	}
+	return s.parts[ord].Scenes(kind)
+}
+
 // Generation returns the segment-set generation: it increases every time
 // the set changes (commit, compaction, reload).
 func (s *SegmentedIndex) Generation() int64 { return s.gen }

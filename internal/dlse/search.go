@@ -235,6 +235,41 @@ func (e *Engine) Normalize(q Query) (Query, string, error) {
 	}
 }
 
+// CanonicalKey returns the canonical cache key of a query that needs no
+// schema to normalize — the Keyword and Scenes forms. ok is false for the
+// Source and Request forms, which require an engine's schema (see
+// Engine.Normalize). The key matches Normalize's exactly, so cursors
+// minted by a distributed gather layer (internal/router) over this key
+// bind to the same query as the engine's own.
+func CanonicalKey(q Query) (key string, ok bool) {
+	if q.forms() != 1 {
+		return "", false
+	}
+	switch {
+	case q.Keyword != "":
+		return "kw|" + strings.Join(ir.Analyze(q.Keyword), " "), true
+	case q.Scenes != "":
+		return "sc|" + q.Scenes, true
+	}
+	return "", false
+}
+
+// NewResultSet assembles a ResultSet from an externally computed answer
+// list — the hook a distributed gather layer (internal/router) uses to get
+// the engine's exact pagination semantics (cursor binding, Page, Stream)
+// over items merged outside a single Engine. key must be the query's
+// canonical key (Engine.Normalize or CanonicalKey); snap identifies the
+// snapshot the answer was computed on.
+func NewResultSet(items []Item, key string, snap int64) *ResultSet {
+	return &ResultSet{
+		Items:    items,
+		Total:    len(items),
+		Snapshot: snap,
+		key:      fnv64(key),
+		all:      items,
+	}
+}
+
 // fnv64 hashes a canonical key for embedding in cursors.
 func fnv64(s string) uint64 {
 	h := uint64(14695981039346656037)

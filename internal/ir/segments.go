@@ -234,6 +234,84 @@ func (s *Segments) SearchSegments(query string, k int) ([]Hit, SearchStats, []Se
 	return mergeHits(per, k), s.mergeStats(terms, perStats), zipSegStats(perStats, durs), nil
 }
 
+// SearchPartial runs the exhaustive ranked query over only the named
+// segment ordinals, returning hits under global doc IDs, merged under the
+// global (score desc, DocID asc) total order and capped at k (k <= 0 keeps
+// everything). It is the partial-read primitive of the distributed tier:
+// segments are frozen against union corpus statistics, so a partial answer
+// carries exactly the scores the same documents have in a full Search, and
+// re-merging partial answers from disjoint ordinal sets under the same
+// order reproduces Search over all segments byte for byte.
+//
+// Stats cover only the selected segments (TermsMatched counts query terms
+// present in any selected segment).
+func (s *Segments) SearchPartial(query string, k int, ords []int) ([]Hit, SearchStats, error) {
+	terms := dedupe(Analyze(query))
+	if len(terms) == 0 {
+		return nil, SearchStats{}, ErrEmptyQry
+	}
+	for _, o := range ords {
+		if o < 0 || o >= len(s.segs) {
+			return nil, SearchStats{}, fmt.Errorf("ir: no segment ordinal %d (have %d)", o, len(s.segs))
+		}
+	}
+	per := make([][]Hit, len(ords))
+	perStats := make([]SearchStats, len(ords))
+	scatterOrds(ords, func(slot, ord int) {
+		ix := s.segs[ord]
+		ac := ix.getAccum()
+		perStats[slot] = ix.scoreTerms(terms, ac)
+		hits := ix.topKDense(ac, k)
+		ix.putAccum(ac)
+		for j := range hits {
+			hits[j].Doc += s.base[ord]
+		}
+		per[slot] = hits
+	})
+	var stats SearchStats
+	for _, t := range terms {
+		for _, o := range ords {
+			if s.segs[o].terms[t] != nil {
+				stats.TermsMatched++
+				break
+			}
+		}
+	}
+	for _, st := range perStats {
+		stats.PostingsScored += st.PostingsScored
+		stats.DocsTouched += st.DocsTouched
+		stats.Terminated = stats.Terminated || st.Terminated
+	}
+	return mergeHits(per, k), stats, nil
+}
+
+// scatterOrds runs fn(slot, ord) for every selected ordinal, concurrently
+// when there is more than one. Each invocation writes only its own slot in
+// the caller's slices, so the gather that follows is deterministic.
+func scatterOrds(ords []int, fn func(slot, ord int)) {
+	if len(ords) == 1 {
+		fn(0, ords[0])
+		return
+	}
+	var wg sync.WaitGroup
+	for slot, ord := range ords {
+		wg.Add(1)
+		go func(slot, ord int) {
+			defer wg.Done()
+			fn(slot, ord)
+		}(slot, ord)
+	}
+	wg.Wait()
+}
+
+// MergeHits gathers independently produced best-first hit streams (e.g.
+// per-node partial answers over disjoint segment sets) into one ranked
+// list under the global (score desc, DocID asc) order, capped at k (k <= 0
+// keeps everything). Merging is associative: merging partial merges gives
+// the same bytes as one flat merge, which is what makes a multi-node
+// gather byte-identical to the local one.
+func MergeHits(per [][]Hit, k int) []Hit { return mergeHits(per, k) }
+
 // SearchTopN runs the fragment-at-a-time top-N optimization independently
 // inside every segment and merges the per-segment top k. Safe mode returns
 // the same hit set a monolithic safe run would; as in the monolithic case,

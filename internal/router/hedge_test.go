@@ -1,0 +1,226 @@
+package router
+
+// Failure-mode tests with fault-injecting segment sources: hedged reads
+// cutting slow-node tail latency, failover keeping answers byte-identical
+// with a dead replica, and the fail-open/fail-closed choice when every
+// replica of a segment is down.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dlse"
+	"repro/internal/transport"
+)
+
+// fakeSource wraps a Local source with an injectable address, response
+// delay, and hard failure — the knobs the failure-mode tests turn.
+type fakeSource struct {
+	inner *transport.Local
+	addr  string
+	delay time.Duration
+	fail  atomic.Bool
+}
+
+func (f *fakeSource) Addr() string { return f.addr }
+
+func (f *fakeSource) Manifest(ctx context.Context) (transport.Manifest, error) {
+	if f.fail.Load() {
+		return transport.Manifest{}, fmt.Errorf("%w: node %s is down", transport.ErrUnavailable, f.addr)
+	}
+	return f.inner.Manifest(ctx)
+}
+
+func (f *fakeSource) Health(ctx context.Context) error {
+	if f.fail.Load() {
+		return fmt.Errorf("%w: node %s is down", transport.ErrUnavailable, f.addr)
+	}
+	return f.inner.Health(ctx)
+}
+
+func (f *fakeSource) Partial(ctx context.Context, q transport.Query, sel transport.Sel, expectGen int64) (*transport.Partial, error) {
+	if f.fail.Load() {
+		return nil, fmt.Errorf("%w: node %s is down", transport.ErrUnavailable, f.addr)
+	}
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %v", transport.ErrUnavailable, ctx.Err())
+		}
+	}
+	return f.inner.Partial(ctx, q, sel, expectGen)
+}
+
+// fakeCluster builds n fake sources over one shared engine. Addresses sort
+// in index order, so fakes[0] is placement's node 0.
+func fakeCluster(t *testing.T, n int) []*fakeSource {
+	t.Helper()
+	e := buildEngine(t)
+	local := transport.NewLocal(func() *dlse.Engine { return e })
+	fakes := make([]*fakeSource, n)
+	for i := range fakes {
+		fakes[i] = &fakeSource{inner: local, addr: fmt.Sprintf("node-%d", i)}
+	}
+	return fakes
+}
+
+func srcs(fakes []*fakeSource) []transport.SegmentSource {
+	out := make([]transport.SegmentSource, len(fakes))
+	for i, f := range fakes {
+		out[i] = f
+	}
+	return out
+}
+
+// answer returns the distributed answer's item list for a scene query.
+func answer(t *testing.T, r *Router, kind string) (*dlse.ResultSet, bool) {
+	t.Helper()
+	rs, partial, err := r.Search(context.Background(), dlse.Query{Scenes: kind}, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs, partial
+}
+
+// TestHedgeCutsTailLatency injects a 500ms delay into every node's primary
+// role and hedges after 10ms: the answer must arrive from the raced
+// replicas well before the slow legs would have, and be correct.
+func TestHedgeCutsTailLatency(t *testing.T) {
+	fakes := fakeCluster(t, 2)
+	const slow = 500 * time.Millisecond
+	fakes[0].delay = slow // primary for ordinal 0's group
+
+	r, err := NewWithSources(srcs(fakes), Options{Replicas: 2, HedgeAfter: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := answer(t, r, "net-play") // warm reference (hedged too, same answer)
+
+	start := time.Now()
+	got, partial := answer(t, r, "net-play")
+	elapsed := time.Since(start)
+	if partial {
+		t.Fatal("hedged answer marked partial")
+	}
+	if !reflect.DeepEqual(itemsOf(got), itemsOf(want)) {
+		t.Fatal("hedged answer diverges")
+	}
+	// Generous margin: the hedge fires at 10ms; anywhere near the
+	// injected 500ms means the hedge never won.
+	if elapsed > slow/2 {
+		t.Fatalf("hedge did not cut tail latency: %v elapsed", elapsed)
+	}
+	if r.hedges.Value() == 0 || r.hedgeWins.Value() == 0 {
+		t.Fatalf("hedge counters off: hedges=%d wins=%d", r.hedges.Value(), r.hedgeWins.Value())
+	}
+}
+
+// TestFailoverDeadReplica kills one node in a replicas=2 cluster: every
+// segment still has a live replica, so answers stay byte-identical and the
+// failover is counted.
+func TestFailoverDeadReplica(t *testing.T) {
+	fakes := fakeCluster(t, 3)
+	r, err := NewWithSources(srcs(fakes), Options{Replicas: 2, HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := answer(t, r, "net-play")
+
+	fakes[1].fail.Store(true)
+	got, partial := answer(t, r, "net-play")
+	if partial {
+		t.Fatal("failover answer marked partial")
+	}
+	if !reflect.DeepEqual(itemsOf(got), itemsOf(want)) {
+		t.Fatal("answer diverged after killing one replica")
+	}
+	if r.failovers.Value() == 0 {
+		t.Fatal("failover not counted")
+	}
+	// The dead node's health mark dropped, so the next plan avoids it:
+	// no further failovers accumulate once placement has adapted.
+	before := r.failovers.Value()
+	if got2, _ := answer(t, r, "net-play"); !reflect.DeepEqual(itemsOf(got2), itemsOf(want)) {
+		t.Fatal("answer diverged on adapted placement")
+	}
+	if r.failovers.Value() != before {
+		t.Fatalf("adapted placement still failing over: %d -> %d", before, r.failovers.Value())
+	}
+
+	// Recovery: the node comes back, a health probe clears the mark.
+	fakes[1].fail.Store(false)
+	if healthy := r.CheckHealth(context.Background()); healthy != 3 {
+		t.Fatalf("healthy after recovery = %d, want 3", healthy)
+	}
+}
+
+// TestFailOpenVersusClosed kills one node in a replicas=1 cluster — its
+// segments have no replica. Fail-closed reports unavailable; fail-open
+// serves the reachable subset marked partial, a strict subset of the full
+// answer.
+func TestFailOpenVersusClosed(t *testing.T) {
+	kw := dlse.Query{Keyword: "australian open final"}
+
+	// Fail-closed (default): the query errors.
+	fakes := fakeCluster(t, 3)
+	closed, err := NewWithSources(srcs(fakes), Options{Replicas: 1, HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := closed.Search(context.Background(), kw, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fakes[0].fail.Store(true)
+	if _, _, err := closed.Search(context.Background(), kw, "", 0); !errors.Is(err, transport.ErrUnavailable) {
+		t.Fatalf("fail-closed err = %v, want ErrUnavailable", err)
+	}
+
+	// Fail-open: same cluster shape, reachable subset served and marked.
+	fakes2 := fakeCluster(t, 3)
+	open, err := NewWithSources(srcs(fakes2), Options{Replicas: 1, HedgeAfter: -1, FailOpen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fakes2[0].fail.Store(true)
+	rs, partial, err := open.Search(context.Background(), kw, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !partial {
+		t.Fatal("fail-open answer not marked partial")
+	}
+	if len(rs.Items) >= full.Total {
+		t.Fatalf("fail-open answer not a strict subset: %d vs full %d", len(rs.Items), full.Total)
+	}
+	scored := map[string]float64{}
+	for _, it := range full.Items {
+		scored[it.Page] = it.Score
+	}
+	for _, it := range rs.Items {
+		if s, ok := scored[it.Page]; !ok || s != it.Score {
+			t.Fatalf("fail-open item %q/%v not in the full answer", it.Page, it.Score)
+		}
+	}
+	if open.partials.Value() == 0 {
+		t.Fatal("partial answer not counted")
+	}
+
+	// Semantic errors never fail open: a bad query is a 400-class error
+	// even with a node down, not an empty partial answer.
+	if _, _, err := open.Search(context.Background(), dlse.Query{Keyword: "the of and"}, "", 0); err == nil || errors.Is(err, transport.ErrUnavailable) {
+		t.Fatalf("semantic error leaked through fail-open: %v", err)
+	}
+}
+
+func itemsOf(rs *dlse.ResultSet) []dlse.Item {
+	out := make([]dlse.Item, len(rs.Items))
+	copy(out, rs.Items)
+	return out
+}

@@ -1,0 +1,140 @@
+package router
+
+// The router's HTTP surface — the same /v2/search contract dlserve
+// exposes, backed by the cluster instead of one engine, plus /healthz,
+// Prometheus /metrics, and expvar /debug/vars. Parameter parsing, the
+// response shape, and the typed error envelope are the serve package's
+// own exported helpers, so a client cannot tell a router from a node by
+// the bytes (modulo cursor tokens embedding the cluster generation).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/dlse"
+	"repro/internal/serve"
+	"repro/internal/transport"
+)
+
+// ServeHTTP implements http.Handler.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) { r.mux.ServeHTTP(w, req) }
+
+// handleSearch answers GET /v2/search. Keyword (kw=) and scene (kind=)
+// queries scatter over the cluster's segment placement; combined-language
+// (q=) and explain queries are proxied whole to one node — every node
+// holds the full library, so a single-node answer is already the cluster
+// answer for those.
+func (r *Router) handleSearch(w http.ResponseWriter, req *http.Request) {
+	if !serve.OnlyGetV2(w, req) {
+		return
+	}
+	q, cursor, limit, explain, err := serve.ParseSearchQuery(req)
+	if err != nil {
+		serve.WriteSearchError(w, err)
+		return
+	}
+	if _, ok := dlse.CanonicalKey(q); !ok || explain {
+		r.proxy(w, req)
+		return
+	}
+	start := time.Now()
+	rs, partial, err := r.Search(req.Context(), q, cursor, limit)
+	if err != nil {
+		serve.WriteSearchError(w, err)
+		return
+	}
+	serve.WriteSearchResult(w, rs, false, partial, time.Since(start))
+}
+
+// proxy forwards the request whole to the first node that answers,
+// healthy nodes first. Any HTTP response — including a 4xx/5xx error
+// envelope — is a valid answer and is copied back verbatim; only
+// transport-level failures fail over to the next node.
+func (r *Router) proxy(w http.ResponseWriter, req *http.Request) {
+	r.queries.Add(1)
+	r.proxied.Add(1)
+	var lastErr error
+	for _, preferHealthy := range []bool{true, false} {
+		for _, n := range r.nodes {
+			if preferHealthy != (n.healthy.Value() == 1) {
+				continue
+			}
+			addr := n.src.Addr()
+			if !strings.HasPrefix(addr, "http") {
+				lastErr = fmt.Errorf("%w: node %s has no HTTP address to proxy to",
+					transport.ErrUnavailable, addr)
+				continue
+			}
+			r.nodeReqs.Add(addr, 1)
+			out, err := http.NewRequestWithContext(req.Context(), http.MethodGet,
+				strings.TrimRight(addr, "/")+req.URL.RequestURI(), nil)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			resp, err := http.DefaultClient.Do(out)
+			if err != nil {
+				r.nodeErrs.Add(addr, 1)
+				n.healthy.Set(0)
+				lastErr = fmt.Errorf("%w: %v", transport.ErrUnavailable, err)
+				continue
+			}
+			defer resp.Body.Close()
+			w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+			w.WriteHeader(resp.StatusCode)
+			_, _ = io.Copy(w, resp.Body)
+			return
+		}
+	}
+	r.failures.Add(1)
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w: no nodes", transport.ErrUnavailable)
+	}
+	serve.WriteSearchError(w, lastErr)
+}
+
+// routerHealth is the /healthz answer: the router's own liveness plus
+// per-node health as placement currently sees it.
+type routerHealth struct {
+	Status  string       `json:"status"`
+	Nodes   []nodeHealth `json:"nodes"`
+	Healthy int          `json:"healthy"`
+}
+
+type nodeHealth struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+}
+
+// handleHealthz answers GET /healthz.
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	h := routerHealth{Status: "ok"}
+	for _, n := range r.nodes {
+		up := n.healthy.Value() == 1
+		if up {
+			h.Healthy++
+		}
+		h.Nodes = append(h.Nodes, nodeHealth{Addr: n.src.Addr(), Healthy: up})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(h)
+}
+
+// handleMetrics answers GET /metrics in Prometheus text exposition format:
+// router counters (scatters, hedges, failovers, stale retries) plus
+// per-node request/error/hedge counters labeled node="...".
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", serve.PromContentType)
+	serve.WriteProm(w, "dl", r.metrics)
+}
+
+// handleVars answers GET /debug/vars with the same map as expvar JSON.
+func (r *Router) handleVars(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, r.metrics.String())
+}

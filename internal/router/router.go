@@ -1,0 +1,545 @@
+// Package router is the stateless scatter-gather tier of the distributed
+// digital library: it fans unified v2 queries over a set of dlserve nodes
+// through the transport.SegmentSource interface and merges their partial
+// top-K streams under the engine's global (score desc, DocID asc) total
+// order, so a cluster answer is byte-identical to a monolithic one.
+//
+// The cluster model is replicated storage, partitioned compute: every node
+// serves the full segment set (all nodes load the same library), and the
+// router assigns each segment ordinal a primary plus replicas by rotation
+// over the sorted node list. That placement is a pure function of
+// (ordinal, node list), so the router keeps no state between requests —
+// any number of routers can front the same nodes.
+//
+// Reads are conditional on the manifest generation: a node whose segment
+// set moved (a commit or compaction landed) fails the leg with ErrStale
+// and the router re-plans against a fresh manifest, so every served page
+// is computed against one consistent generation. Per-leg failures hedge
+// (after HedgeAfter, the next replica is raced) and fail over (an
+// unreachable node's legs move to replicas immediately); when every
+// replica of a segment is down, the router either fails open (serve the
+// reachable subset, marked partial) or fails closed (503), per Options.
+package router
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/dlse"
+	"repro/internal/ir"
+	"repro/internal/transport"
+)
+
+// Options tunes a Router.
+type Options struct {
+	// Replicas is how many nodes may answer each segment ordinal (primary
+	// plus Replicas-1 fallbacks), capped at the node count. < 1 selects 2.
+	Replicas int
+	// HedgeAfter is how long the primary leg may run before the next
+	// replica is raced against it. 0 selects 20ms; negative disables
+	// hedging (failover on error still happens).
+	HedgeAfter time.Duration
+	// Timeout bounds one scatter attempt. 0 selects 5s.
+	Timeout time.Duration
+	// FailOpen serves the reachable subset (marked partial) when every
+	// replica of some segment is down, instead of failing the query
+	// with 503.
+	FailOpen bool
+}
+
+func (o Options) withDefaults(nodes int) Options {
+	if o.Replicas < 1 {
+		o.Replicas = 2
+	}
+	if o.Replicas > nodes {
+		o.Replicas = nodes
+	}
+	if o.HedgeAfter == 0 {
+		o.HedgeAfter = 20 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	return o
+}
+
+// node is one cluster member: its segment source plus the health flag the
+// background checker maintains. Placement prefers healthy candidates but
+// never strands a segment: when every candidate is marked down, legs are
+// attempted anyway (the mark may be stale).
+type node struct {
+	src     transport.SegmentSource
+	healthy expvar.Int // 1 healthy, 0 down (expvar so /metrics exports it)
+}
+
+// Router fans queries over a fixed node set. Safe for concurrent use.
+type Router struct {
+	nodes []*node // sorted by Addr: the placement input
+	opts  Options
+
+	// Counters and gauges, exported on /metrics and /debug/vars.
+	queries   *expvar.Int // v2 searches handled
+	proxied   *expvar.Int // queries proxied whole to one node (q=, explain)
+	scatters  *expvar.Int // scatter attempts (stale retries count again)
+	staleRe   *expvar.Int // scatter attempts retried on ErrStale
+	hedges    *expvar.Int // hedge legs launched
+	hedgeWins *expvar.Int // groups won by a non-primary leg
+	failovers *expvar.Int // legs moved to a replica after an error
+	partials  *expvar.Int // fail-open answers served incomplete
+	failures  *expvar.Int // queries failed
+	nodeReqs  *expvar.Map // per-node legs launched
+	nodeErrs  *expvar.Map // per-node legs failed
+	nodeHedge *expvar.Map // per-node hedge legs launched
+	metrics   *expvar.Map
+
+	mux *http.ServeMux
+}
+
+// New builds a Router over node base URLs, talking HTTP via client (nil
+// selects http.DefaultClient).
+func New(urls []string, opts Options, client *http.Client) (*Router, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("router: no nodes")
+	}
+	srcs := make([]transport.SegmentSource, len(urls))
+	for i, u := range urls {
+		srcs[i] = transport.NewRemote(u, client)
+	}
+	return NewWithSources(srcs, opts)
+}
+
+// NewWithSources builds a Router over explicit segment sources — the hook
+// tests use to inject in-process or fault-injecting sources. Sources are
+// sorted by Addr so placement is deterministic regardless of argument
+// order.
+func NewWithSources(srcs []transport.SegmentSource, opts Options) (*Router, error) {
+	if len(srcs) == 0 {
+		return nil, fmt.Errorf("router: no nodes")
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].Addr() < srcs[j].Addr() })
+	for i := 1; i < len(srcs); i++ {
+		if srcs[i].Addr() == srcs[i-1].Addr() {
+			return nil, fmt.Errorf("router: duplicate node %s", srcs[i].Addr())
+		}
+	}
+	r := &Router{
+		opts:      opts.withDefaults(len(srcs)),
+		queries:   new(expvar.Int),
+		proxied:   new(expvar.Int),
+		scatters:  new(expvar.Int),
+		staleRe:   new(expvar.Int),
+		hedges:    new(expvar.Int),
+		hedgeWins: new(expvar.Int),
+		failovers: new(expvar.Int),
+		partials:  new(expvar.Int),
+		failures:  new(expvar.Int),
+		nodeReqs:  new(expvar.Map).Init(),
+		nodeErrs:  new(expvar.Map).Init(),
+		nodeHedge: new(expvar.Map).Init(),
+	}
+	healthMap := new(expvar.Map).Init()
+	for _, s := range srcs {
+		n := &node{src: s}
+		n.healthy.Set(1)
+		r.nodes = append(r.nodes, n)
+		healthMap.Set(s.Addr(), &n.healthy)
+	}
+	r.metrics = new(expvar.Map).Init()
+	r.metrics.Set("router_queries", r.queries)
+	r.metrics.Set("router_proxied", r.proxied)
+	r.metrics.Set("router_scatters", r.scatters)
+	r.metrics.Set("router_stale_retries", r.staleRe)
+	r.metrics.Set("router_hedges", r.hedges)
+	r.metrics.Set("router_hedge_wins", r.hedgeWins)
+	r.metrics.Set("router_failovers", r.failovers)
+	r.metrics.Set("router_partial_answers", r.partials)
+	r.metrics.Set("router_failures", r.failures)
+	r.metrics.Set("node_requests", r.nodeReqs)
+	r.metrics.Set("node_errors", r.nodeErrs)
+	r.metrics.Set("node_hedges", r.nodeHedge)
+	r.metrics.Set("node_healthy", healthMap)
+	r.metrics.Set("nodes", expvar.Func(func() any { return len(r.nodes) }))
+	r.mux = http.NewServeMux()
+	r.mux.HandleFunc("/v2/search", r.handleSearch)
+	r.mux.HandleFunc("/healthz", r.handleHealthz)
+	r.mux.HandleFunc("/metrics", r.handleMetrics)
+	r.mux.HandleFunc("/debug/vars", r.handleVars)
+	return r, nil
+}
+
+// Nodes lists the cluster members in placement order.
+func (r *Router) Nodes() []string {
+	addrs := make([]string, len(r.nodes))
+	for i, n := range r.nodes {
+		addrs[i] = n.src.Addr()
+	}
+	return addrs
+}
+
+// CheckHealth probes every node once and updates the health flags
+// placement consults. Returns the number of healthy nodes.
+func (r *Router) CheckHealth(ctx context.Context) int {
+	healthy := 0
+	for _, n := range r.nodes {
+		if err := n.src.Health(ctx); err != nil {
+			n.healthy.Set(0)
+		} else {
+			n.healthy.Set(1)
+			healthy++
+		}
+	}
+	return healthy
+}
+
+// availability reports whether a leg error means "this node could not
+// answer" (retry elsewhere) rather than "this query is wrong" (every
+// replica would answer the same — abort so fail-open can never turn a 400
+// into an empty 200).
+func availability(err error) bool {
+	return errors.Is(err, transport.ErrUnavailable) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// manifest fetches the current segment manifest from the first node that
+// answers, preferring healthy ones.
+func (r *Router) manifest(ctx context.Context) (transport.Manifest, error) {
+	var lastErr error
+	for _, preferHealthy := range []bool{true, false} {
+		for _, n := range r.nodes {
+			if preferHealthy != (n.healthy.Value() == 1) {
+				continue
+			}
+			m, err := n.src.Manifest(ctx)
+			if err == nil {
+				return m, nil
+			}
+			lastErr = err
+			if !availability(err) {
+				return transport.Manifest{}, err
+			}
+			n.healthy.Set(0)
+		}
+	}
+	return transport.Manifest{}, fmt.Errorf("no node answered a manifest: %w", lastErr)
+}
+
+// group is one scatter unit: the segment ordinals owned by one primary,
+// plus the replica candidates that may answer them. Candidates depend only
+// on ordinal mod node count, so ordinals sharing a primary share replicas.
+type group struct {
+	sel        transport.Sel
+	candidates []*node // primary first, then failover/hedge order
+}
+
+// plan partitions the wanted segment ordinals into per-primary groups.
+// Ordinal o's candidates are nodes (o+r) mod N for r < Replicas over the
+// sorted node list — a pure function, so every router instance plans
+// identically. Within a group, candidates marked unhealthy sort after
+// healthy ones (order among each class preserved) so the first leg goes
+// somewhere likely to answer.
+func (r *Router) plan(textOrds, videoOrds []int) []group {
+	n := len(r.nodes)
+	byPrimary := make(map[int]*group)
+	add := func(ord int, video bool) {
+		p := ord % n
+		g := byPrimary[p]
+		if g == nil {
+			g = &group{}
+			for rep := 0; rep < r.opts.Replicas; rep++ {
+				g.candidates = append(g.candidates, r.nodes[(p+rep)%n])
+			}
+			sort.SliceStable(g.candidates, func(i, j int) bool {
+				return g.candidates[i].healthy.Value() > g.candidates[j].healthy.Value()
+			})
+			byPrimary[p] = g
+		}
+		if video {
+			g.sel.Video = append(g.sel.Video, ord)
+		} else {
+			g.sel.Text = append(g.sel.Text, ord)
+		}
+	}
+	for _, o := range textOrds {
+		add(o, false)
+	}
+	for _, o := range videoOrds {
+		add(o, true)
+	}
+	groups := make([]group, 0, len(byPrimary))
+	for p := 0; p < n; p++ {
+		if g := byPrimary[p]; g != nil {
+			groups = append(groups, *g)
+		}
+	}
+	return groups
+}
+
+// legResult is one candidate's answer to a group's partial query.
+type legResult struct {
+	p    *transport.Partial
+	err  error
+	node *node
+	leg  int // candidate index that ran the leg
+}
+
+// runGroup executes one group with hedging and failover: the primary leg
+// launches immediately; after HedgeAfter the next candidate is raced
+// against it; a leg failing with an availability error triggers the next
+// candidate at once. First successful answer wins and cancels the rest.
+// Semantic errors (bad query, stale generation) abort immediately — every
+// replica would answer the same.
+func (r *Router) runGroup(ctx context.Context, q transport.Query, g group, expectGen int64) (*transport.Partial, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make(chan legResult, len(g.candidates))
+	launched := 0
+	launch := func(hedge bool) {
+		leg := launched
+		n := g.candidates[leg]
+		launched++
+		r.nodeReqs.Add(n.src.Addr(), 1)
+		if hedge {
+			r.hedges.Add(1)
+			r.nodeHedge.Add(n.src.Addr(), 1)
+		}
+		go func() {
+			p, err := n.src.Partial(ctx, q, g.sel, expectGen)
+			results <- legResult{p: p, err: err, node: n, leg: leg}
+		}()
+	}
+	launch(false)
+
+	var hedgeTimer *time.Timer
+	var hedgeC <-chan time.Time
+	if r.opts.HedgeAfter > 0 && launched < len(g.candidates) {
+		hedgeTimer = time.NewTimer(r.opts.HedgeAfter)
+		defer hedgeTimer.Stop()
+		hedgeC = hedgeTimer.C
+	}
+
+	var lastErr error
+	pending := launched
+	for {
+		select {
+		case <-ctx.Done():
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, fmt.Errorf("%w: %v", transport.ErrUnavailable, ctx.Err())
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(g.candidates) {
+				launch(true)
+				pending++
+			}
+		case res := <-results:
+			if res.err == nil {
+				if res.leg > 0 {
+					r.hedgeWins.Add(1)
+				}
+				return res.p, nil
+			}
+			pending--
+			r.nodeErrs.Add(res.node.src.Addr(), 1)
+			stale := errors.Is(res.err, transport.ErrStale)
+			if !availability(res.err) && !stale {
+				return nil, res.err // semantic: every replica would answer the same
+			}
+			// A stale node (behind the manifest mid-commit) is worth a
+			// replica try — another node may already serve the expected
+			// generation — but it is not down, so its health mark stays.
+			if !stale {
+				res.node.healthy.Set(0)
+			}
+			lastErr = res.err
+			if launched < len(g.candidates) {
+				r.failovers.Add(1)
+				launch(false)
+				pending++
+			} else if pending == 0 {
+				return nil, lastErr
+			}
+		}
+	}
+}
+
+// gathered is one consistent-generation scatter answer.
+type gathered struct {
+	man     transport.Manifest
+	parts   []*transport.Partial
+	missing int // groups lost to fail-open
+}
+
+// scatter plans and executes one consistent read of the wanted segments.
+// ErrStale from any leg aborts the attempt (the caller refetches the
+// manifest and retries); with FailOpen, groups whose every candidate is
+// down are dropped and counted in missing.
+func (r *Router) scatter(ctx context.Context, q transport.Query, man transport.Manifest, textOrds, videoOrds []int) (*gathered, error) {
+	r.scatters.Add(1)
+	ctx, cancel := context.WithTimeout(ctx, r.opts.Timeout)
+	defer cancel()
+	groups := r.plan(textOrds, videoOrds)
+	type out struct {
+		p   *transport.Partial
+		err error
+	}
+	outs := make([]out, len(groups))
+	done := make(chan int, len(groups))
+	for i := range groups {
+		go func(i int) {
+			p, err := r.runGroup(ctx, q, groups[i], man.Generation)
+			outs[i] = out{p, err}
+			done <- i
+		}(i)
+	}
+	g := &gathered{man: man}
+	var firstErr error
+	for range groups {
+		i := <-done
+		if err := outs[i].err; err != nil {
+			switch {
+			case errors.Is(err, transport.ErrStale):
+				// Abort the whole attempt: the segment set moved.
+				return nil, err
+			case availability(err) && r.opts.FailOpen:
+				g.missing++
+			case firstErr == nil:
+				firstErr = err
+			}
+			continue
+		}
+		g.parts = append(g.parts, outs[i].p)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return g, nil
+}
+
+// ordinals returns [0, n).
+func ordinals(n int) []int {
+	ords := make([]int, n)
+	for i := range ords {
+		ords[i] = i
+	}
+	return ords
+}
+
+// Search answers a unified v2 query by scatter-gather over the cluster.
+// Supported forms are Keyword and Scenes (the combined q= form is proxied
+// whole by the HTTP layer — every node holds the full library). The bool
+// reports a fail-open partial answer. Stale-generation aborts re-plan
+// against a fresh manifest, bounded at 4 attempts.
+func (r *Router) Search(ctx context.Context, q dlse.Query, cursor dlse.Cursor, limit int) (*dlse.ResultSet, bool, error) {
+	key, ok := dlse.CanonicalKey(q)
+	if !ok {
+		return nil, false, fmt.Errorf("router: unsupported distributed query form")
+	}
+	r.queries.Add(1)
+	rs, partial, err := r.searchAll(ctx, q, key)
+	if err != nil {
+		r.failures.Add(1)
+		return nil, false, err
+	}
+	if partial {
+		r.partials.Add(1)
+	}
+	page, err := rs.Page(cursor, limit)
+	if err != nil {
+		r.failures.Add(1)
+		return nil, false, err
+	}
+	return page, partial, nil
+}
+
+const maxStaleRetries = 4
+
+// searchAll computes the full (unpaginated) distributed answer.
+func (r *Router) searchAll(ctx context.Context, q dlse.Query, key string) (*dlse.ResultSet, bool, error) {
+	var lastErr error
+	for attempt := 0; attempt < maxStaleRetries; attempt++ {
+		if attempt > 0 {
+			r.staleRe.Add(1)
+			// A short, growing pause lets a cluster-wide swap finish
+			// instead of burning every retry inside the same mid-commit
+			// window (node A installed, node B a few microseconds behind).
+			time.Sleep(time.Duration(attempt) * 2 * time.Millisecond)
+		}
+		man, err := r.manifest(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		var tq transport.Query
+		var textOrds, videoOrds []int
+		switch {
+		case q.Keyword != "":
+			// k=0: full ranking, so cursor pagination slices the same list
+			// a monolithic engine would cache.
+			tq = transport.Query{Keyword: q.Keyword, K: 0}
+			textOrds = ordinals(man.TextSegments)
+		default:
+			if man.Videos == 0 {
+				return nil, false, fmt.Errorf("%w: scene query %q needs an indexed video library",
+					dlse.ErrNoIndex, q.Scenes)
+			}
+			tq = transport.Query{Scenes: q.Scenes}
+			videoOrds = ordinals(len(man.Segments))
+		}
+		g, err := r.scatter(ctx, tq, man, textOrds, videoOrds)
+		if err != nil {
+			if errors.Is(err, transport.ErrStale) {
+				lastErr = err
+				continue
+			}
+			return nil, false, err
+		}
+		items := mergeParts(q, g.parts)
+		// Cursors bind to (key, snapshot); the manifest generation is the
+		// cluster-wide stand-in for a snapshot — stable across nodes,
+		// moved by every commit.
+		rs := dlse.NewResultSet(items, key, g.man.Generation)
+		return rs, g.missing > 0, nil
+	}
+	return nil, false, fmt.Errorf("router: segment set kept moving during query: %w", lastErr)
+}
+
+// mergeParts merges per-group partial answers into the global item list —
+// the gather half of scatter-gather. Keyword answers merge under the
+// engine's total order (score desc, DocID asc); scene answers concatenate
+// groups in segment-ordinal order, restoring the monolithic walk.
+func mergeParts(q dlse.Query, parts []*transport.Partial) []dlse.Item {
+	if q.Keyword != "" {
+		per := make([][]ir.Hit, 0, len(parts))
+		for _, p := range parts {
+			hits := make([]ir.Hit, len(p.Hits))
+			for i, h := range p.Hits {
+				hits[i] = ir.Hit{Doc: h.Doc, Name: h.Page, Score: h.Score}
+			}
+			per = append(per, hits)
+		}
+		merged := ir.MergeHits(per, 0)
+		items := make([]dlse.Item, len(merged))
+		for i, h := range merged {
+			items[i] = dlse.Item{Page: h.Name, Doc: h.Doc, Score: h.Score}
+		}
+		return items
+	}
+	var groups []transport.SceneGroup
+	for _, p := range parts {
+		groups = append(groups, p.Groups...)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Seg < groups[j].Seg })
+	var items []dlse.Item
+	for _, sg := range groups {
+		scenes := sg.Scenes
+		for i := range scenes {
+			items = append(items, dlse.Item{Scene: &scenes[i]})
+		}
+	}
+	return items
+}

@@ -1,0 +1,426 @@
+package router
+
+// Parity contract of the distributed tier: a dlrouter fronting N dlserve
+// nodes must answer /v2/search byte-identically to one monolithic dlserve
+// over the same library — across node counts, replica factors, query
+// forms, cursor pagination, and a live commit landing mid-walk.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dlse"
+	"repro/internal/serve"
+	"repro/internal/transport"
+	"repro/internal/webspace"
+)
+
+// buildEngine assembles the test engine: 3 text segments over the site's
+// pages, 2 video segments (the second a simulated earlier commit).
+func buildEngine(t testing.TB) *dlse.Engine {
+	t.Helper()
+	site, err := webspace.GenerateAusOpen(webspace.SiteConfig{
+		Players: 32, YearStart: 1999, YearEnd: 2001, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg1, err := core.NewMetaIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vid := range site.W.All("Video") {
+		v, _ := site.W.Get(vid)
+		id, err := seg1.AddVideo(core.Video{Name: v.StringAttr("name"), Width: 160, Height: 120, FPS: 25, Frames: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sid, err := seg1.AddSegment(core.Segment{VideoID: id, Interval: core.Interval{Start: 0, End: 200}, Class: "tennis"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := seg1.AddEvent(core.Event{VideoID: id, SegmentID: sid, Kind: "net-play", Interval: core.Interval{Start: 120, End: 180}, Confidence: 0.9}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := seg1.AddEvent(core.Event{VideoID: id, SegmentID: sid, Kind: "rally", Interval: core.Interval{Start: 0, End: 100}, Confidence: 0.8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := seg1.IDState()
+	seg2, err := core.NewMetaIndexAt(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := seg2.AddVideo(core.Video{Name: "earlier-commit", FPS: 25, Frames: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seg2.AddEvent(core.Event{VideoID: id, Kind: "net-play", Interval: core.Interval{Start: 10, End: 60}, Confidence: 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	view, err := core.NewSegmentedIndex(
+		[]*core.MetaIndex{seg1, seg2},
+		[]core.SegmentMeta{{ID: 1}, {ID: 2, Base: base}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := dlse.NewSegmented(site, view, dlse.Options{TextSegments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// cluster is N dlserve nodes over one engine (replicated storage: every
+// node holds the full library) plus a monolithic reference node.
+type cluster struct {
+	engine  *dlse.Engine
+	servers []*serve.Server // node serving layers, for swaps
+	urls    []string
+	mono    string        // monolithic reference node URL
+	monoSrv *serve.Server // its serving layer, swapped alongside the nodes
+}
+
+func newCluster(t *testing.T, nodes int) *cluster {
+	t.Helper()
+	e := buildEngine(t)
+	c := &cluster{engine: e}
+	for i := 0; i < nodes; i++ {
+		s := serve.New(e, serve.Options{})
+		ts := httptest.NewServer(s)
+		t.Cleanup(ts.Close)
+		c.servers = append(c.servers, s)
+		c.urls = append(c.urls, ts.URL)
+	}
+	c.monoSrv = serve.New(e, serve.Options{})
+	mono := httptest.NewServer(c.monoSrv)
+	t.Cleanup(mono.Close)
+	c.mono = mono.URL
+	return c
+}
+
+func (c *cluster) router(t *testing.T, opts Options) string {
+	t.Helper()
+	r, err := New(c.urls, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(r)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// page is the comparable subset of a /v2/search response: cursor tokens,
+// timings, snapshots, and cache flags are process-specific; items, count,
+// and total are the contract.
+type page struct {
+	Items []any
+	Count int
+	Total int
+}
+
+func getSearch(t *testing.T, base, query string) (page, string, int) {
+	t.Helper()
+	resp, err := http.Get(base + "/v2/search?" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", query, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return page{}, "", resp.StatusCode
+	}
+	p := page{Count: int(m["count"].(float64)), Total: int(m["total"].(float64))}
+	if items, ok := m["items"].([]any); ok {
+		p.Items = items
+	}
+	cursor, _ := m["cursor"].(string)
+	return p, cursor, resp.StatusCode
+}
+
+// walk pages through a query until the cursor runs dry, returning the
+// per-page snapshots and the concatenated items.
+func walk(t *testing.T, base, query string, limit int) ([]page, []any) {
+	t.Helper()
+	var pages []page
+	var items []any
+	cursor := ""
+	for i := 0; ; i++ {
+		q := query
+		if limit > 0 {
+			q += "&limit=" + url.QueryEscape(jsonInt(limit))
+		}
+		if cursor != "" {
+			q += "&cursor=" + url.QueryEscape(cursor)
+		}
+		p, next, status := getSearch(t, base, q)
+		if status != http.StatusOK {
+			t.Fatalf("walk %s page %d: status %d", query, i, status)
+		}
+		pages = append(pages, p)
+		items = append(items, p.Items...)
+		if next == "" {
+			return pages, items
+		}
+		cursor = next
+		if i > p.Total+2 {
+			t.Fatalf("walk %s did not terminate", query)
+		}
+	}
+}
+
+func jsonInt(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+// TestClusterParity locks byte-identical answers across 1-, 2-, and
+// 3-node placements with replica factors 1 and 2, for the scattered query
+// forms and the proxied combined form, paginated and unpaginated.
+func TestClusterParity(t *testing.T) {
+	queries := []string{
+		"kw=" + url.QueryEscape("australian open final"),
+		"kw=champion",
+		"kind=net-play",
+		"kind=rally",
+		"q=" + url.QueryEscape(`find Player where exists wonFinals rank "australian open final"`),
+	}
+	for _, nodes := range []int{1, 2, 3} {
+		c := newCluster(t, nodes)
+		for _, replicas := range []int{1, 2} {
+			router := c.router(t, Options{Replicas: replicas})
+			for _, q := range queries {
+				// Unpaginated answers match.
+				mono, _, _ := getSearch(t, c.mono, q)
+				dist, _, _ := getSearch(t, router, q)
+				if !reflect.DeepEqual(mono, dist) {
+					t.Fatalf("nodes=%d replicas=%d %s: full answer diverges\nmono %+v\ndist %+v",
+						nodes, replicas, q, mono, dist)
+				}
+				// Paginated walks match page for page.
+				monoPages, monoItems := walk(t, c.mono, q, 2)
+				distPages, distItems := walk(t, router, q, 2)
+				if !reflect.DeepEqual(monoPages, distPages) {
+					t.Fatalf("nodes=%d replicas=%d %s: paginated walk diverges", nodes, replicas, q)
+				}
+				if !reflect.DeepEqual(monoItems, distItems) {
+					t.Fatalf("nodes=%d replicas=%d %s: walked items diverge", nodes, replicas, q)
+				}
+			}
+		}
+	}
+}
+
+// TestClusterErrorParity locks that the router's error surface matches a
+// node's: same statuses, same machine-readable codes.
+func TestClusterErrorParity(t *testing.T) {
+	c := newCluster(t, 2)
+	router := c.router(t, Options{})
+	cases := []struct {
+		query  string
+		status int
+	}{
+		{"", http.StatusBadRequest},                       // no form (proxied)
+		{"kw=the+of+and", http.StatusBadRequest},          // unrankable (scattered)
+		{"kw=final&cursor=!!!", http.StatusBadRequest},    // bad cursor (router-side)
+		{"kw=final&limit=-2", http.StatusBadRequest},      // strict limit (router-side)
+		{"q=find+Ghost", http.StatusUnprocessableEntity},  // schema error (proxied)
+		{"kind=net-play&kw=final", http.StatusBadRequest}, // ambiguous (proxied)
+	}
+	for _, tc := range cases {
+		for _, base := range []string{c.mono, router} {
+			resp, err := http.Get(base + "/v2/search?" + tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var m map[string]any
+			_ = json.NewDecoder(resp.Body).Decode(&m)
+			resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("%s @ %s: status %d, want %d", tc.query, base, resp.StatusCode, tc.status)
+			}
+			if m["code"] == nil || m["code"] == "" {
+				t.Fatalf("%s @ %s: missing error code: %v", tc.query, base, m)
+			}
+		}
+	}
+}
+
+// commitView extends the cluster's library with one more segment and
+// installs it on every node — the distributed image of a commit (all nodes
+// ingest the same file set).
+func (c *cluster) commitView(t *testing.T) {
+	t.Helper()
+	vi := c.engine.VideoIndex()
+	parts := make([]*core.MetaIndex, vi.NumSegments())
+	metas := vi.Metas()
+	for i := range parts {
+		parts[i] = vi.Part(i)
+	}
+	base := parts[len(parts)-1].IDState()
+	seg, err := core.NewMetaIndexAt(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := seg.AddVideo(core.Video{Name: "live-commit", FPS: 25, Frames: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seg.AddEvent(core.Event{VideoID: id, Kind: "net-play", Interval: core.Interval{Start: 5, End: 45}, Confidence: 0.6}); err != nil {
+		t.Fatal(err)
+	}
+	view, err := core.NewSegmentedIndex(append(parts, seg),
+		append(metas, core.SegmentMeta{ID: metas[len(metas)-1].ID + 1, Base: base}),
+		vi.Generation()+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := c.engine.WithVideo(view)
+	for _, s := range c.servers {
+		s.Swap(next)
+	}
+	c.monoSrv.Swap(next)
+}
+
+// TestClusterLiveCommit walks a paginated scene query through the router
+// while a commit lands on every node mid-walk (run under -race). Commits
+// append, so the pre-commit answer is a prefix of the post-commit answer:
+// every walked item must equal the post-commit answer at its offset, and
+// concurrent full-answer readers must see one generation per response.
+func TestClusterLiveCommit(t *testing.T) {
+	c := newCluster(t, 2)
+	router := c.router(t, Options{Replicas: 2})
+	const q = "kind=net-play"
+
+	_, preItems := walk(t, c.mono, q, 0)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers hammer the router during the commit window.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p, _, status := getSearch(t, router, q)
+				if status != http.StatusOK {
+					t.Errorf("concurrent read: status %d", status)
+					return
+				}
+				if p.Total != len(preItems) && p.Total != len(preItems)+1 {
+					t.Errorf("concurrent read: total %d, want %d or %d",
+						p.Total, len(preItems), len(preItems)+1)
+					return
+				}
+				if p.Total != len(p.Items) {
+					t.Errorf("concurrent read: mixed-generation answer (%d items, total %d)",
+						len(p.Items), p.Total)
+					return
+				}
+			}
+		}()
+	}
+
+	// Walk pages; commit after the second page.
+	var walked []any
+	cursor := ""
+	for i := 0; ; i++ {
+		query := q + "&limit=2"
+		if cursor != "" {
+			query += "&cursor=" + url.QueryEscape(cursor)
+		}
+		p, next, status := getSearch(t, router, query)
+		if status != http.StatusOK {
+			t.Fatalf("walk page %d: status %d", i, status)
+		}
+		walked = append(walked, p.Items...)
+		if i == 1 {
+			c.commitView(t)
+		}
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	close(stop)
+	wg.Wait()
+
+	_, postItems := walk(t, c.mono, q, 0)
+	if len(postItems) != len(preItems)+1 {
+		t.Fatalf("commit did not extend the answer: %d -> %d", len(preItems), len(postItems))
+	}
+	if len(walked) < len(preItems) {
+		t.Fatalf("walk lost items: %d < %d", len(walked), len(preItems))
+	}
+	for i, item := range walked {
+		if !reflect.DeepEqual(item, postItems[i]) {
+			t.Fatalf("walked item %d diverges from the committed answer", i)
+		}
+	}
+}
+
+// TestRouterSearchDirect covers the Go-level Search API: parity with the
+// engine and cursor binding.
+func TestRouterSearchDirect(t *testing.T) {
+	c := newCluster(t, 2)
+	r, err := New(c.urls, Options{Replicas: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	rs, partial, err := r.Search(ctx, dlse.Query{Scenes: "net-play"}, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial {
+		t.Fatal("healthy cluster served a partial answer")
+	}
+	mono, err := c.engine.Search(ctx, dlse.Query{Scenes: "net-play"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Total != mono.Total || len(rs.Items) != len(mono.Items) {
+		t.Fatalf("distributed %d/%d vs mono %d/%d", len(rs.Items), rs.Total, len(mono.Items), mono.Total)
+	}
+	for i := range rs.Items {
+		if !reflect.DeepEqual(*rs.Items[i].Scene, *mono.Items[i].Scene) {
+			t.Fatalf("item %d diverges", i)
+		}
+	}
+
+	// A cursor minted for one query fails on another — the engine's own
+	// binding, reused.
+	first, _, err := r.Search(ctx, dlse.Query{Scenes: "net-play"}, "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cursor == "" {
+		t.Fatal("no cursor on paginated answer")
+	}
+	if _, _, err := r.Search(ctx, dlse.Query{Scenes: "rally"}, first.Cursor, 2); err == nil {
+		t.Fatal("cross-query cursor accepted")
+	}
+
+	// Unsupported distributed form is rejected at the API level.
+	if _, _, err := r.Search(ctx, dlse.Query{Source: "find Player"}, "", 0); err == nil {
+		t.Fatal("combined form accepted by distributed Search")
+	}
+
+	_ = transport.ErrUnavailable // keep import for doc symmetry
+}

@@ -1,0 +1,163 @@
+package serve
+
+// AdminClient is a small typed client for a dlserve node's admin and
+// health surface — /healthz, /v2/manifest, /v2/commit, /v2/reload,
+// /v2/compact. dlrouter uses it for boot checks and the tests and smoke
+// scripts use it instead of hand-rolled curl parsing; every non-2xx
+// answer decodes the shared {error,code,pos} envelope into an AdminError.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/transport"
+)
+
+// AdminError is a node's typed error answer: the HTTP status plus the
+// {error,code} envelope body.
+type AdminError struct {
+	Status int
+	Code   string
+	Msg    string
+}
+
+func (e *AdminError) Error() string {
+	return fmt.Sprintf("node error %d (%s): %s", e.Status, e.Code, e.Msg)
+}
+
+// Typed answers of the admin surface.
+type (
+	// HealthInfo mirrors /healthz.
+	HealthInfo struct {
+		Status     string `json:"status"`
+		Docs       int    `json:"docs"`
+		Videos     int    `json:"videos"`
+		Events     int    `json:"events"`
+		Segments   int    `json:"segments"`
+		Generation int64  `json:"generation"`
+	}
+	// CommitInfo mirrors /v2/commit's answer.
+	CommitInfo struct {
+		Snapshot   int64 `json:"snapshot"`
+		Segments   int   `json:"segments"`
+		Videos     int   `json:"videos"`
+		Generation int64 `json:"generation"`
+	}
+	// ReloadInfo mirrors /v2/reload's answer.
+	ReloadInfo struct {
+		Snapshot int64 `json:"snapshot"`
+		Docs     int   `json:"docs"`
+		Videos   int   `json:"videos"`
+	}
+	// CompactInfo mirrors /v2/compact's answer.
+	CompactInfo struct {
+		Changed    bool  `json:"changed"`
+		Snapshot   int64 `json:"snapshot"`
+		Segments   int   `json:"segments"`
+		Generation int64 `json:"generation"`
+	}
+)
+
+// AdminClient talks to one node's admin surface. The zero HTTP client
+// falls back to http.DefaultClient.
+type AdminClient struct {
+	// Base is the node base URL (scheme://host:port).
+	Base string
+	// HTTP overrides the client used for requests.
+	HTTP *http.Client
+}
+
+func (c *AdminClient) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON answer into out; non-2xx
+// answers decode into *AdminError.
+func (c *AdminClient) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.Base, "/")+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %v", transport.ErrUnavailable, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return fmt.Errorf("%w: reading response: %v", transport.ErrUnavailable, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var envelope struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		if json.Unmarshal(raw, &envelope) == nil && envelope.Code != "" {
+			return &AdminError{Status: resp.StatusCode, Code: envelope.Code, Msg: envelope.Error}
+		}
+		return &AdminError{Status: resp.StatusCode, Code: "internal",
+			Msg: strings.TrimSpace(string(raw))}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("decoding %s answer: %w", path, err)
+	}
+	return nil
+}
+
+// Health fetches the node's /healthz state.
+func (c *AdminClient) Health(ctx context.Context) (HealthInfo, error) {
+	var h HealthInfo
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Manifest fetches the node's segment manifest.
+func (c *AdminClient) Manifest(ctx context.Context) (transport.Manifest, error) {
+	var m transport.Manifest
+	err := c.do(ctx, http.MethodGet, "/v2/manifest", nil, &m)
+	return m, err
+}
+
+// Commit ingests the named SVF files into a new segment on the node.
+func (c *AdminClient) Commit(ctx context.Context, paths []string) (CommitInfo, error) {
+	var ci CommitInfo
+	err := c.do(ctx, http.MethodPost, "/v2/commit", v2CommitRequest{Paths: paths}, &ci)
+	return ci, err
+}
+
+// Reload rebuilds the node's engine through its configured reloader.
+func (c *AdminClient) Reload(ctx context.Context) (ReloadInfo, error) {
+	var ri ReloadInfo
+	err := c.do(ctx, http.MethodPost, "/v2/reload", nil, &ri)
+	return ri, err
+}
+
+// Compact merges the node's segments down toward target videos per
+// segment (target <= 0 merges everything into one segment).
+func (c *AdminClient) Compact(ctx context.Context, target int) (CompactInfo, error) {
+	var ci CompactInfo
+	err := c.do(ctx, http.MethodPost, "/v2/compact", v2CompactRequest{Target: target}, &ci)
+	return ci, err
+}

@@ -1,0 +1,235 @@
+package serve
+
+// Tests of the unified admin surface: strict limit parsing on /v2/search,
+// the /v2/compact endpoint, the shared v2 error envelope across admin
+// endpoints, and the typed AdminClient.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestV2SearchLimitStrict locks /v2/search's limit validation: only plain
+// unsigned decimal digits are accepted; everything else is a 400 parse
+// error, never a silent default.
+func TestV2SearchLimitStrict(t *testing.T) {
+	e, _ := fixture(t)
+	ts := httptest.NewServer(New(e, Options{}))
+	defer ts.Close()
+
+	cases := []struct {
+		limit  string
+		status int
+	}{
+		{"", http.StatusOK},  // absent: unpaginated
+		{"0", http.StatusOK}, // zero: unpaginated
+		{"3", http.StatusOK}, // plain digits
+		{"003", http.StatusOK},
+		{"-2", http.StatusBadRequest},         // negative
+		{"+5", http.StatusBadRequest},         // explicit sign
+		{" 5", http.StatusBadRequest},         // whitespace
+		{"5 ", http.StatusBadRequest},         // trailing whitespace
+		{"2.5", http.StatusBadRequest},        // float
+		{"0x10", http.StatusBadRequest},       // hex
+		{"1e3", http.StatusBadRequest},        // exponent
+		{"abc", http.StatusBadRequest},        // letters
+		{"9999999999", http.StatusBadRequest}, // overflowing
+	}
+	for _, tc := range cases {
+		m := getJSON(t, ts.URL, "/v2/search?kw=final&limit="+strings.ReplaceAll(tc.limit, " ", "%20"), tc.status)
+		if tc.status == http.StatusBadRequest && m["code"] != "parse" {
+			t.Fatalf("limit %q: code = %v, want parse", tc.limit, m["code"])
+		}
+	}
+	// A valid limit actually paginates.
+	m := getJSON(t, ts.URL, "/v2/search?kw=final&limit=3", http.StatusOK)
+	if int(m["count"].(float64)) > 3 {
+		t.Fatalf("limit=3 returned %v items", m["count"])
+	}
+}
+
+// TestV2MethodEnvelope locks that the whole v2 surface answers a wrong
+// method with the typed {error,code} envelope, not the v1 plain shape.
+func TestV2MethodEnvelope(t *testing.T) {
+	e, _ := fixture(t)
+	ts := httptest.NewServer(New(e, Options{}))
+	defer ts.Close()
+
+	check := func(method, path string) {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: status %d", method, path, resp.StatusCode)
+		}
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("%s %s: bad JSON: %v", method, path, err)
+		}
+		if m["code"] != "method" {
+			t.Fatalf("%s %s: code = %v, want method", method, path, m["code"])
+		}
+	}
+	check(http.MethodPost, "/v2/search?kw=final")
+	check(http.MethodPost, "/v2/partial?kw=final&text=0")
+	check(http.MethodPost, "/v2/manifest")
+	check(http.MethodGet, "/v2/reload")
+	check(http.MethodGet, "/v2/commit")
+	check(http.MethodGet, "/v2/compact")
+}
+
+// commitOneVideo returns a compactor-ready committer pair: a committer
+// that appends one extra single-video segment, mirroring
+// DigitalLibrary.Commit, and a compactor that merges all segments.
+func wireAdmin(t *testing.T, srv *Server, idx *core.MetaIndex) {
+	t.Helper()
+	parts := []*core.MetaIndex{idx}
+	metas := []core.SegmentMeta{{ID: 1}}
+	nextID := int64(2)
+	gen := srv.Engine().VideoIndex().Generation()
+	install := func() error {
+		view, err := core.NewSegmentedIndex(parts, metas, gen)
+		if err != nil {
+			return err
+		}
+		srv.Swap(srv.Engine().WithVideo(view))
+		return nil
+	}
+	srv.SetCommitter(func(ctx context.Context, paths []string) error {
+		base := parts[len(parts)-1].IDState()
+		seg, err := core.NewMetaIndexAt(base)
+		if err != nil {
+			return err
+		}
+		vid, err := seg.AddVideo(core.Video{Name: "committed-clip", FPS: 25, Frames: 100})
+		if err != nil {
+			return err
+		}
+		if _, err := seg.AddEvent(core.Event{VideoID: vid, Kind: "net-play",
+			Interval: core.Interval{Start: 0, End: 50}, Confidence: 0.7}); err != nil {
+			return err
+		}
+		parts = append(parts, seg)
+		metas = append(metas, core.SegmentMeta{ID: nextID, Base: base})
+		nextID++
+		gen++
+		return install()
+	})
+	srv.SetCompactor(func(ctx context.Context, target int) (bool, error) {
+		if len(parts) < 2 {
+			return false, nil
+		}
+		merged, meta, err := core.MergeSegmentRange(parts, metas, 0, len(parts))
+		if err != nil {
+			return false, err
+		}
+		parts = []*core.MetaIndex{merged}
+		metas = []core.SegmentMeta{meta}
+		gen++
+		return true, install()
+	})
+}
+
+func TestV2CompactAndAdminClient(t *testing.T) {
+	e, idx := fixture(t)
+	srv := New(e, Options{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	ctx := context.Background()
+	ac := &AdminClient{Base: ts.URL}
+
+	// Unconfigured compactor: 501 decoded as a typed AdminError.
+	_, err := ac.Compact(ctx, 0)
+	var ae *AdminError
+	if !isAdminError(err, &ae) || ae.Status != http.StatusNotImplemented || ae.Code != "no_compactor" {
+		t.Fatalf("unconfigured compact: err = %v", err)
+	}
+
+	wireAdmin(t, srv, idx)
+
+	// Health and manifest through the client.
+	h, err := ac.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Segments != 1 {
+		t.Fatalf("health off: %+v", h)
+	}
+	man, err := ac.Manifest(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Segments) != 1 {
+		t.Fatalf("manifest off: %+v", man)
+	}
+
+	// Commit grows the segment set; the client decodes the typed answer.
+	scenesBefore := countScenes(t, ts.URL)
+	ci, err := ac.Commit(ctx, []string{"a.svf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Segments != 2 || ci.Generation != man.Generation+1 {
+		t.Fatalf("commit info off: %+v", ci)
+	}
+
+	// Compact merges back to one segment; answers are unchanged.
+	co, err := ac.Compact(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !co.Changed || co.Segments != 1 || co.Generation != ci.Generation+1 {
+		t.Fatalf("compact info off: %+v", co)
+	}
+	if got := countScenes(t, ts.URL); got != scenesBefore+1 {
+		t.Fatalf("scenes after compact = %d, want %d", got, scenesBefore+1)
+	}
+
+	// A second compact is a no-op.
+	co2, err := ac.Compact(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co2.Changed {
+		t.Fatal("compacting one segment reported a change")
+	}
+
+	// Commit with no paths: typed 400 through the client.
+	_, err = ac.Commit(ctx, nil)
+	if !isAdminError(err, &ae) || ae.Status != http.StatusBadRequest || ae.Code != "parse" {
+		t.Fatalf("empty commit: err = %v", err)
+	}
+
+	// Metrics counted the work.
+	m := metricsJSON(t, ts.URL)
+	if m["commits"] != 1 || m["compactions"] != 1 {
+		t.Fatalf("admin counters off: %v", m)
+	}
+}
+
+func isAdminError(err error, out **AdminError) bool {
+	if e, ok := err.(*AdminError); ok {
+		*out = e
+		return true
+	}
+	return false
+}
+
+func countScenes(t *testing.T, base string) int {
+	t.Helper()
+	m := getJSON(t, base, "/v2/search?kind=net-play", http.StatusOK)
+	return int(m["total"].(float64))
+}

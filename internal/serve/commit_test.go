@@ -15,16 +15,17 @@ import (
 	"repro/internal/core"
 )
 
-// metricsJSON fetches and decodes /metrics.
+// metricsJSON fetches and decodes the expvar JSON surface at /debug/vars
+// (the Prometheus exposition at /metrics has its own test in prom_test.go).
 func metricsJSON(t *testing.T, base string) map[string]float64 {
 	t.Helper()
-	resp, err := http.Get(base + "/metrics")
+	resp, err := http.Get(base + "/debug/vars")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+		t.Fatalf("GET /debug/vars: %d", resp.StatusCode)
 	}
 	var m map[string]float64
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {

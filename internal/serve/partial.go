@@ -1,0 +1,100 @@
+package serve
+
+// The partial-read HTTP surface backing remote segment access: GET
+// /v2/manifest reports the segment sets this node serves, GET /v2/partial
+// answers one partial query over an explicit segment selection. Both
+// delegate to the shared transport helpers (ManifestOf, PartialOf), which
+// is what makes a transport.Remote answer byte-identical to a
+// transport.Local one over the same snapshot.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/dlse"
+	"repro/internal/transport"
+)
+
+// handleV2Manifest answers GET /v2/manifest with the current snapshot's
+// segment sets — the placement input of the distributed router.
+func (s *Server) handleV2Manifest(w http.ResponseWriter, r *http.Request) {
+	if !onlyGetV2(w, r) {
+		return
+	}
+	writeJSON(w, http.StatusOK, transport.ManifestOf(s.Engine()))
+}
+
+// parseOrds parses a CSV of segment ordinals ("0,2,5"). Strict digits
+// only — anything else is a parse error, never silently dropped.
+func parseOrds(name, s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	ords := make([]int, 0, len(parts))
+	for _, p := range parts {
+		o, err := parseLimitStrict(name, p)
+		if err != nil || p == "" {
+			return nil, &dlse.QueryError{Kind: dlse.ErrParse, Pos: -1,
+				Msg: fmt.Sprintf("bad %s %q: want CSV of segment ordinals", name, s)}
+		}
+		ords = append(ords, o)
+	}
+	return ords, nil
+}
+
+// handleV2Partial answers GET /v2/partial — one partial query over an
+// explicit segment selection:
+//
+//	kw=<terms>&k=<top-k>&text=<ordinal CSV>   — partial keyword search
+//	kind=<event kind>&video=<ordinal CSV>     — partial scenes lookup
+//	gen=<generation>                          — optional conditional read:
+//	                                            409 stale_generation when the
+//	                                            serving segment set moved
+//
+// Exactly one of kw/kind must be set. Scores are computed against union
+// corpus statistics, so partial answers merge into results byte-identical
+// to a monolithic search.
+func (s *Server) handleV2Partial(w http.ResponseWriter, r *http.Request) {
+	if !onlyGetV2(w, r) {
+		return
+	}
+	params := r.URL.Query()
+	q := transport.Query{
+		Keyword: params.Get("kw"),
+		Scenes:  params.Get("kind"),
+	}
+	k, err := parseLimitStrict("k", params.Get("k"))
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	q.K = k
+	var sel transport.Sel
+	if sel.Text, err = parseOrds("text", params.Get("text")); err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	if sel.Video, err = parseOrds("video", params.Get("video")); err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	expectGen := int64(-1)
+	if g := params.Get("gen"); g != "" {
+		expectGen, err = strconv.ParseInt(g, 10, 64)
+		if err != nil || expectGen < 0 {
+			writeV2Error(w, &dlse.QueryError{Kind: dlse.ErrParse, Pos: -1,
+				Msg: fmt.Sprintf("bad gen %q: want a non-negative generation", g)})
+			return
+		}
+	}
+	p, err := transport.PartialOf(s.Engine(), q, sel, expectGen)
+	if err != nil {
+		writeV2Error(w, err)
+		return
+	}
+	s.partials.Add(1)
+	writeJSON(w, http.StatusOK, p)
+}

@@ -1,0 +1,139 @@
+package serve
+
+// Prometheus text exposition (version 0.0.4) over an expvar.Map, without
+// depending on a client library: *expvar.Int entries render as counters
+// under <ns>_<name>_total, numeric gauges (expvar.Float, expvar.Func)
+// render as <ns>_<name>, and nested *expvar.Map entries render as one
+// labeled sample per key — how per-node router counters come out as
+// dl_node_requests_total{node="http://..."}. expvar.Map.Do iterates keys
+// in sorted order, so the exposition is deterministic.
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the text exposition format content type — shared
+// with dlrouter's /metrics.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes an expvar key into a Prometheus metric-name fragment:
+// [a-zA-Z0-9_] kept, everything else mapped to '_'.
+func promName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_',
+			c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the exposition format.
+func promLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
+// promValue extracts a numeric value from an expvar entry. Funcs are
+// evaluated; non-numeric entries report ok=false and are skipped.
+func promValue(v expvar.Var) (float64, bool) {
+	switch x := v.(type) {
+	case *expvar.Int:
+		return float64(x.Value()), true
+	case *expvar.Float:
+		return x.Value(), true
+	case expvar.Func:
+		switch n := x.Value().(type) {
+		case int:
+			return float64(n), true
+		case int64:
+			return float64(n), true
+		case float64:
+			return n, true
+		}
+	}
+	// Fallback: every expvar renders JSON; accept anything that parses
+	// as a plain number.
+	if f, err := strconv.ParseFloat(v.String(), 64); err == nil {
+		return f, true
+	}
+	return 0, false
+}
+
+// writeSample emits one metric line; integral values print without
+// exponents so counters read naturally.
+func writeSample(w io.Writer, name, labels string, val float64) {
+	if val == float64(int64(val)) {
+		fmt.Fprintf(w, "%s%s %d\n", name, labels, int64(val))
+	} else {
+		fmt.Fprintf(w, "%s%s %g\n", name, labels, val)
+	}
+}
+
+// WriteProm renders an expvar.Map in Prometheus text exposition format
+// under a namespace prefix. *expvar.Int entries become counters named
+// <ns>_<key>_total, other numeric entries become gauges <ns>_<key>, and
+// nested *expvar.Map entries become per-key labeled samples
+// <ns>_<key>[_total]{node="<subkey>"}.
+func WriteProm(w io.Writer, ns string, m *expvar.Map) {
+	m.Do(func(kv expvar.KeyValue) {
+		name := promName(ns + "_" + kv.Key)
+		switch sub := kv.Value.(type) {
+		case *expvar.Map:
+			// One labeled sample per entry; counter vs gauge decided per
+			// entry type (router's nested maps hold *expvar.Int counters).
+			type sample struct {
+				label string
+				val   float64
+				ctr   bool
+			}
+			var samples []sample
+			sub.Do(func(skv expvar.KeyValue) {
+				if v, ok := promValue(skv.Value); ok {
+					_, isInt := skv.Value.(*expvar.Int)
+					samples = append(samples, sample{skv.Key, v, isInt})
+				}
+			})
+			// One TYPE header per metric name, then its samples (entries
+			// of one nested map share a type in practice).
+			for _, wantCtr := range []bool{true, false} {
+				n, typ := name, "gauge"
+				if wantCtr {
+					n, typ = name+"_total", "counter"
+				}
+				header := false
+				for _, sm := range samples {
+					if sm.ctr != wantCtr {
+						continue
+					}
+					if !header {
+						fmt.Fprintf(w, "# TYPE %s %s\n", n, typ)
+						header = true
+					}
+					writeSample(w, n, fmt.Sprintf(`{node="%s"}`, promLabel(sm.label)), sm.val)
+				}
+			}
+		default:
+			v, ok := promValue(kv.Value)
+			if !ok {
+				return
+			}
+			typ := "gauge"
+			if _, isInt := kv.Value.(*expvar.Int); isInt {
+				name += "_total"
+				typ = "counter"
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+			writeSample(w, name, "", v)
+		}
+	})
+}

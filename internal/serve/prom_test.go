@@ -1,0 +1,94 @@
+package serve
+
+// Tests of the Prometheus text exposition at /metrics.
+
+import (
+	"expvar"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsPrometheusFormat(t *testing.T) {
+	e, _ := fixture(t)
+	ts := httptest.NewServer(New(e, Options{}))
+	defer ts.Close()
+
+	// Count a query first so dl_queries_total is non-zero.
+	resp, err := http.Get(ts.URL + "/v2/search?kind=net-play")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		"# TYPE dl_queries_total counter",
+		"dl_queries_total 1",
+		"# TYPE dl_commits_total counter",
+		"# TYPE dl_partials_total counter",
+		"# TYPE dl_compactions_total counter",
+		"# TYPE dl_active_segments gauge",
+		"dl_active_segments 1",
+		"# TYPE dl_generation gauge",
+		"# TYPE dl_snapshot gauge",
+		"# TYPE dl_uptime_sec gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+	// No JSON leaked in.
+	if strings.Contains(body, "{\"") {
+		t.Fatalf("exposition contains JSON:\n%s", body)
+	}
+}
+
+// TestWritePromLabeledMap locks the nested-map rendering per-node router
+// counters rely on: one labeled sample per sub-key, counters suffixed
+// _total, label values escaped.
+func TestWritePromLabeledMap(t *testing.T) {
+	m := new(expvar.Map).Init()
+	reqs := new(expvar.Map).Init()
+	reqs.Add("http://node-a:1", 3)
+	reqs.Add("http://node-b:2", 5)
+	m.Set("node_requests", reqs)
+	total := new(expvar.Int)
+	total.Set(8)
+	m.Set("scatters", total)
+
+	var b strings.Builder
+	WriteProm(&b, "dl", m)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE dl_node_requests_total counter",
+		`dl_node_requests_total{node="http://node-a:1"} 3`,
+		`dl_node_requests_total{node="http://node-b:2"} 5`,
+		"dl_scatters_total 8",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Deterministic: expvar.Map iterates sorted, so two renders match.
+	var b2 strings.Builder
+	WriteProm(&b2, "dl", m)
+	if b2.String() != out {
+		t.Fatal("exposition not deterministic")
+	}
+}

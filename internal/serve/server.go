@@ -45,22 +45,32 @@ type Server struct {
 	gen       atomic.Int64 // swap/commit generation, folded into cache versions
 	reloader  atomic.Pointer[func(context.Context) (*dlse.Engine, error)]
 	committer atomic.Pointer[func(context.Context, []string) error]
+	compactor atomic.Pointer[func(context.Context, int) (bool, error)]
 	cache     *Cache // nil when caching is disabled
 	sem       chan struct{}
 	mux       *http.ServeMux
 	start     time.Time
 
-	// Serving counters, exported (with live gauges) on /metrics. The map
+	// Serving counters, exported (with live gauges) on /metrics in
+	// Prometheus text format and on /debug/vars as expvar JSON. The map
 	// is per-server, not globally published, so many servers can coexist
 	// in one process without expvar name collisions.
-	queries *expvar.Int
-	commits *expvar.Int
-	metrics *expvar.Map
+	queries     *expvar.Int
+	commits     *expvar.Int
+	compactions *expvar.Int
+	partials    *expvar.Int
+	metrics     *expvar.Map
 }
 
 // New builds a Server over an engine.
 func New(engine *dlse.Engine, opts Options) *Server {
-	s := &Server{start: time.Now(), queries: new(expvar.Int), commits: new(expvar.Int)}
+	s := &Server{
+		start:       time.Now(),
+		queries:     new(expvar.Int),
+		commits:     new(expvar.Int),
+		compactions: new(expvar.Int),
+		partials:    new(expvar.Int),
+	}
 	s.engine.Store(engine)
 	if opts.CacheSize >= 0 {
 		s.cache = NewCache(opts.CacheSize, opts.CacheShards)
@@ -71,6 +81,8 @@ func New(engine *dlse.Engine, opts Options) *Server {
 	s.metrics = new(expvar.Map).Init()
 	s.metrics.Set("queries", s.queries)
 	s.metrics.Set("commits", s.commits)
+	s.metrics.Set("compactions", s.compactions)
+	s.metrics.Set("partials", s.partials)
 	s.metrics.Set("cache_entries", expvar.Func(func() any { e, _, _ := s.CacheStats(); return e }))
 	s.metrics.Set("cache_hits", expvar.Func(func() any { _, h, _ := s.CacheStats(); return h }))
 	s.metrics.Set("cache_misses", expvar.Func(func() any { _, _, m := s.CacheStats(); return m }))
@@ -86,9 +98,13 @@ func New(engine *dlse.Engine, opts Options) *Server {
 	s.mux.HandleFunc("/scenes", s.handleScenes)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/vars", s.handleVars)
 	s.mux.HandleFunc("/v2/search", s.handleV2Search)
 	s.mux.HandleFunc("/v2/reload", s.handleV2Reload)
 	s.mux.HandleFunc("/v2/commit", s.handleV2Commit)
+	s.mux.HandleFunc("/v2/compact", s.handleV2Compact)
+	s.mux.HandleFunc("/v2/partial", s.handleV2Partial)
+	s.mux.HandleFunc("/v2/manifest", s.handleV2Manifest)
 	return s
 }
 
@@ -123,6 +139,14 @@ func (s *Server) SetReloader(fn func(context.Context) (*dlse.Engine, error)) {
 // reports the snapshot current after it returns.
 func (s *Server) SetCommitter(fn func(ctx context.Context, paths []string) error) {
 	s.committer.Store(&fn)
+}
+
+// SetCompactor installs the callback POST /v2/compact uses to merge index
+// segments down toward a target videos-per-segment size (target <= 0 means
+// one segment). Like the committer, the callback installs the compacted
+// snapshot itself; the bool reports whether the segment set changed.
+func (s *Server) SetCompactor(fn func(ctx context.Context, target int) (bool, error)) {
+	s.compactor.Store(&fn)
 }
 
 // InvalidateCache drops every cached result. Callers that mutate the

@@ -10,12 +10,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"io/fs"
 	"net/http"
-	"strconv"
 	"time"
 
 	"repro/internal/dlse"
 	"repro/internal/ir"
+	"repro/internal/transport"
 )
 
 // JSON shapes of the v2 HTTP API.
@@ -51,6 +53,7 @@ type (
 		Count    int            `json:"count"`
 		Total    int            `json:"total"`
 		Cached   bool           `json:"cached"`
+		Partial  bool           `json:"partial,omitempty"`
 		TookMs   float64        `json:"tookMs"`
 		Snapshot int64          `json:"snapshot"`
 		Cursor   string         `json:"cursor,omitempty"`
@@ -73,6 +76,16 @@ type (
 		Generation int64   `json:"generation"`
 		TookMs     float64 `json:"tookMs"`
 	}
+	v2CompactRequest struct {
+		Target int `json:"target"`
+	}
+	v2CompactResponse struct {
+		Changed    bool    `json:"changed"`
+		Snapshot   int64   `json:"snapshot"`
+		Segments   int     `json:"segments"`
+		Generation int64   `json:"generation"`
+		TookMs     float64 `json:"tookMs"`
+	}
 	v2ErrorResponse struct {
 		Error string `json:"error"`
 		Code  string `json:"code"`
@@ -81,7 +94,9 @@ type (
 )
 
 // v2Status maps the typed error taxonomy onto HTTP statuses and stable
-// machine-readable codes.
+// machine-readable codes. One mapping covers the whole v2 surface — search,
+// partial reads, and the admin endpoints — so every failure renders the same
+// {error,code,pos} envelope with consistent 4xx/5xx classes.
 func v2Status(err error) (int, string) {
 	switch {
 	case errors.Is(err, dlse.ErrParse):
@@ -90,10 +105,18 @@ func v2Status(err error) (int, string) {
 		return http.StatusBadRequest, "bad_cursor"
 	case errors.Is(err, ir.ErrEmptyQry):
 		return http.StatusBadRequest, "empty_query"
+	case errors.Is(err, transport.ErrBadSelection):
+		return http.StatusBadRequest, "bad_segment"
+	case errors.Is(err, transport.ErrStale):
+		return http.StatusConflict, "stale_generation"
 	case errors.Is(err, dlse.ErrUnknownConcept):
 		return http.StatusUnprocessableEntity, "unknown_concept"
 	case errors.Is(err, dlse.ErrNoIndex):
 		return http.StatusNotFound, "no_index"
+	case errors.Is(err, fs.ErrNotExist):
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, transport.ErrUnavailable):
+		return http.StatusServiceUnavailable, "unavailable"
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusServiceUnavailable, "unavailable"
 	default:
@@ -112,6 +135,108 @@ func writeV2Error(w http.ResponseWriter, err error) {
 		resp.Pos = &pos
 	}
 	writeJSON(w, status, resp)
+}
+
+// WriteSearchError renders a failure of the v2 surface in the typed
+// {error,code,pos} envelope with its mapped status — exported so dlrouter
+// emits byte-identical errors to dlserve.
+func WriteSearchError(w http.ResponseWriter, err error) { writeV2Error(w, err) }
+
+// onlyGetV2 enforces GET with the v2 error envelope (the v1 endpoints keep
+// onlyGet's plain {error} shape).
+func onlyGetV2(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, v2ErrorResponse{
+			Error: fmt.Sprintf("method %s not allowed", r.Method), Code: "method",
+		})
+		return false
+	}
+	return true
+}
+
+// OnlyGetV2 is onlyGetV2 for external v2 surfaces (dlrouter).
+func OnlyGetV2(w http.ResponseWriter, r *http.Request) bool { return onlyGetV2(w, r) }
+
+// onlyPostV2 enforces POST with the v2 error envelope — the admin
+// endpoints (/v2/commit, /v2/reload, /v2/compact) share it.
+func onlyPostV2(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, v2ErrorResponse{
+			Error: fmt.Sprintf("method %s not allowed", r.Method), Code: "method",
+		})
+		return false
+	}
+	return true
+}
+
+// adminUnconfigured reports an admin endpoint whose callback is not
+// installed: 501 with a stable code naming the missing hook.
+func adminUnconfigured(w http.ResponseWriter, what string) {
+	writeJSON(w, http.StatusNotImplemented, v2ErrorResponse{
+		Error: "no " + what + " configured", Code: "no_" + what,
+	})
+}
+
+// parseLimitStrict parses a count parameter strictly: only plain unsigned
+// decimal digits are accepted. Signs, spaces, hex, floats, and overflowing
+// values all report a parse error (mapped to 400) instead of being silently
+// defaulted or misread.
+func parseLimitStrict(name, s string) (int, error) {
+	if s == "" {
+		return 0, nil
+	}
+	if len(s) > 9 {
+		return 0, &dlse.QueryError{Kind: dlse.ErrParse, Pos: -1,
+			Msg: fmt.Sprintf("%s %q out of range", name, s)}
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, &dlse.QueryError{Kind: dlse.ErrParse, Pos: -1,
+				Msg: fmt.Sprintf("bad %s %q: not an unsigned decimal", name, s)}
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	return n, nil
+}
+
+// ParseSearchQuery extracts the /v2/search parameters — query form, cursor,
+// limit, explain — shared by dlserve's handler and dlrouter's, so both
+// surfaces accept and reject requests identically. A non-numeric or
+// negative limit is a parse error, never a silent default.
+func ParseSearchQuery(r *http.Request) (q dlse.Query, cursor dlse.Cursor, limit int, explain bool, err error) {
+	params := r.URL.Query()
+	q = dlse.Query{
+		Source:  params.Get("q"),
+		Keyword: params.Get("kw"),
+		Scenes:  params.Get("kind"),
+	}
+	limit, err = parseLimitStrict("limit", params.Get("limit"))
+	if err != nil {
+		return q, "", 0, false, err
+	}
+	explain = params.Get("explain") == "1" || params.Get("explain") == "true"
+	return q, dlse.Cursor(params.Get("cursor")), limit, explain, nil
+}
+
+// WriteSearchResult renders a v2 search answer — exported so dlrouter
+// emits the same JSON shape as dlserve (the cluster smoke test diffs the
+// two). partial marks a fail-open answer missing unreachable segments;
+// dlserve itself always serves complete answers.
+func WriteSearchResult(w http.ResponseWriter, rs *dlse.ResultSet, cached, partial bool, took time.Duration) {
+	writeJSON(w, http.StatusOK, v2SearchResponse{
+		Count:    len(rs.Items),
+		Total:    rs.Total,
+		Cached:   cached,
+		Partial:  partial,
+		TookMs:   float64(took.Microseconds()) / 1000,
+		Snapshot: rs.Snapshot,
+		Cursor:   string(rs.Cursor),
+		Items:    toV2Items(rs.Items),
+		Explain:  toV2Explain(rs.Explain),
+	})
 }
 
 func toV2Items(items []dlse.Item) []v2Item {
@@ -175,45 +300,21 @@ func toV2Explain(ex *dlse.Explain) *v2ExplainJSON {
 // plus optional limit=<page size>, cursor=<opaque token from a previous
 // page>, and explain=1.
 func (s *Server) handleV2Search(w http.ResponseWriter, r *http.Request) {
-	if !onlyGet(w, r) {
+	if !onlyGetV2(w, r) {
 		return
 	}
-	params := r.URL.Query()
-	q := dlse.Query{
-		Source:  params.Get("q"),
-		Keyword: params.Get("kw"),
-		Scenes:  params.Get("kind"),
+	q, cursor, limit, explain, err := ParseSearchQuery(r)
+	if err != nil {
+		writeV2Error(w, err)
+		return
 	}
-	limit := 0
-	if ls := params.Get("limit"); ls != "" {
-		n, err := strconv.Atoi(ls)
-		if err != nil || n < 0 {
-			writeJSON(w, http.StatusBadRequest, v2ErrorResponse{
-				Error: fmt.Sprintf("bad limit %q", ls), Code: "parse",
-			})
-			return
-		}
-		limit = n
-	}
-	explain := params.Get("explain") == "1" || params.Get("explain") == "true"
-	cursor := dlse.Cursor(params.Get("cursor"))
-
 	start := time.Now()
 	rs, cached, err := s.Search(r.Context(), q, cursor, limit, explain)
 	if err != nil {
 		writeV2Error(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, v2SearchResponse{
-		Count:    len(rs.Items),
-		Total:    rs.Total,
-		Cached:   cached,
-		TookMs:   float64(time.Since(start).Microseconds()) / 1000,
-		Snapshot: rs.Snapshot,
-		Cursor:   string(rs.Cursor),
-		Items:    toV2Items(rs.Items),
-		Explain:  toV2Explain(rs.Explain),
-	})
+	WriteSearchResult(w, rs, cached, false, time.Since(start))
 }
 
 // handleV2Reload answers POST /v2/reload: it rebuilds the engine through
@@ -221,18 +322,12 @@ func (s *Server) handleV2Search(w http.ResponseWriter, r *http.Request) {
 // the snapshot they started with; the response carries the new snapshot's
 // identity. Without a reloader the endpoint reports 501.
 func (s *Server) handleV2Reload(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, v2ErrorResponse{
-			Error: fmt.Sprintf("method %s not allowed", r.Method), Code: "method",
-		})
+	if !onlyPostV2(w, r) {
 		return
 	}
 	fn := s.reloader.Load()
 	if fn == nil {
-		writeJSON(w, http.StatusNotImplemented, v2ErrorResponse{
-			Error: "no reloader configured", Code: "no_reloader",
-		})
+		adminUnconfigured(w, "reloader")
 		return
 	}
 	start := time.Now()
@@ -267,18 +362,12 @@ func (s *Server) handleV2Reload(w http.ResponseWriter, r *http.Request) {
 // full reload); the response reports the post-commit serving state.
 // Without a committer the endpoint reports 501.
 func (s *Server) handleV2Commit(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, v2ErrorResponse{
-			Error: fmt.Sprintf("method %s not allowed", r.Method), Code: "method",
-		})
+	if !onlyPostV2(w, r) {
 		return
 	}
 	fn := s.committer.Load()
 	if fn == nil {
-		writeJSON(w, http.StatusNotImplemented, v2ErrorResponse{
-			Error: "no committer configured", Code: "no_committer",
-		})
+		adminUnconfigured(w, "committer")
 		return
 	}
 	var req v2CommitRequest
@@ -311,15 +400,80 @@ func (s *Server) handleV2Commit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics answers GET /metrics with the server's expvar map: query
-// and commit counters plus live gauges (cache hit/miss, active segments,
-// swap/commit generation, current snapshot).
+// handleMetrics answers GET /metrics in Prometheus text exposition format:
+// query/commit/compaction/partial counters plus live gauges (cache
+// hit/miss, active segments, swap/commit generation, current snapshot).
+// The same map in expvar JSON stays available at /debug/vars.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !onlyGet(w, r) {
+		return
+	}
+	w.Header().Set("Content-Type", PromContentType)
+	WriteProm(w, "dl", s.metrics)
+}
+
+// handleVars answers GET /debug/vars with the server's expvar map as JSON
+// — the pre-Prometheus /metrics payload, kept for scripts and debuggers.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	if !onlyGet(w, r) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, s.metrics.String())
+}
+
+// handleV2Compact answers POST /v2/compact with an optional JSON body:
+//
+//	{"target": 64}
+//
+// The configured compactor merges adjacent segments whose combined video
+// count stays within target (absent or <= 0 merges everything into one
+// segment) and installs the compacted snapshot; answers are identical
+// before and after, only the partitioning changes. Without a compactor the
+// endpoint reports 501.
+func (s *Server) handleV2Compact(w http.ResponseWriter, r *http.Request) {
+	if !onlyPostV2(w, r) {
+		return
+	}
+	fn := s.compactor.Load()
+	if fn == nil {
+		adminUnconfigured(w, "compactor")
+		return
+	}
+	var req v2CompactRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, v2ErrorResponse{
+			Error: fmt.Sprintf("bad compact body: %v", err), Code: "parse",
+		})
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, v2ErrorResponse{
+				Error: fmt.Sprintf("bad compact body: %v", err), Code: "parse",
+			})
+			return
+		}
+	}
+	start := time.Now()
+	changed, err := (*fn)(r.Context(), req.Target)
+	if err != nil {
+		writeV2Error(w, fmt.Errorf("compact: %w", err))
+		return
+	}
+	if changed {
+		s.compactions.Add(1)
+	}
+	engine := s.Engine()
+	vi := engine.VideoIndex()
+	writeJSON(w, http.StatusOK, v2CompactResponse{
+		Changed:    changed,
+		Snapshot:   engine.Snapshot(),
+		Segments:   vi.NumSegments(),
+		Generation: vi.Generation(),
+		TookMs:     float64(time.Since(start).Microseconds()) / 1000,
+	})
 }
 
 // RenderItems converts a page of items to the v2 JSON encoding — exported

@@ -1,0 +1,120 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/dlse"
+)
+
+// Local is the in-process SegmentSource: partial reads against whatever
+// engine snapshot the getter returns at call time. Wrapping a getter (not
+// a fixed engine) keeps Local coherent with hot swaps — the serving layer
+// passes its atomic snapshot loader, and every read pins one snapshot for
+// its whole execution, exactly like the local query path.
+type Local struct {
+	engine func() *dlse.Engine
+}
+
+// NewLocal builds a Local source over an engine snapshot getter.
+func NewLocal(engine func() *dlse.Engine) *Local {
+	return &Local{engine: engine}
+}
+
+// Addr identifies the source.
+func (l *Local) Addr() string { return "local" }
+
+// Manifest reports the current snapshot's segment sets.
+func (l *Local) Manifest(ctx context.Context) (Manifest, error) {
+	return ManifestOf(l.engine()), nil
+}
+
+// ManifestOf builds the transport manifest of one engine snapshot —
+// shared by Local and the /v2/manifest HTTP handler so both report
+// identical placement inputs.
+func ManifestOf(e *dlse.Engine) Manifest {
+	vi := e.VideoIndex()
+	m := Manifest{
+		Generation:   vi.Generation(),
+		Snapshot:     e.Snapshot(),
+		TextSegments: e.TextIndex().NumSegments(),
+		Docs:         e.TextIndex().Docs(),
+	}
+	for i, meta := range vi.Metas() {
+		videos := vi.Part(i).Stats().Videos
+		m.Videos += videos
+		m.Segments = append(m.Segments, SegmentInfo{
+			ID: meta.ID, BaseVideo: meta.Base.Video, Videos: videos,
+		})
+	}
+	return m
+}
+
+// Health reports nil: an in-process engine is always serving.
+func (l *Local) Health(ctx context.Context) error { return nil }
+
+// Partial answers one partial query against the current snapshot. See
+// PartialOf.
+func (l *Local) Partial(ctx context.Context, q Query, sel Sel, expectGen int64) (*Partial, error) {
+	return PartialOf(l.engine(), q, sel, expectGen)
+}
+
+// PartialOf executes one partial query against a pinned engine snapshot —
+// shared by Local and the /v2/partial HTTP handler, which is what makes
+// Remote answers byte-identical to Local ones.
+func PartialOf(e *dlse.Engine, q Query, sel Sel, expectGen int64) (*Partial, error) {
+	vi := e.VideoIndex()
+	if expectGen >= 0 && vi.Generation() != expectGen {
+		return nil, fmt.Errorf("%w: have %d, want %d", ErrStale, vi.Generation(), expectGen)
+	}
+	p := &Partial{Generation: vi.Generation(), Snapshot: e.Snapshot()}
+	switch {
+	case q.Keyword != "" && q.Scenes == "":
+		if len(sel.Text) == 0 {
+			return nil, fmt.Errorf("%w: keyword query selects no text segments", ErrBadSelection)
+		}
+		for _, o := range sel.Text {
+			if o < 0 || o >= e.TextIndex().NumSegments() {
+				return nil, fmt.Errorf("%w: no text segment ordinal %d (have %d)",
+					ErrBadSelection, o, e.TextIndex().NumSegments())
+			}
+		}
+		hits, stats, err := e.TextIndex().SearchPartial(q.Keyword, q.K, sel.Text)
+		if err != nil {
+			return nil, err // incl. ir.ErrEmptyQry, raw
+		}
+		p.Stats = stats
+		// nil (not empty) when no page matches, so a Partial is identical
+		// whether it was computed in-process or round-tripped through the
+		// wire format (omitempty drops empty hit lists).
+		if len(hits) > 0 {
+			p.Hits = make([]Hit, len(hits))
+			for i, h := range hits {
+				p.Hits[i] = Hit{Doc: h.Doc, Page: h.Name, Score: h.Score}
+			}
+		}
+	case q.Scenes != "" && q.Keyword == "":
+		if len(sel.Video) == 0 {
+			return nil, fmt.Errorf("%w: scene query selects no video segments", ErrBadSelection)
+		}
+		if vi.Stats().Videos == 0 {
+			return nil, fmt.Errorf("%w: scene query %q needs an indexed video library",
+				dlse.ErrNoIndex, q.Scenes)
+		}
+		p.Groups = make([]SceneGroup, 0, len(sel.Video))
+		for _, o := range sel.Video {
+			if o < 0 || o >= vi.NumSegments() {
+				return nil, fmt.Errorf("%w: no video segment ordinal %d (have %d)",
+					ErrBadSelection, o, vi.NumSegments())
+			}
+			scenes, err := vi.PartScenes(o, q.Scenes)
+			if err != nil {
+				return nil, err
+			}
+			p.Groups = append(p.Groups, SceneGroup{Seg: o, Scenes: scenes})
+		}
+	default:
+		return nil, fmt.Errorf("%w: exactly one of Keyword or Scenes must be set", ErrBadSelection)
+	}
+	return p, nil
+}

@@ -1,0 +1,251 @@
+package transport_test
+
+// Parity contract of the transport tier: a Remote source (over the
+// /v2/partial HTTP surface) must answer byte-identically to a Local
+// source wrapping the same engine, and partial answers over disjoint
+// segment selections must merge back into the full monolithic answer.
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dlse"
+	"repro/internal/ir"
+	"repro/internal/serve"
+	"repro/internal/transport"
+	"repro/internal/webspace"
+)
+
+// fixture builds an engine with 3 text segments and 2 video segments:
+// enough structure for partial reads to select real subsets.
+func fixture(t testing.TB) *dlse.Engine {
+	t.Helper()
+	site, err := webspace.GenerateAusOpen(webspace.SiteConfig{
+		Players: 32, YearStart: 1999, YearEnd: 2001, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg1, err := core.NewMetaIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vid := range site.W.All("Video") {
+		v, _ := site.W.Get(vid)
+		id, err := seg1.AddVideo(core.Video{Name: v.StringAttr("name"), Width: 160, Height: 120, FPS: 25, Frames: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sid, err := seg1.AddSegment(core.Segment{VideoID: id, Interval: core.Interval{Start: 0, End: 200}, Class: "tennis"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := seg1.AddEvent(core.Event{VideoID: id, SegmentID: sid, Kind: "net-play", Interval: core.Interval{Start: 120, End: 180}, Confidence: 0.9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := seg1.IDState()
+	seg2, err := core.NewMetaIndexAt(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := seg2.AddVideo(core.Video{Name: "late-commit", FPS: 25, Frames: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seg2.AddEvent(core.Event{VideoID: id, Kind: "net-play", Interval: core.Interval{Start: 10, End: 60}, Confidence: 0.7}); err != nil {
+		t.Fatal(err)
+	}
+	view, err := core.NewSegmentedIndex(
+		[]*core.MetaIndex{seg1, seg2},
+		[]core.SegmentMeta{{ID: 1}, {ID: 2, Base: base}}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := dlse.NewSegmented(site, view, dlse.Options{TextSegments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// sources builds a Local and a Remote source over the same engine.
+func sources(t *testing.T, e *dlse.Engine) (*transport.Local, *transport.Remote) {
+	t.Helper()
+	local := transport.NewLocal(func() *dlse.Engine { return e })
+	node := httptest.NewServer(serve.New(e, serve.Options{}))
+	t.Cleanup(node.Close)
+	return local, transport.NewRemote(node.URL, nil)
+}
+
+func TestManifestParity(t *testing.T) {
+	e := fixture(t)
+	local, remote := sources(t, e)
+	ctx := context.Background()
+
+	lm, err := local.Manifest(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := remote.Manifest(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lm, rm) {
+		t.Fatalf("manifests diverge:\nlocal  %+v\nremote %+v", lm, rm)
+	}
+	if lm.TextSegments != 3 || len(lm.Segments) != 2 || lm.Generation != 7 {
+		t.Fatalf("manifest shape off: %+v", lm)
+	}
+	if lm.Segments[1].BaseVideo == 0 {
+		t.Fatal("second segment reports zero ID base")
+	}
+}
+
+func TestPartialKeywordParity(t *testing.T) {
+	e := fixture(t)
+	local, remote := sources(t, e)
+	ctx := context.Background()
+
+	selections := [][]int{{0}, {1}, {2}, {0, 2}, {0, 1, 2}}
+	for _, ords := range selections {
+		q := transport.Query{Keyword: "australian open final"}
+		lp, err := local.Partial(ctx, q, transport.Sel{Text: ords}, 7)
+		if err != nil {
+			t.Fatalf("local %v: %v", ords, err)
+		}
+		rp, err := remote.Partial(ctx, q, transport.Sel{Text: ords}, 7)
+		if err != nil {
+			t.Fatalf("remote %v: %v", ords, err)
+		}
+		if !reflect.DeepEqual(lp, rp) {
+			t.Fatalf("ords %v: partial answers diverge:\nlocal  %+v\nremote %+v", ords, lp, rp)
+		}
+		// An individual segment may legitimately hold no matching page;
+		// the full selection must rank something.
+		if len(ords) == 3 && len(lp.Hits) == 0 {
+			t.Fatalf("ords %v: no hits", ords)
+		}
+	}
+}
+
+// TestPartialMergeEqualsMonolithic locks the associativity the router
+// depends on: partial answers over disjoint selections, merged under the
+// global order, equal the engine's own full search.
+func TestPartialMergeEqualsMonolithic(t *testing.T) {
+	e := fixture(t)
+	local, _ := sources(t, e)
+	ctx := context.Background()
+	const kw = "australian open final"
+
+	full, err := e.KeywordSearch(kw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := local.Partial(ctx, transport.Query{Keyword: kw}, transport.Sel{Text: []int{0}}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := local.Partial(ctx, transport.Query{Keyword: kw}, transport.Sel{Text: []int{1, 2}}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toHits := func(p *transport.Partial) []ir.Hit {
+		hits := make([]ir.Hit, len(p.Hits))
+		for i, h := range p.Hits {
+			hits[i] = ir.Hit{Doc: h.Doc, Name: h.Page, Score: h.Score}
+		}
+		return hits
+	}
+	merged := ir.MergeHits([][]ir.Hit{toHits(p1), toHits(p2)}, 0)
+	if !reflect.DeepEqual(merged, full) {
+		t.Fatalf("merged partials diverge from monolithic search:\nmerged %v\nfull   %v", merged, full)
+	}
+}
+
+func TestPartialScenesParity(t *testing.T) {
+	e := fixture(t)
+	local, remote := sources(t, e)
+	ctx := context.Background()
+
+	q := transport.Query{Scenes: "net-play"}
+	lp, err := local.Partial(ctx, q, transport.Sel{Video: []int{0, 1}}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := remote.Partial(ctx, q, transport.Sel{Video: []int{0, 1}}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(lp, rp) {
+		t.Fatalf("scene partials diverge:\nlocal  %+v\nremote %+v", lp, rp)
+	}
+	if len(lp.Groups) != 2 || len(lp.Groups[1].Scenes) != 1 {
+		t.Fatalf("scene groups off: %+v", lp.Groups)
+	}
+
+	// Concatenating per-segment groups in ordinal order equals the
+	// monolithic walk.
+	all, err := e.VideoIndex().Scenes("net-play")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var concat []core.Scene
+	for _, g := range lp.Groups {
+		concat = append(concat, g.Scenes...)
+	}
+	if !reflect.DeepEqual(concat, all) {
+		t.Fatal("concatenated scene groups diverge from monolithic Scenes")
+	}
+}
+
+func TestPartialErrorsParity(t *testing.T) {
+	e := fixture(t)
+	local, remote := sources(t, e)
+	ctx := context.Background()
+
+	for name, src := range map[string]transport.SegmentSource{"local": local, "remote": remote} {
+		// Stale generation.
+		_, err := src.Partial(ctx, transport.Query{Keyword: "final"}, transport.Sel{Text: []int{0}}, 99)
+		if !errors.Is(err, transport.ErrStale) {
+			t.Fatalf("%s stale: err = %v, want ErrStale", name, err)
+		}
+		// Out-of-range ordinal.
+		_, err = src.Partial(ctx, transport.Query{Keyword: "final"}, transport.Sel{Text: []int{9}}, -1)
+		if !errors.Is(err, transport.ErrBadSelection) {
+			t.Fatalf("%s bad ordinal: err = %v, want ErrBadSelection", name, err)
+		}
+		// Empty selection.
+		_, err = src.Partial(ctx, transport.Query{Keyword: "final"}, transport.Sel{}, -1)
+		if !errors.Is(err, transport.ErrBadSelection) {
+			t.Fatalf("%s empty selection: err = %v, want ErrBadSelection", name, err)
+		}
+		// Unrankable query text.
+		_, err = src.Partial(ctx, transport.Query{Keyword: "the of and"}, transport.Sel{Text: []int{0}}, -1)
+		if !errors.Is(err, ir.ErrEmptyQry) {
+			t.Fatalf("%s empty query: err = %v, want ErrEmptyQry", name, err)
+		}
+		// Health.
+		if err := src.Health(ctx); err != nil {
+			t.Fatalf("%s health: %v", name, err)
+		}
+	}
+}
+
+func TestRemoteUnreachable(t *testing.T) {
+	remote := transport.NewRemote("http://127.0.0.1:1", nil)
+	ctx := context.Background()
+	if _, err := remote.Manifest(ctx); !errors.Is(err, transport.ErrUnavailable) {
+		t.Fatalf("manifest err = %v, want ErrUnavailable", err)
+	}
+	if err := remote.Health(ctx); !errors.Is(err, transport.ErrUnavailable) {
+		t.Fatalf("health err = %v, want ErrUnavailable", err)
+	}
+	if _, err := remote.Partial(ctx, transport.Query{Keyword: "x"}, transport.Sel{Text: []int{0}}, -1); !errors.Is(err, transport.ErrUnavailable) {
+		t.Fatalf("partial err = %v, want ErrUnavailable", err)
+	}
+}

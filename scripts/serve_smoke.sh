@@ -73,11 +73,15 @@ curl -fsS --get "http://127.0.0.1:$port/v2/search" \
     --data-urlencode 'kw=final' --data-urlencode 'explain=1' \
     | grep -q '"plan":'
 
-echo "--- /metrics"
+echo "--- /metrics (Prometheus) and /debug/vars (expvar JSON)"
 metrics=$(curl -fsS "http://127.0.0.1:$port/metrics")
 echo "$metrics"
-echo "$metrics" | grep -q '"queries":'
-echo "$metrics" | grep -q '"active_segments": 1'
+echo "$metrics" | grep -q '^# TYPE dl_queries_total counter'
+echo "$metrics" | grep -q '^dl_queries_total '
+echo "$metrics" | grep -q '^dl_active_segments 1'
+vars=$(curl -fsS "http://127.0.0.1:$port/debug/vars")
+echo "$vars" | grep -q '"queries":'
+echo "$vars" | grep -q '"active_segments": 1'
 
 echo "--- /v2/commit (grow the corpus by one broadcast, no reload)"
 go build -o "$tmp/synthgen" ./cmd/synthgen
@@ -88,7 +92,8 @@ echo "$commit"
 echo "$commit" | grep -q '"segments":2'
 curl -fsS --get "http://127.0.0.1:$port/v2/search" \
     --data-urlencode 'kind=rally' | grep -q '"total":'
-curl -fsS "http://127.0.0.1:$port/metrics" | grep -q '"commits": 1'
+curl -fsS "http://127.0.0.1:$port/debug/vars" | grep -q '"commits": 1'
+curl -fsS "http://127.0.0.1:$port/metrics" | grep -q '^dl_commits_total 1'
 # Commit error paths: no paths, malformed body.
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
     "http://127.0.0.1:$port/v2/commit" -d '{"paths":[]}')
