@@ -18,10 +18,13 @@
 package repro
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +36,7 @@ import (
 	"repro/internal/grammar"
 	"repro/internal/ir"
 	"repro/internal/pipeline"
+	"repro/internal/segfile"
 	"repro/internal/serve"
 	"repro/internal/synth"
 	"repro/internal/vidfmt"
@@ -167,6 +171,15 @@ type Library struct {
 	metas   []core.SegmentMeta
 	gen     int64 // segment-set generation: bumped by Commit and Compact
 	nextSeg int64 // next segment ID
+
+	// src backs a library opened from a segfile (LoadLibraryFile or a
+	// sniffed LoadLibrary): segments decode lazily on first touch and, for
+	// file opens, read straight from the memory mapping. It stays set for
+	// Close even after hydration.
+	src *core.SegfileLibrary
+	// hydrated records that parts holds every decoded segment; until then
+	// parts is nil and all reads go through src.
+	hydrated bool
 }
 
 // NewLibrary creates an empty library with the standard tennis FDE.
@@ -188,13 +201,35 @@ func NewLibrary() (*Library, error) {
 }
 
 // head returns the newest segment — the write target of the legacy Index*
-// methods.
+// methods. Callers must materialize first on a segfile-backed library.
 func (l *Library) head() *core.MetaIndex { return l.parts[len(l.parts)-1] }
+
+// materialize hydrates every segment of a segfile-backed library into
+// parts — the write paths need live partitions. Reads never call it: View
+// stays lazy until the first write.
+func (l *Library) materialize() error {
+	if l.src == nil || l.hydrated {
+		return nil
+	}
+	parts, err := l.src.Parts()
+	if err != nil {
+		return err
+	}
+	l.parts = parts
+	l.hydrated = true
+	return nil
+}
 
 // View returns an immutable snapshot of the library's segment set: the
 // read side every query path (and engine build) runs against. Later
 // commits and compactions build new views; existing ones are undisturbed.
+// On a segfile-backed library that has not been written to, the view is
+// lazy: Stats and Version come from the persisted manifest and each
+// segment decodes only when a query first touches it.
 func (l *Library) View() *core.SegmentedIndex {
+	if l.src != nil && !l.hydrated {
+		return l.src.View()
+	}
 	si, err := core.NewSegmentedIndex(l.parts, l.metas, l.gen)
 	if err != nil {
 		// parts and metas are maintained in lockstep; this cannot fail.
@@ -203,11 +238,27 @@ func (l *Library) View() *core.SegmentedIndex {
 	return si
 }
 
+// Close releases the memory mapping behind a library opened with
+// LoadLibraryFile (a no-op otherwise). Views obtained from the library
+// keep working for segments already decoded; close only when no reader
+// can still trigger a first-touch decode. A long-lived server that
+// hot-reloads should simply drop the old library and let the process
+// lifetime own the mapping.
+func (l *Library) Close() error {
+	if l.src == nil {
+		return nil
+	}
+	return l.src.Close()
+}
+
 // IndexFrames runs the full detector pipeline over the frames and stores
 // all extracted meta-data under the given video name.
 func (l *Library) IndexFrames(name string, frames []*Image, fps int) (int64, error) {
 	if len(frames) == 0 {
 		return 0, fmt.Errorf("repro: no frames for video %q", name)
+	}
+	if err := l.materialize(); err != nil {
+		return 0, err
 	}
 	v := core.Video{
 		Name: name, Width: frames[0].W, Height: frames[0].H,
@@ -224,6 +275,9 @@ func (l *Library) IndexFrames(name string, frames []*Image, fps int) (int64, err
 func (l *Library) IndexSVF(name, path string) (int64, error) {
 	frames, meta, err := vidfmt.ReadFile(path)
 	if err != nil {
+		return 0, err
+	}
+	if err := l.materialize(); err != nil {
 		return 0, err
 	}
 	v := core.Video{
@@ -307,6 +361,9 @@ type BatchResult struct {
 // cancellation; otherwise it is nil when every job succeeded, the first
 // failure by default, or all failures joined when ContinueOnError is set.
 func (l *Library) IndexBatch(ctx context.Context, jobs []IngestJob, opts BatchOptions) ([]BatchResult, error) {
+	if err := l.materialize(); err != nil {
+		return nil, err
+	}
 	return l.runBatch(ctx, jobs, opts, l.head())
 }
 
@@ -398,6 +455,9 @@ func (l *Library) runBatch(ctx context.Context, jobs []IngestJob, opts BatchOpti
 // cancellation) match IndexBatch. A commit whose jobs all fail (or that is
 // cancelled before any video lands) appends no segment.
 func (l *Library) Commit(ctx context.Context, jobs []IngestJob, opts BatchOptions) ([]BatchResult, error) {
+	if err := l.materialize(); err != nil {
+		return nil, err
+	}
 	base := l.head().IDState()
 	seg, err := core.NewMetaIndexAt(base)
 	if err != nil {
@@ -419,8 +479,13 @@ func (l *Library) Commit(ctx context.Context, jobs []IngestJob, opts BatchOption
 // merged segments' serialized bytes — are identical before and after; only
 // the partitioning changes. It reports whether anything was merged.
 func (l *Library) Compact(target int) (bool, error) {
-	if len(l.parts) < 2 {
+	// A single-segment set can't compact: answer from the manifest before
+	// hydrating anything.
+	if len(l.metas) < 2 {
 		return false, nil
+	}
+	if err := l.materialize(); err != nil {
+		return false, err
 	}
 	var nparts []*core.MetaIndex
 	var nmetas []core.SegmentMeta
@@ -471,25 +536,60 @@ func (l *Library) Segments(videoID int64) ([]Segment, error) {
 
 // Index exposes the newest meta-index segment — the write target of the
 // Index* methods — for advanced direct use. Whole-library reads should go
-// through View, which spans every segment.
-func (l *Library) Index() *MetaIndex { return l.head() }
-
-// SaveIndex persists the segmented meta-index: the segment manifest
-// followed by each segment, all in the column store's stream format.
-// Single-segment saves of the same videos are byte-identical however the
-// segment was populated (sequentially or batched).
-func (l *Library) SaveIndex(w io.Writer) error {
-	return core.SaveSegmented(w, l.parts, l.metas, l.gen)
+// through View, which spans every segment. On a segfile-backed library
+// this hydrates every segment and panics if the file is corrupt; the
+// query paths, which stay lazy and report errors instead, are View and
+// the Library query methods.
+func (l *Library) Index() *MetaIndex {
+	if err := l.materialize(); err != nil {
+		panic(fmt.Sprintf("repro: hydrating library: %v", err))
+	}
+	return l.head()
 }
 
-// LoadLibrary restores a library around a previously saved meta-index —
-// either the segmented format written by SaveIndex or a legacy stream
-// holding one bare meta-index database (loaded as a single segment).
-func LoadLibrary(r io.Reader) (*Library, error) {
-	parts, metas, gen, err := core.LoadSegmented(r)
-	if err != nil {
-		return nil, err
+// IndexFormat selects the on-disk representation written by SaveIndexAs.
+type IndexFormat int
+
+const (
+	// FormatSegfile is the default: the block-aligned, checksummed
+	// container that memory-maps with O(segments) cold start
+	// (LoadLibraryFile) and decodes segments lazily.
+	FormatSegfile IndexFormat = iota
+	// FormatLegacy is the pre-segfile column-store stream: smaller
+	// tooling surface, but loading decodes every segment up front.
+	FormatLegacy
+)
+
+// SaveIndex persists the segmented meta-index in the default segfile
+// format — see SaveIndexAs. Single-segment saves of the same videos are
+// byte-identical however the segment was populated (sequentially or
+// batched).
+func (l *Library) SaveIndex(w io.Writer) error {
+	return l.SaveIndexAs(w, FormatSegfile)
+}
+
+// SaveIndexAs persists the segmented meta-index in the chosen format.
+// Both formats hold the identical column-store bytes per segment and both
+// load via LoadLibrary (which sniffs the magic), so query answers are
+// byte-identical whichever format carried them; only cold-start cost and
+// mmap support differ.
+func (l *Library) SaveIndexAs(w io.Writer, format IndexFormat) error {
+	if err := l.materialize(); err != nil {
+		return err
 	}
+	switch format {
+	case FormatSegfile:
+		return core.WriteSegfile(w, l.parts, l.metas, l.gen)
+	case FormatLegacy:
+		return core.SaveSegmented(w, l.parts, l.metas, l.gen)
+	default:
+		return fmt.Errorf("repro: unknown index format %d", format)
+	}
+}
+
+// newLoadedLibrary finishes a load: attach a fresh FDE and derive the next
+// segment ID from the manifest.
+func newLoadedLibrary(parts []*core.MetaIndex, metas []core.SegmentMeta, gen int64, src *core.SegfileLibrary) (*Library, error) {
 	engine, err := fde.NewTennisEngine(fde.DefaultTennisConfig())
 	if err != nil {
 		return nil, err
@@ -500,7 +600,62 @@ func LoadLibrary(r io.Reader) (*Library, error) {
 			nextSeg = m.ID + 1
 		}
 	}
-	return &Library{engine: engine, parts: parts, metas: metas, gen: gen, nextSeg: nextSeg}, nil
+	return &Library{engine: engine, parts: parts, metas: metas, gen: gen, nextSeg: nextSeg, src: src}, nil
+}
+
+// LoadLibrary restores a library from any persisted index format, sniffed
+// from the stream's magic bytes: the segfile container written by
+// SaveIndex, the legacy segmented stream, or a legacy stream holding one
+// bare meta-index database (loaded as a single segment). A segfile stream
+// is held in memory with segments decoded lazily; to memory-map instead,
+// use LoadLibraryFile.
+func LoadLibrary(r io.Reader) (*Library, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(len(segfile.Magic))
+	if err == nil && bytes.Equal(magic, []byte(segfile.Magic)) {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, err
+		}
+		src, err := core.OpenSegfileBytes(data)
+		if err != nil {
+			return nil, err
+		}
+		return newLoadedLibrary(nil, src.Metas(), src.Generation(), src)
+	}
+	parts, metas, gen, err := core.LoadSegmented(br)
+	if err != nil {
+		return nil, err
+	}
+	return newLoadedLibrary(parts, metas, gen, nil)
+}
+
+// LoadLibraryFile restores a library from a file, memory-mapping segfile
+// libraries: the open is O(segments) — one mmap plus a manifest parse —
+// and a segment's bytes are decoded (and its pages faulted in) only when
+// a query first touches it, so a larger-than-RAM corpus serves fine.
+// Legacy-format files fall back to the streaming loader. The caller owns
+// Close for the mapping's lifetime.
+func LoadLibraryFile(path string) (*Library, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	magic := make([]byte, len(segfile.Magic))
+	if _, err := io.ReadFull(f, magic); err == nil && bytes.Equal(magic, []byte(segfile.Magic)) {
+		f.Close()
+		src, err := core.OpenSegfileFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return newLoadedLibrary(nil, src.Metas(), src.Generation(), src)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	defer f.Close()
+	return LoadLibrary(f)
 }
 
 // GrammarDOT returns the tennis feature grammar's detector dependency
@@ -549,6 +704,12 @@ type LibraryOptions struct {
 	// statistics); < 1 selects 1. Multi-segment text is what gives a
 	// distributed router (cmd/dlrouter) keyword placement to spread.
 	TextSegments int
+	// TextSegfile, when set, caches the frozen text index in a
+	// memory-mappable segfile at this path: a matching cache skips
+	// re-tokenizing the site on startup and scores straight off the
+	// mapped, zero-copy impact arrays; a missing or stale cache is rebuilt
+	// and replaced atomically. Answers are byte-identical either way.
+	TextSegfile string
 }
 
 // NewDigitalLibrary combines a generated site with an indexed video
@@ -565,7 +726,7 @@ func NewDigitalLibraryWith(site *Site, lib *Library, opts LibraryOptions) (*Digi
 	if lib != nil {
 		view = lib.View()
 	}
-	e, err := dlse.NewSegmented(site, view, dlse.Options{TextSegments: opts.TextSegments})
+	e, err := dlse.NewSegmented(site, view, dlse.Options{TextSegments: opts.TextSegments, TextSegfile: opts.TextSegfile})
 	if err != nil {
 		return nil, err
 	}
@@ -599,7 +760,7 @@ func (dl *DigitalLibrary) Swap(lib *Library) error {
 	if lib != nil {
 		view = lib.View()
 	}
-	e, err := dlse.NewSegmented(dl.site, view, dlse.Options{TextSegments: dl.opts.TextSegments})
+	e, err := dlse.NewSegmented(dl.site, view, dlse.Options{TextSegments: dl.opts.TextSegments, TextSegfile: dl.opts.TextSegfile})
 	if err != nil {
 		return err
 	}

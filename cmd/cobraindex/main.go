@@ -32,13 +32,17 @@ func main() {
 	log.SetPrefix("cobraindex: ")
 	var (
 		out     = flag.String("out", "meta.db", "output meta-index file")
+		format  = flag.String("format", "segfile", "output format: segfile (memory-mappable, lazy-loading) or legacy (bare column-store stream)")
 		segdet  = flag.String("segdet", "", "path to an external segment detector binary (black-box mode)")
 		workers = flag.Int("workers", 0, "concurrent videos (0 = GOMAXPROCS)")
 		quiet   = flag.Bool("q", false, "suppress per-video progress")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		log.Fatal("usage: cobraindex [-out meta.db] [-workers N] [-segdet BIN] video.svf|dir...")
+		log.Fatal("usage: cobraindex [-out meta.db] [-format segfile|legacy] [-workers N] [-segdet BIN] video.svf|dir...")
+	}
+	if *format != "segfile" && *format != "legacy" {
+		log.Fatalf("unknown -format %q (want segfile or legacy)", *format)
 	}
 	paths, err := expandArgs(flag.Args())
 	if err != nil {
@@ -132,13 +136,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := idx.Serialize(f); err != nil {
+	// Either format carries the identical column-store bytes and loads via
+	// the sniffing loaders (dlserve/dlsearch/LoadLibrary); segfile adds the
+	// checksummed container that memory-maps with O(segments) cold start.
+	switch *format {
+	case "segfile":
+		err = core.WriteSegfile(f, []*core.MetaIndex{idx}, []core.SegmentMeta{{ID: 1}}, 0)
+	case "legacy":
+		err = idx.Serialize(f)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s (%s)\n", *out, *format)
 }
 
 // expandArgs resolves the positional arguments: directories expand to the

@@ -71,16 +71,10 @@ func main() {
 	}
 	var view *core.SegmentedIndex
 	if *metaPath != "" {
-		f, err := os.Open(*metaPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		parts, metas, gen, err := core.LoadSegmented(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		view, err = core.NewSegmentedIndex(parts, metas, gen)
+		// Sniffs the file format: segfile libraries memory-map with lazy
+		// segment decode, legacy streams load eagerly. The mapping lives
+		// for the life of the process, so the closer is ignored.
+		view, _, err = core.OpenSegmentedFile(*metaPath)
 		if err != nil {
 			log.Fatal(err)
 		}

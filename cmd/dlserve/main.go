@@ -72,6 +72,8 @@ func main() {
 			"background-compact adjacent segments up to this many videos after each commit (0 disables)")
 		textSegs = flag.Int("text-segments", 0,
 			"partition the full-text index into this many segments (router keyword placement; 0 = 1 segment)")
+		textSegfile = flag.String("text-segfile", "",
+			"cache the frozen full-text index in a memory-mappable segfile at this path (skips re-tokenizing the site when the cache matches)")
 		players = flag.Int("players", 64, "site size: number of players")
 		seed    = flag.Int64("seed", 16, "site generation seed")
 		years   = flag.Int("years", 10, "site size: number of tournament editions")
@@ -91,18 +93,21 @@ func main() {
 		if *metaPath == "" {
 			return repro.NewLibrary()
 		}
-		f, err := os.Open(*metaPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return repro.LoadLibrary(f)
+		// LoadLibraryFile memory-maps segfile libraries: startup cost is
+		// O(segments) and a segment's pages fault in only when a query
+		// first touches it. Superseded libraries (reload, SIGHUP) are
+		// deliberately never Closed — in-flight queries on old snapshots
+		// may still trigger a first-touch decode, so the mappings live for
+		// the life of the process.
+		return repro.LoadLibraryFile(*metaPath)
 	}
 	lib, err := loadLib()
 	if err != nil {
 		log.Fatal(err)
 	}
-	dl, err := repro.NewDigitalLibraryWith(site, lib, repro.LibraryOptions{TextSegments: *textSegs})
+	dl, err := repro.NewDigitalLibraryWith(site, lib, repro.LibraryOptions{
+		TextSegments: *textSegs, TextSegfile: *textSegfile,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

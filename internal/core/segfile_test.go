@@ -1,0 +1,237 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func coreSegfileBytes(t *testing.T, parts []*MetaIndex, metas []SegmentMeta, gen int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSegfile(&buf, parts, metas, gen); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// compareSegViews drives every SegmentedIndex read through both views and
+// requires identical answers — the byte-identical invariant at the core
+// layer.
+func compareSegViews(t *testing.T, want, got *SegmentedIndex) {
+	t.Helper()
+	if want.Stats() != got.Stats() {
+		t.Fatalf("stats %+v vs %+v", want.Stats(), got.Stats())
+	}
+	if !reflect.DeepEqual(want.Metas(), got.Metas()) {
+		t.Fatalf("metas %+v vs %+v", want.Metas(), got.Metas())
+	}
+	wv, err1 := want.Videos()
+	gv, err2 := got.Videos()
+	if err1 != nil || err2 != nil || !reflect.DeepEqual(wv, gv) {
+		t.Fatalf("videos diverge: %v/%v vs %v/%v", wv, err1, gv, err2)
+	}
+	for _, v := range wv {
+		wb, _ := want.VideoByID(v.ID)
+		gb, _ := got.VideoByID(v.ID)
+		if wb != gb {
+			t.Fatalf("video %d: %+v vs %+v", v.ID, wb, gb)
+		}
+		ws, _ := want.SegmentsOf(v.ID)
+		gs, _ := got.SegmentsOf(v.ID)
+		if !reflect.DeepEqual(ws, gs) {
+			t.Fatalf("segments of %d diverge", v.ID)
+		}
+		we, _ := want.EventsOf(v.ID)
+		ge, _ := got.EventsOf(v.ID)
+		if !reflect.DeepEqual(we, ge) {
+			t.Fatalf("events of %d diverge", v.ID)
+		}
+	}
+	for _, kind := range []string{"net-play", "rally", "service", "absent"} {
+		wk, _ := want.EventsByKind(kind)
+		gk, _ := got.EventsByKind(kind)
+		if !reflect.DeepEqual(wk, gk) {
+			t.Fatalf("events kind %q diverge", kind)
+		}
+		wsc, _ := want.Scenes(kind)
+		gsc, _ := got.Scenes(kind)
+		if !reflect.DeepEqual(wsc, gsc) {
+			t.Fatalf("scenes kind %q diverge", kind)
+		}
+	}
+	wp, _ := want.EventsRelated("net-play", "rally")
+	gp, _ := got.EventsRelated("net-play", "rally")
+	if !reflect.DeepEqual(wp, gp) {
+		t.Fatal("related pairs diverge")
+	}
+	wf, _ := want.EventsFollowing("service", "rally", 50)
+	gf, _ := got.EventsFollowing("service", "rally", 50)
+	if !reflect.DeepEqual(wf, gf) {
+		t.Fatal("following pairs diverge")
+	}
+}
+
+func TestSegfileLibraryParity(t *testing.T) {
+	for _, sizes := range [][]int{{7}, {4, 3}, {2, 2, 2, 1}} {
+		t.Run(fmt.Sprintf("sizes=%v", sizes), func(t *testing.T) {
+			si, parts, metas := buildSegMeta(t, sizes)
+			data := coreSegfileBytes(t, parts, metas, 5)
+			lib, err := OpenSegfileBytes(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lazy := lib.View()
+			// Manifest-only reads must not hydrate.
+			_ = lazy.Stats()
+			_ = lazy.Version()
+			_ = lazy.Metas()
+			for i := range sizes {
+				if _, err := lazy.PartStats(i); err != nil {
+					t.Fatal(err)
+				}
+				if lib.Hydrated(i) {
+					t.Fatalf("segment %d hydrated by manifest-only reads", i)
+				}
+			}
+			if lazy.Generation() != 5 {
+				t.Fatalf("generation = %d", lazy.Generation())
+			}
+			// Version parity against an eager load of the same bytes: loaded
+			// partitions start at version 0, so the lazy view's version —
+			// before and after hydration — must equal the eager view's.
+			elib, err := OpenSegfileBytes(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eparts, err := elib.Parts()
+			if err != nil {
+				t.Fatal(err)
+			}
+			eager, err := NewSegmentedIndex(eparts, elib.Metas(), elib.Generation())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lazy.Version() != eager.Version() {
+				t.Fatalf("cold version %d vs eager %d", lazy.Version(), eager.Version())
+			}
+			compareSegViews(t, si, lazy)
+			if lazy.Version() != eager.Version() {
+				t.Fatalf("hydrated version %d vs eager %d", lazy.Version(), eager.Version())
+			}
+			// Full hydration reproduces each partition's bytes exactly.
+			hyd, err := lib.Parts()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(serializeAll(t, parts...), serializeAll(t, hyd...)) {
+				t.Fatal("hydrated partitions serialize differently")
+			}
+		})
+	}
+}
+
+func TestSegfileLibraryLazyHydration(t *testing.T) {
+	_, parts, metas := buildSegMeta(t, []int{2, 2, 2})
+	lib, err := OpenSegfileBytes(coreSegfileBytes(t, parts, metas, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := lib.View()
+	// A scenes read over one ordinal hydrates exactly that segment.
+	if _, err := lazy.PartScenes(1, "rally"); err != nil {
+		t.Fatal(err)
+	}
+	if lib.Hydrated(0) || !lib.Hydrated(1) || lib.Hydrated(2) {
+		t.Fatalf("hydration state = %v %v %v", lib.Hydrated(0), lib.Hydrated(1), lib.Hydrated(2))
+	}
+	// An ID-routed read hydrates only the owning partition.
+	vids, err := parts[2].Videos()
+	if err != nil || len(vids) == 0 {
+		t.Fatalf("seed videos: %v", err)
+	}
+	if _, err := lazy.VideoByID(vids[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if lib.Hydrated(0) {
+		t.Fatal("ID-routed read hydrated segment 0")
+	}
+	if !lib.Hydrated(2) {
+		t.Fatal("ID-routed read missed segment 2")
+	}
+}
+
+func TestSegfileLibraryFile(t *testing.T) {
+	si, parts, metas := buildSegMeta(t, []int{3, 2})
+	path := filepath.Join(t.TempDir(), "lib.segf")
+	var buf bytes.Buffer
+	if err := WriteSegfile(&buf, parts, metas, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lib, err := OpenSegfileFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareSegViews(t, si, lib.View())
+	if err := lib.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Close(); err != nil {
+		t.Fatal("second close:", err)
+	}
+}
+
+func TestSegfileWriteDeterministicCore(t *testing.T) {
+	_, parts, metas := buildSegMeta(t, []int{2, 3})
+	a := coreSegfileBytes(t, parts, metas, 9)
+	b := coreSegfileBytes(t, parts, metas, 9)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two writes produced different bytes")
+	}
+}
+
+func TestSegfileLibraryHostile(t *testing.T) {
+	_, parts, metas := buildSegMeta(t, []int{2, 2})
+	data := coreSegfileBytes(t, parts, metas, 1)
+	for _, n := range []int{0, 16, 100, len(data) / 2, len(data) - 1} {
+		if _, err := OpenSegfileBytes(data[:n]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Corrupting a segment block passes open (manifest intact) but fails
+	// at hydration with an error, not a panic.
+	lib, err := OpenSegfileBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk, ok := lib.r.Block("core/seg/1")
+	if !ok || len(blk) == 0 {
+		t.Fatal("no segment block")
+	}
+	blk[len(blk)/2] ^= 0xFF
+	if _, err := lib.View().PartScenes(1, "rally"); err == nil {
+		t.Fatal("corrupt segment block hydrated without error")
+	}
+	// Segment 0 is untouched and still loads.
+	if _, err := lib.View().PartScenes(0, "rally"); err != nil {
+		t.Fatal(err)
+	}
+	// Byte flips anywhere must never panic.
+	for i := 0; i < len(data); i += 11 {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xA5
+		l2, err := OpenSegfileBytes(mut)
+		if err != nil {
+			continue
+		}
+		for ord := 0; ord < l2.NumSegments(); ord++ {
+			_, _ = l2.Part(ord)
+		}
+	}
+}

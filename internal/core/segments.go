@@ -42,6 +42,10 @@ type SegmentedIndex struct {
 	parts []*MetaIndex
 	metas []SegmentMeta
 	gen   int64
+	// src, when non-nil, backs a lazy view: partitions decode on first
+	// touch from an open SegfileLibrary and parts stays nil. Manifest-only
+	// reads (Stats, Version, Metas, NumSegments) never trigger a decode.
+	src *SegfileLibrary
 }
 
 // NewSegmentedIndex builds a reader over the given parts. parts and metas
@@ -67,10 +71,30 @@ func SingleSegment(m *MetaIndex) *SegmentedIndex {
 }
 
 // NumSegments returns the partition count.
-func (s *SegmentedIndex) NumSegments() int { return len(s.parts) }
+func (s *SegmentedIndex) NumSegments() int { return len(s.metas) }
 
-// Part returns partition i.
-func (s *SegmentedIndex) Part(i int) *MetaIndex { return s.parts[i] }
+// partAt returns partition i, decoding it first on a lazy view.
+func (s *SegmentedIndex) partAt(i int) (*MetaIndex, error) {
+	if i < 0 || i >= len(s.metas) {
+		return nil, fmt.Errorf("core: no segment ordinal %d (have %d)", i, len(s.metas))
+	}
+	if s.src != nil {
+		return s.src.Part(i)
+	}
+	return s.parts[i], nil
+}
+
+// Part returns partition i. On a lazy view this hydrates the segment and
+// panics if its block fails verification or decode — callers that must
+// handle corrupt storage gracefully use PartScenes/PartStats or the
+// SegfileLibrary directly.
+func (s *SegmentedIndex) Part(i int) *MetaIndex {
+	p, err := s.partAt(i)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
 
 // Meta returns partition i's manifest entry.
 func (s *SegmentedIndex) Meta(i int) SegmentMeta { return s.metas[i] }
@@ -87,10 +111,23 @@ func (s *SegmentedIndex) Metas() []SegmentMeta {
 // itself is built), so a gather over nodes serving disjoint ordinal sets
 // is byte-identical to the local read.
 func (s *SegmentedIndex) PartScenes(ord int, kind string) ([]Scene, error) {
-	if ord < 0 || ord >= len(s.parts) {
-		return nil, fmt.Errorf("core: no segment ordinal %d (have %d)", ord, len(s.parts))
+	p, err := s.partAt(ord)
+	if err != nil {
+		return nil, err
 	}
-	return s.parts[ord].Scenes(kind)
+	return p.Scenes(kind)
+}
+
+// PartStats returns partition ord's row counts. On a lazy view this reads
+// the persisted manifest and never decodes the segment.
+func (s *SegmentedIndex) PartStats(ord int) (Stats, error) {
+	if ord < 0 || ord >= len(s.metas) {
+		return Stats{}, fmt.Errorf("core: no segment ordinal %d (have %d)", ord, len(s.metas))
+	}
+	if s.src != nil {
+		return s.src.PartStats(ord), nil
+	}
+	return s.parts[ord].Stats(), nil
 }
 
 // Generation returns the segment-set generation: it increases every time
@@ -101,6 +138,11 @@ func (s *SegmentedIndex) Generation() int64 { return s.gen }
 // or the segment set itself changes — the staleness signal for caches
 // layered above the index, like MetaIndex.Version.
 func (s *SegmentedIndex) Version() int64 {
+	if s.src != nil {
+		// Hydration itself never moves this: an undecoded segment counts 0,
+		// which is exactly the version a freshly decoded segment reports.
+		return s.gen + s.src.versionSum()
+	}
 	v := s.gen
 	for _, p := range s.parts {
 		v += p.Version()
@@ -108,8 +150,12 @@ func (s *SegmentedIndex) Version() int64 {
 	return v
 }
 
-// Stats sums row counts across partitions.
+// Stats sums row counts across partitions. On a lazy view the counts come
+// from the persisted manifest — no segment is decoded.
 func (s *SegmentedIndex) Stats() Stats {
+	if s.src != nil {
+		return s.src.Stats()
+	}
 	var out Stats
 	for _, p := range s.parts {
 		st := p.Stats()
@@ -125,19 +171,23 @@ func (s *SegmentedIndex) Stats() Stats {
 
 // partFor returns the partition owning the given ID of the named counter
 // (the last partition whose base is below id).
-func (s *SegmentedIndex) partFor(id int64, base func(SegmentMeta) int64) *MetaIndex {
+func (s *SegmentedIndex) partFor(id int64, base func(SegmentMeta) int64) (*MetaIndex, error) {
 	for i := len(s.metas) - 1; i > 0; i-- {
 		if base(s.metas[i]) < id {
-			return s.parts[i]
+			return s.partAt(i)
 		}
 	}
-	return s.parts[0]
+	return s.partAt(0)
 }
 
 // Videos returns all registered videos in ID order.
 func (s *SegmentedIndex) Videos() ([]Video, error) {
 	var out []Video
-	for _, p := range s.parts {
+	for i := 0; i < len(s.metas); i++ {
+		p, err := s.partAt(i)
+		if err != nil {
+			return nil, err
+		}
 		vs, err := p.Videos()
 		if err != nil {
 			return nil, err
@@ -149,14 +199,22 @@ func (s *SegmentedIndex) Videos() ([]Video, error) {
 
 // VideoByID returns the video with the given ID.
 func (s *SegmentedIndex) VideoByID(id int64) (Video, error) {
-	return s.partFor(id, func(m SegmentMeta) int64 { return m.Base.Video }).VideoByID(id)
+	p, err := s.partFor(id, func(m SegmentMeta) int64 { return m.Base.Video })
+	if err != nil {
+		return Video{}, err
+	}
+	return p.VideoByID(id)
 }
 
 // VideoByName returns the video with the given name (first match in
 // segment order, like the monolithic index's row order). Real storage
 // errors propagate; only a genuinely absent name reports not-found.
 func (s *SegmentedIndex) VideoByName(name string) (Video, error) {
-	for _, p := range s.parts {
+	for i := 0; i < len(s.metas); i++ {
+		p, err := s.partAt(i)
+		if err != nil {
+			return Video{}, err
+		}
 		rows, err := p.videos.Select(store.Eq("name", store.Str(name)))
 		if err != nil {
 			return Video{}, err
@@ -170,19 +228,31 @@ func (s *SegmentedIndex) VideoByName(name string) (Video, error) {
 
 // SegmentsOf returns all shots of a video in index order.
 func (s *SegmentedIndex) SegmentsOf(videoID int64) ([]Segment, error) {
-	return s.partFor(videoID, func(m SegmentMeta) int64 { return m.Base.Video }).SegmentsOf(videoID)
+	p, err := s.partFor(videoID, func(m SegmentMeta) int64 { return m.Base.Video })
+	if err != nil {
+		return nil, err
+	}
+	return p.SegmentsOf(videoID)
 }
 
 // EventsOf returns all events of a video.
 func (s *SegmentedIndex) EventsOf(videoID int64) ([]Event, error) {
-	return s.partFor(videoID, func(m SegmentMeta) int64 { return m.Base.Video }).EventsOf(videoID)
+	p, err := s.partFor(videoID, func(m SegmentMeta) int64 { return m.Base.Video })
+	if err != nil {
+		return nil, err
+	}
+	return p.EventsOf(videoID)
 }
 
 // EventsByKind returns all events of the given kind, in segment order —
 // the append order of the monolithic build.
 func (s *SegmentedIndex) EventsByKind(kind string) ([]Event, error) {
 	var out []Event
-	for _, p := range s.parts {
+	for i := 0; i < len(s.metas); i++ {
+		p, err := s.partAt(i)
+		if err != nil {
+			return nil, err
+		}
 		evs, err := p.EventsByKind(kind)
 		if err != nil {
 			return nil, err
@@ -195,8 +265,8 @@ func (s *SegmentedIndex) EventsByKind(kind string) ([]Event, error) {
 // Scenes returns playable scenes for all events of the given kind.
 func (s *SegmentedIndex) Scenes(kind string) ([]Scene, error) {
 	var out []Scene
-	for _, p := range s.parts {
-		sc, err := p.Scenes(kind)
+	for i := 0; i < len(s.metas); i++ {
+		sc, err := s.PartScenes(i, kind)
 		if err != nil {
 			return nil, err
 		}
@@ -212,7 +282,11 @@ func (s *SegmentedIndex) Scenes(kind string) ([]Scene, error) {
 // the first event in EventsByKind).
 func (s *SegmentedIndex) EventsRelated(kindA, kindB string, wanted ...AllenRelation) ([]EventPair, error) {
 	var out []EventPair
-	for _, p := range s.parts {
+	for i := 0; i < len(s.metas); i++ {
+		p, err := s.partAt(i)
+		if err != nil {
+			return nil, err
+		}
 		ps, err := p.EventsRelated(kindA, kindB, wanted...)
 		if err != nil {
 			return nil, err
@@ -226,7 +300,11 @@ func (s *SegmentedIndex) EventsRelated(kindA, kindB string, wanted ...AllenRelat
 // a kindA event ends, across all partitions.
 func (s *SegmentedIndex) EventsFollowing(kindA, kindB string, maxGap int) ([]EventPair, error) {
 	var out []EventPair
-	for _, p := range s.parts {
+	for i := 0; i < len(s.metas); i++ {
+		p, err := s.partAt(i)
+		if err != nil {
+			return nil, err
+		}
 		ps, err := p.EventsFollowing(kindA, kindB, maxGap)
 		if err != nil {
 			return nil, err

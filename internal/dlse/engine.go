@@ -9,7 +9,11 @@ package dlse
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -49,6 +53,14 @@ type Options struct {
 	// byte-identical for every value (segments freeze against union corpus
 	// statistics); < 1 selects 1.
 	TextSegments int
+	// TextSegfile, when set, caches the frozen text segments in a segfile
+	// at this path. When the file exists and its corpus signature matches
+	// the site's pages (and TextSegments), the engine memory-maps it —
+	// zero-copy postings and impacts, no re-indexing, byte-identical
+	// answers. Otherwise the index is built as usual and the cache is
+	// rewritten atomically (temp file + rename). The mapping lives for the
+	// life of the process; engines built from it must not outlive it.
+	TextSegfile string
 }
 
 // New builds the engine over a generated site and a (possibly empty) video
@@ -92,8 +104,27 @@ func NewSegmented(site *webspace.Site, video *core.SegmentedIndex, opts Options)
 		objDocs: map[int64][]ir.DocID{},
 		snap:    snapshots.Add(1),
 	}
-	// Partition the pages contiguously: global doc ID = position in
-	// site.Pages, exactly as the monolithic build assigned them.
+	// The doc↔object maps depend only on page order (global doc ID =
+	// position in site.Pages), so they are identical whether the text
+	// index is built or mapped from a cache.
+	for i, pg := range site.Pages {
+		id := ir.DocID(i)
+		e.pageObj[id] = pg.ObjectID
+		e.objDocs[pg.ObjectID] = append(e.objDocs[pg.ObjectID], id)
+	}
+	sig := textSignature(site.Pages, nseg)
+	if opts.TextSegfile != "" {
+		if ms, err := ir.OpenSegmentsFile(opts.TextSegfile, sig); err == nil {
+			// Cache hit: mapped, verified, signature-matched. Skip the
+			// tokenize-and-freeze build entirely.
+			e.text = ms.Segments
+			return e, nil
+		}
+		// Missing, stale, or damaged cache: fall through to a build and
+		// rewrite it below.
+	}
+	// Partition the pages contiguously, exactly as the monolithic build
+	// assigned doc IDs.
 	parts := make([]*ir.Index, nseg)
 	for i := range parts {
 		parts[i] = ir.NewIndex()
@@ -107,16 +138,67 @@ func NewSegmented(site *webspace.Site, video *core.SegmentedIndex, opts Options)
 		if _, err := parts[p].Add(pg.Name, pg.Text); err != nil {
 			return nil, fmt.Errorf("dlse: indexing page %s: %w", pg.Name, err)
 		}
-		id := ir.DocID(i)
-		e.pageObj[id] = pg.ObjectID
-		e.objDocs[pg.ObjectID] = append(e.objDocs[pg.ObjectID], id)
 	}
 	text, err := ir.NewSegments(parts)
 	if err != nil {
 		return nil, fmt.Errorf("dlse: freezing text segments: %w", err)
 	}
 	e.text = text
+	if opts.TextSegfile != "" {
+		if err := writeTextSegfile(opts.TextSegfile, text, sig); err != nil {
+			return nil, fmt.Errorf("dlse: writing text segfile cache: %w", err)
+		}
+	}
 	return e, nil
+}
+
+// textSignature fingerprints the text corpus a cached segfile was built
+// from: the page names and bodies in order, plus the partition count.
+// OpenSegmentsFile refuses a cache whose stored signature differs, so a
+// regenerated site or a changed -text-segments can never serve stale
+// postings.
+func textSignature(pages []webspace.Page, nseg int) uint64 {
+	h := fnv.New64a()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(nseg))
+	h.Write(n[:])
+	for _, pg := range pages {
+		h.Write([]byte(pg.Name))
+		h.Write([]byte{0})
+		h.Write([]byte(pg.Text))
+		h.Write([]byte{0})
+	}
+	sig := h.Sum64()
+	if sig == 0 {
+		// 0 means "don't check" to the reader; never emit it as a real
+		// signature.
+		sig = 1
+	}
+	return sig
+}
+
+// writeTextSegfile atomically replaces path with the serialized segments:
+// temp file in the same directory, then rename, so a concurrent reader
+// sees either the old cache or the new one, never a torn write.
+func writeTextSegfile(path string, s *ir.Segments, sig uint64) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if err := ir.WriteSegments(f, s, sig); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
 }
 
 // WithVideo returns a new engine snapshot sharing this engine's site,

@@ -261,7 +261,7 @@ func (e *Engine) videoScatter(ctx context.Context, kind string, st *execState) (
 			return err
 		}
 		t0 := time.Now()
-		scenes, err := e.video.Part(i).Scenes(kind)
+		scenes, err := e.video.PartScenes(i, kind)
 		durs[i] = clampDur(time.Since(t0))
 		perSeg[i] = scenes
 		return err

@@ -1,0 +1,121 @@
+package dlse
+
+// The text-segfile cache: a cold build writes the cache, a warm start
+// memory-maps it, and both engines answer every query form byte-identically.
+// A stale cache (different corpus or partition count) is rebuilt, never
+// served.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/webspace"
+)
+
+func cacheSite(t *testing.T, seed int64) *webspace.Site {
+	t.Helper()
+	site, err := webspace.GenerateAusOpen(webspace.SiteConfig{
+		Players: 25, YearStart: 1999, YearEnd: 2001, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return site
+}
+
+func TestTextSegfileCacheParity(t *testing.T) {
+	site := cacheSite(t, 3)
+	path := filepath.Join(t.TempDir(), "text.segf")
+	cold, err := NewSegmented(site, nil, Options{TextSegments: 3, TextSegfile: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cold build left no cache: %v", err)
+	}
+	warm, err := NewSegmented(site, nil, Options{TextSegments: 3, TextSegfile: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.TextIndex().NumSegments() != 3 {
+		t.Fatalf("warm segments = %d", warm.TextIndex().NumSegments())
+	}
+	ctx := context.Background()
+	for _, q := range []Query{
+		{Keyword: "australian open final"},
+		{Keyword: "champion"},
+		{Source: `find Player rank "left-handed winner"`},
+	} {
+		cr, cerr := cold.Search(ctx, q)
+		wr, werr := warm.Search(ctx, q)
+		if (cerr == nil) != (werr == nil) {
+			t.Fatalf("%+v: err %v vs %v", q, cerr, werr)
+		}
+		if cerr != nil {
+			continue
+		}
+		if !reflect.DeepEqual(cr.Items, wr.Items) {
+			t.Fatalf("%+v: items diverge\ncold: %v\nwarm: %v", q, cr.Items, wr.Items)
+		}
+	}
+}
+
+func TestTextSegfileCacheStaleRebuild(t *testing.T) {
+	siteA := cacheSite(t, 3)
+	siteB := cacheSite(t, 4)
+	path := filepath.Join(t.TempDir(), "text.segf")
+	if _, err := NewSegmented(siteA, nil, Options{TextSegments: 2, TextSegfile: path}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different corpus: signature mismatch forces a rebuild and rewrite.
+	eb, err := NewSegmented(siteB, nil, Options{TextSegments: 2, TextSegfile: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) == string(after) {
+		t.Fatal("stale cache not rewritten for a different corpus")
+	}
+	// The rebuilt engine matches a cache-free build of the same site.
+	plain, err := NewSegmented(siteB, nil, Options{TextSegments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _, _ := plain.TextIndex().Search("australian open", 10)
+	cb, _, _ := eb.TextIndex().Search("australian open", 10)
+	if !reflect.DeepEqual(pb, cb) {
+		t.Fatalf("rebuilt cache diverges: %v vs %v", pb, cb)
+	}
+	// Different partition count over the same corpus also misses.
+	if _, err := NewSegmented(siteB, nil, Options{TextSegments: 3, TextSegfile: path}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := NewSegmented(siteB, nil, Options{TextSegments: 3, TextSegfile: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.TextIndex().NumSegments() != 3 {
+		t.Fatalf("segments = %d after nseg change", again.TextIndex().NumSegments())
+	}
+	// A corrupt cache is rebuilt, not served and not fatal. Flip a header
+	// byte so the open reliably fails (mid-file flips may land in bulk
+	// blocks that are only checksummed on demand).
+	data, _ := os.ReadFile(path)
+	data[2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSegmented(siteB, nil, Options{TextSegments: 3, TextSegfile: path}); err != nil {
+		t.Fatalf("corrupt cache not recovered: %v", err)
+	}
+}

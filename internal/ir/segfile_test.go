@@ -1,0 +1,239 @@
+package ir
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// segfileBytes serializes a built Segments reader.
+func segfileBytes(t testing.TB, s *Segments, sig uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteSegments(&buf, s, sig); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSegfileRoundTripParity is the hard invariant of the zero-copy path:
+// a Segments reader reopened from segfile bytes answers every query form
+// byte-identically to the heap-built reader it was written from — same
+// hits, same float64 score bits, same tie-breaks, same kernel stats — for
+// 1-, 2-, and 4-way splits.
+func TestSegfileRoundTripParity(t *testing.T) {
+	docs := segCorpus(120)
+	for _, nseg := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("segs=%d", nseg), func(t *testing.T) {
+			heap := buildSegs(t, docs, nseg)
+			mapped, err := OpenSegmentsBytes(segfileBytes(t, heap, 7), 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mapped.Docs() != heap.Docs() || mapped.Terms() != heap.Terms() ||
+				mapped.NumSegments() != heap.NumSegments() {
+				t.Fatalf("shape: docs %d/%d terms %d/%d segs %d/%d",
+					mapped.Docs(), heap.Docs(), mapped.Terms(), heap.Terms(),
+					mapped.NumSegments(), heap.NumSegments())
+			}
+			for _, q := range segQueries {
+				hh, hs, herr := heap.Search(q, 10)
+				mh, ms, merr := mapped.Search(q, 10)
+				if (herr == nil) != (merr == nil) {
+					t.Fatalf("q=%q: err %v vs %v", q, herr, merr)
+				}
+				if !reflect.DeepEqual(hh, mh) {
+					t.Fatalf("q=%q: hits diverge\nheap:   %v\nmapped: %v", q, hh, mh)
+				}
+				if hs != ms {
+					t.Fatalf("q=%q: stats %+v vs %+v", q, hs, ms)
+				}
+				// Unranked full-score parity across every doc.
+				hsc, _, herr2 := heap.ScoreQuery(q)
+				msc, _, merr2 := mapped.ScoreQuery(q)
+				if (herr2 == nil) != (merr2 == nil) {
+					t.Fatalf("q=%q: score err %v vs %v", q, herr2, merr2)
+				}
+				if herr2 == nil {
+					for d := 0; d < heap.Docs(); d++ {
+						if hv, mv := hsc.Get(DocID(d)), msc.Get(DocID(d)); hv != mv {
+							t.Fatalf("q=%q doc %d: score %v vs %v", q, d, hv, mv)
+						}
+					}
+					hsc.Release()
+					msc.Release()
+				}
+				// Safe top-N: same hit set and order.
+				hn, _, _ := heap.SearchTopN(q, 5, TopNOptions{Fragments: 4})
+				mn, _, _ := mapped.SearchTopN(q, 5, TopNOptions{Fragments: 4})
+				if len(hn) != len(mn) {
+					t.Fatalf("q=%q: topN %d vs %d hits", q, len(hn), len(mn))
+				}
+				for i := range hn {
+					if hn[i].Doc != mn[i].Doc || hn[i].Name != mn[i].Name {
+						t.Fatalf("q=%q topN[%d]: %+v vs %+v", q, i, hn[i], mn[i])
+					}
+				}
+				// Partial scatter legs merge identically.
+				if nseg > 1 {
+					ords := []int{0, nseg - 1}
+					hp, _, _ := heap.SearchPartial(q, 10, ords)
+					mp, _, _ := mapped.SearchPartial(q, 10, ords)
+					if !reflect.DeepEqual(hp, mp) {
+						t.Fatalf("q=%q partial: %v vs %v", q, hp, mp)
+					}
+				}
+			}
+			// Boolean retrieval on each part.
+			for i := 0; i < nseg; i++ {
+				hb, herr := heap.Part(i).SearchBoolean("w0 w1")
+				mb, merr := mapped.Part(i).SearchBoolean("w0 w1")
+				if (herr == nil) != (merr == nil) || !reflect.DeepEqual(hb, mb) {
+					t.Fatalf("part %d boolean: %v/%v vs %v/%v", i, hb, herr, mb, merr)
+				}
+			}
+			// Doc names across the whole ID space.
+			for d := 0; d < heap.Docs(); d++ {
+				hn, _ := heap.DocName(DocID(d))
+				mn, _ := mapped.DocName(DocID(d))
+				if hn != mn {
+					t.Fatalf("doc %d: name %q vs %q", d, hn, mn)
+				}
+			}
+		})
+	}
+}
+
+func TestSegfileWriteDeterministic(t *testing.T) {
+	s := buildSegs(t, segCorpus(60), 3)
+	a := segfileBytes(t, s, 1)
+	b := segfileBytes(t, s, 1)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two writes of the same reader produced different bytes")
+	}
+}
+
+func TestSegfileSignature(t *testing.T) {
+	s := buildSegs(t, segCorpus(20), 2)
+	data := segfileBytes(t, s, 42)
+	if sig, err := Signature(data); err != nil || sig != 42 {
+		t.Fatalf("Signature = %d, %v", sig, err)
+	}
+	if _, err := OpenSegmentsBytes(data, 43); err == nil {
+		t.Fatal("signature mismatch accepted")
+	}
+	if _, err := OpenSegmentsBytes(data, 0); err != nil {
+		t.Fatalf("signature opt-out rejected: %v", err)
+	}
+}
+
+func TestSegfileOpenFile(t *testing.T) {
+	s := buildSegs(t, segCorpus(40), 2)
+	data := segfileBytes(t, s, 0)
+	path := filepath.Join(t.TempDir(), "text.segf")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenSegmentsFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	hh, _, _ := s.Search("w0 w1", 10)
+	mh, _, _ := m.Search("w0 w1", 10)
+	if !reflect.DeepEqual(hh, mh) {
+		t.Fatalf("file-backed hits diverge: %v vs %v", hh, mh)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegfileEmptySegment(t *testing.T) {
+	// One populated part plus one empty part: the empty segment must round-trip.
+	a := NewIndex()
+	if _, err := a.Add("only", "alpha beta gamma"); err != nil {
+		t.Fatal(err)
+	}
+	b := NewIndex()
+	segs, err := NewSegments([]*Index{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := OpenSegmentsBytes(segfileBytes(t, segs, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh, _, _ := segs.Search("beta", 10)
+	mh, _, _ := m.Search("beta", 10)
+	if !reflect.DeepEqual(hh, mh) {
+		t.Fatalf("hits diverge: %v vs %v", hh, mh)
+	}
+}
+
+// TestSegfileHostileBytes drives targeted corruptions through the open
+// path; FuzzSegfileOpen explores the rest of the space.
+func TestSegfileHostileBytes(t *testing.T) {
+	s := buildSegs(t, segCorpus(30), 2)
+	data := segfileBytes(t, s, 0)
+	for _, n := range []int{0, 8, 80, len(data) / 2, len(data) - 1} {
+		if _, err := OpenSegmentsBytes(data[:n], 0); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Structural blocks are verified at open: corrupting any byte of the
+	// dictionary or its offset tables must be rejected.
+	for i := 0; i < len(data); i += 7 {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xA5
+		// Must never panic; may legitimately succeed when the flip lands in
+		// padding or a lazily-verified bulk block.
+		_, _ = OpenSegmentsBytes(mut, 0)
+	}
+}
+
+// FuzzSegfileOpen asserts the open path never panics or over-allocates on
+// hostile bytes: truncations, overflowing offsets, bad checksums, shuffled
+// dictionaries. Seeded with a real written segment file.
+func FuzzSegfileOpen(f *testing.F) {
+	docs := segCorpus(25)
+	parts := make([]*Index, 2)
+	for i := range parts {
+		parts[i] = NewIndex()
+	}
+	for i, d := range docs {
+		parts[i%2].Add(fmt.Sprintf("doc-%d", i), d)
+	}
+	segs, err := NewSegments(parts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSegments(&buf, segs, 99); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:len(buf.Bytes())/2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := OpenSegmentsBytes(data, 0)
+		if err != nil {
+			return
+		}
+		// A successfully opened file must hold internally consistent
+		// metadata: these reads must not panic.
+		for i := 0; i < s.NumSegments(); i++ {
+			ix := s.Part(i)
+			_ = ix.Docs()
+			_ = ix.Terms()
+		}
+		for d := 0; d < s.Docs(); d++ {
+			if _, err := s.DocName(DocID(d)); err != nil {
+				t.Fatalf("doc %d in range but DocName failed: %v", d, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package segfile
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// File is a Reader over a memory-mapped segfile. Opening costs one mmap
+// plus the O(blocks) TOC parse — block payloads page in from disk on first
+// touch, which is what makes cold start O(segments) and lets corpora larger
+// than RAM serve queries (the kernel evicts and re-pages cold blocks), with
+// co-located processes sharing the page cache for the same file.
+//
+// Every slice handed out by the embedded Reader aliases the mapping: it is
+// valid only until Close. Close is idempotent and safe for concurrent use,
+// but the caller must guarantee no reader still holds a slice.
+type File struct {
+	*Reader
+	path      string
+	mapped    bool
+	closeOnce sync.Once
+	release   func() error
+	closeErr  error
+}
+
+// Open maps the file at path and parses its container structure.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("segfile: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("segfile: %w", err)
+	}
+	data, release, err := mapFile(f, st.Size())
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReader(data)
+	if err != nil {
+		release()
+		return nil, fmt.Errorf("segfile: %s: %w", path, err)
+	}
+	return &File{Reader: r, path: path, mapped: usesMmap, release: release}, nil
+}
+
+// Path returns the path the file was opened from.
+func (f *File) Path() string { return f.path }
+
+// Mapped reports whether the file is memory-mapped (false on platforms
+// where Open falls back to a heap read).
+func (f *File) Mapped() bool { return f.mapped }
+
+// Close releases the mapping. Idempotent.
+func (f *File) Close() error {
+	f.closeOnce.Do(func() { f.closeErr = f.release() })
+	return f.closeErr
+}

@@ -261,16 +261,34 @@ const histChunk = 1024
 // then consumes the histograms in frame order, so the result is identical
 // to the streaming path.
 func DetectBoundaries(frames []*frame.Image, cfg Config) []Boundary {
-	d := NewDetector(cfg)
+	var s Sweeper
+	return s.Detect(frames, cfg)
+}
+
+// Sweeper amortizes DetectBoundaries' scratch — the chunk histogram buffer
+// and the adaptive-rule window — across repeated detection runs, so a
+// threshold sweep over the same footage pays the per-frame histogram
+// allocations once instead of once per configuration. The zero value is
+// ready to use. A Sweeper is not safe for concurrent use.
+type Sweeper struct {
+	d     Detector
+	hists []*frame.Histogram // chunk scratch, recycled across chunks and runs
+}
+
+// Detect is DetectBoundaries through the Sweeper's recycled scratch: the
+// result is identical for every configuration and every reuse pattern,
+// only the allocation profile changes.
+func (s *Sweeper) Detect(frames []*frame.Image, cfg Config) []Boundary {
+	s.d = Detector{cfg: cfg.withDefaults(), recent: s.d.recent[:0]}
+	d := &s.d
 	var out []Boundary
-	var hists []*frame.Histogram // chunk scratch, recycled across chunks
 	for start := 0; start < len(frames); start += histChunk {
 		end := start + histChunk
 		if end > len(frames) {
 			end = len(frames)
 		}
-		hists = frame.HistogramsInto(hists, frames[start:end], d.cfg.Bins, cfg.Workers)
-		for _, h := range hists {
+		s.hists = frame.HistogramsInto(s.hists, frames[start:end], d.cfg.Bins, cfg.Workers)
+		for _, h := range s.hists {
 			if b, ok := d.FeedHistogram(h); ok {
 				out = append(out, b)
 			}
@@ -278,9 +296,9 @@ func DetectBoundaries(frames []*frame.Image, cfg Config) []Boundary {
 		// Every histogram of this chunk can be overwritten by the next one
 		// except the two the detector still references: the previous frame's
 		// histogram and the gradual-transition anchor.
-		for i, h := range hists {
+		for i, h := range s.hists {
 			if h == d.prevHist || h == d.anchorHist {
-				hists[i] = nil
+				s.hists[i] = nil
 			}
 		}
 	}

@@ -137,3 +137,74 @@ func TestFeedSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("steady-state Feed allocates %.2f objects/frame", allocs)
 	}
 }
+
+// TestSweeperMatchesDetectBoundaries: a recycled Sweeper must answer every
+// configuration byte-identically to a fresh DetectBoundaries, in any order
+// and across videos — the E2 threshold sweep is exactly this access
+// pattern. The multi-chunk case exercises buffer reuse across both chunk
+// boundaries and runs.
+func TestSweeperMatchesDetectBoundaries(t *testing.T) {
+	mk := func(seed int64, shots int) []*frame.Image {
+		cfg := synth.DefaultConfig(seed)
+		cfg.Shots = shots
+		v, err := synth.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v.Frames
+	}
+	short := mk(81, 8)
+	other := mk(83, 5)
+	long := short
+	for len(long) <= 2*histChunk {
+		long = append(long, short...)
+	}
+	configs := []Config{
+		DefaultConfig(),
+		{Threshold: 0.05},
+		{Threshold: 1.6},
+		{Adaptive: true},
+		{GradualLow: 0.08},
+		DefaultConfig(), // repeat: state from earlier configs must not leak
+	}
+	var sw Sweeper
+	for round := 0; round < 2; round++ {
+		for _, frames := range [][]*frame.Image{short, other, long, short} {
+			for ci, dcfg := range configs {
+				want := DetectBoundaries(frames, dcfg)
+				got := sw.Detect(frames, dcfg)
+				if len(got) != len(want) {
+					t.Fatalf("round=%d cfg=%d frames=%d: %d boundaries, want %d",
+						round, ci, len(frames), len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("round=%d cfg=%d boundary %d: %+v, want %+v",
+							round, ci, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSweeperSteadyStateAllocs encodes the E2 acceptance bound directly: a
+// warm Sweeper run must allocate at least 5x fewer objects than a fresh
+// DetectBoundaries over the same frames.
+func TestSweeperSteadyStateAllocs(t *testing.T) {
+	cfg := synth.DefaultConfig(82)
+	cfg.Shots = 4
+	v, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := DefaultConfig()
+	dcfg.Workers = 1 // keep goroutine spawns out of the alloc counts
+	var sw Sweeper
+	sw.Detect(v.Frames, dcfg) // warm the chunk buffer
+	warm := testing.AllocsPerRun(20, func() { sw.Detect(v.Frames, dcfg) })
+	fresh := testing.AllocsPerRun(5, func() { DetectBoundaries(v.Frames, dcfg) })
+	if warm*5 > fresh {
+		t.Fatalf("warm Sweeper allocates %.1f objects/run vs %.1f fresh (< 5x reduction)", warm, fresh)
+	}
+}

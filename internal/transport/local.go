@@ -41,7 +41,11 @@ func ManifestOf(e *dlse.Engine) Manifest {
 		Docs:         e.TextIndex().Docs(),
 	}
 	for i, meta := range vi.Metas() {
-		videos := vi.Part(i).Stats().Videos
+		// Manifest-backed on lazy views: building the placement map must not
+		// hydrate segments. The ordinal comes from Metas, so it is in range
+		// and PartStats cannot fail.
+		st, _ := vi.PartStats(i)
+		videos := st.Videos
 		m.Videos += videos
 		m.Segments = append(m.Segments, SegmentInfo{
 			ID: meta.ID, BaseVideo: meta.Base.Video, Videos: videos,

@@ -1,44 +1,51 @@
 #!/usr/bin/env bash
-# bench_compare.sh — compare one benchmark between two bench_json.sh
-# outputs and fail on regression beyond a factor.
+# bench_compare.sh — compare benchmarks between two bench_json.sh outputs
+# and fail on regression beyond a factor.
 #
-#   scripts/bench_compare.sh <baseline.json> <current.json> [bench] [factor]
+#   scripts/bench_compare.sh <baseline.json> <current.json> [benches] [factor]
 #
-# Defaults: bench=BenchmarkIRQueryFull, factor=3. The factor is deliberately
-# generous: CI smoke runs use -benchtime=1x on shared runners, so only a
-# gross regression (an accidental O(n) -> O(n log n) slip, a lost fast
-# path) should trip it, not scheduler noise.
+# benches is a space-separated list of benchmark names; every one is gated
+# and the script fails if any regressed. Defaults: benches=
+# BenchmarkIRQueryFull, factor=3. The factor is deliberately generous: CI
+# smoke runs use -benchtime=1x on shared runners, so only a gross
+# regression (an accidental O(n) -> O(n log n) slip, a lost fast path)
+# should trip it, not scheduler noise.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BASE="${1:?usage: bench_compare.sh baseline.json current.json [bench] [factor]}"
-CUR="${2:?usage: bench_compare.sh baseline.json current.json [bench] [factor]}"
-BENCH="${3:-BenchmarkIRQueryFull}"
+BASE="${1:?usage: bench_compare.sh baseline.json current.json [benches] [factor]}"
+CUR="${2:?usage: bench_compare.sh baseline.json current.json [benches] [factor]}"
+BENCHES="${3:-BenchmarkIRQueryFull}"
 FACTOR="${4:-3}"
 
-extract() { # extract <file> -> ns_per_op of $BENCH
+extract() { # extract <file> <bench> -> ns_per_op
     # | as the sed delimiter: benchmark names may contain / (sub-benchmarks).
-    sed -n "s|.*\"name\": \"$BENCH\".*\"ns_per_op\": \([0-9.]*\).*|\1|p" "$1" | head -1
+    sed -n "s|.*\"name\": \"$2\".*\"ns_per_op\": \([0-9.]*\).*|\1|p" "$1" | head -1
 }
 
-base_ns=$(extract "$BASE")
-cur_ns=$(extract "$CUR")
-if [ -z "$base_ns" ]; then
-    echo "bench-compare: $BENCH not found in $BASE" >&2
-    exit 1
-fi
-if [ -z "$cur_ns" ]; then
-    echo "bench-compare: $BENCH not found in $CUR" >&2
-    exit 1
-fi
-
-awk -v base="$base_ns" -v cur="$cur_ns" -v factor="$FACTOR" -v bench="$BENCH" '
-BEGIN {
-    ratio = cur / base
-    printf "bench-compare: %s baseline %.0f ns/op, current %.0f ns/op (%.2fx)\n", bench, base, cur, ratio
-    if (cur > base * factor) {
-        printf "bench-compare: FAIL — regression beyond %gx\n", factor
+fail=0
+for BENCH in $BENCHES; do
+    base_ns=$(extract "$BASE" "$BENCH")
+    cur_ns=$(extract "$CUR" "$BENCH")
+    if [ -z "$base_ns" ]; then
+        echo "bench-compare: $BENCH not found in $BASE" >&2
         exit 1
-    }
-    printf "bench-compare: OK (threshold %gx)\n", factor
-}'
+    fi
+    if [ -z "$cur_ns" ]; then
+        echo "bench-compare: $BENCH not found in $CUR" >&2
+        exit 1
+    fi
+    awk -v base="$base_ns" -v cur="$cur_ns" -v factor="$FACTOR" -v bench="$BENCH" '
+    BEGIN {
+        ratio = cur / base
+        printf "bench-compare: %s baseline %.0f ns/op, current %.0f ns/op (%.2fx)\n", bench, base, cur, ratio
+        if (cur > base * factor) {
+            printf "bench-compare: FAIL — %s regressed beyond %gx\n", bench, factor
+            exit 1
+        }
+    }' || fail=1
+done
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "bench-compare: OK (threshold ${FACTOR}x)"

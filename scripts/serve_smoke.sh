@@ -114,4 +114,85 @@ curl -fsS --get "http://127.0.0.1:$port/v2/search" \
 
 kill -INT "$pid"
 wait "$pid"
+echo "serve-smoke: first server OK (graceful shutdown, exit 0)"
+
+# ---------------------------------------------------------------------------
+# Segfile persistence: index the same corpus into both on-disk formats with
+# cobraindex, boot one dlserve on each, and require the two servers to
+# answer /v2/search identically (modulo per-request fields). The segfile
+# server memory-maps its -meta and caches the site's text index in a
+# -text-segfile; /v2/reload exercises the re-map path.
+
+echo "--- cobraindex: same corpus, segfile + legacy formats"
+go build -o "$tmp/cobraindex" ./cmd/cobraindex
+"$tmp/synthgen" -out "$tmp/corpus2" -n 3 -shots 3 >/dev/null
+"$tmp/cobraindex" -q -format segfile -out "$tmp/meta.segf" "$tmp/corpus2" | tail -1
+"$tmp/cobraindex" -q -format legacy -out "$tmp/meta.db" "$tmp/corpus2" | tail -1
+
+# start_server <logfile> <infofile> <args...> — boots dlserve (as a child
+# of this shell, so `wait` sees it) and writes "pid port" to infofile.
+start_server() {
+    local log=$1 info=$2; shift 2
+    "$tmp/dlserve" -addr 127.0.0.1:0 -players 16 -years 3 "$@" >/dev/null 2>"$log" &
+    local spid=$! sport=""
+    for _ in $(seq 1 100); do
+        sport=$(sed -n 's|.*listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$log" | head -1)
+        if [ -n "$sport" ] && curl -fsS "http://127.0.0.1:$sport/healthz" >/dev/null 2>&1; then
+            break
+        fi
+        if ! kill -0 "$spid" 2>/dev/null; then
+            echo "serve-smoke: dlserve ($log) died before becoming healthy" >&2
+            cat "$log" >&2 || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "$sport" ]; then
+        echo "serve-smoke: could not discover listen port ($log)" >&2
+        exit 1
+    fi
+    echo "$spid $sport" >"$info"
+}
+
+start_server "$tmp/log-segf" "$tmp/info-segf" -meta "$tmp/meta.segf" -text-segfile "$tmp/text.segf"
+start_server "$tmp/log-legacy" "$tmp/info-legacy" -meta "$tmp/meta.db"
+read -r sf_pid sf_port <"$tmp/info-segf"
+read -r lg_pid lg_port <"$tmp/info-legacy"
+trap 'kill "$sf_pid" "$lg_pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+# normalize strips the per-request fields (timing, snapshot id, cache hit,
+# opaque cursor) so the two servers' answers can be compared bytewise.
+normalize() {
+    sed -E 's/"tookMs":[0-9.]+,?//g; s/"snapshot":[0-9]+,?//g; s/"cached":(true|false),?//g; s/"cursor":"[^"]*",?//g'
+}
+
+echo "--- /v2/search parity: segfile vs legacy server"
+for q in 'q=find Player where sex = "female"' 'kw=australian final' 'kind=rally'; do
+    a=$(curl -fsS --get "http://127.0.0.1:$sf_port/v2/search" --data-urlencode "$q" --data-urlencode 'limit=5' | normalize)
+    b=$(curl -fsS --get "http://127.0.0.1:$lg_port/v2/search" --data-urlencode "$q" --data-urlencode 'limit=5' | normalize)
+    if [ "$a" != "$b" ]; then
+        echo "serve-smoke: segfile/legacy answers diverge for $q" >&2
+        echo "segfile: $a" >&2
+        echo "legacy:  $b" >&2
+        exit 1
+    fi
+    echo "match: $q"
+done
+# Both servers carry the indexed corpus: the scene query must actually hit.
+curl -fsS --get "http://127.0.0.1:$sf_port/v2/search" --data-urlencode 'kind=rally' \
+    | grep -q '"total":[1-9]'
+# The text-index cache was written and is a real file.
+[ -s "$tmp/text.segf" ] || { echo "serve-smoke: -text-segfile cache not written" >&2; exit 1; }
+
+echo "--- POST /v2/reload (segfile server re-maps its -meta)"
+curl -fsS -X POST "http://127.0.0.1:$sf_port/v2/reload" | grep -q '"snapshot":'
+after=$(curl -fsS --get "http://127.0.0.1:$sf_port/v2/search" --data-urlencode 'kind=rally' --data-urlencode 'limit=5' | normalize)
+want=$(curl -fsS --get "http://127.0.0.1:$lg_port/v2/search" --data-urlencode 'kind=rally' --data-urlencode 'limit=5' | normalize)
+if [ "$after" != "$want" ]; then
+    echo "serve-smoke: segfile answers diverge after reload" >&2
+    exit 1
+fi
+
+kill -INT "$sf_pid" "$lg_pid"
+wait "$sf_pid" "$lg_pid"
 echo "serve-smoke: OK (graceful shutdown, exit 0)"

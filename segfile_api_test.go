@@ -1,0 +1,286 @@
+package repro
+
+// End-to-end lock of the segfile persistence path: a library loaded from
+// the memory-mapped zero-copy format answers every query form
+// byte-identically to the heap-loaded (legacy-format) library — scene
+// lookups, combined queries, keyword retrieval, paginated cursor walks —
+// across 1-, 2-, and 3-segment corpora, through compaction replay, and
+// under concurrent Search+Commit.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// segfileVariants persists lib in every format/loader combination and
+// returns the reloaded libraries, keyed by variant name.
+func segfileVariants(t *testing.T, lib *Library) map[string]*Library {
+	t.Helper()
+	var sf, lg bytes.Buffer
+	if err := lib.SaveIndexAs(&sf, FormatSegfile); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.SaveIndexAs(&lg, FormatLegacy); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	sfPath := filepath.Join(dir, "lib.segf")
+	lgPath := filepath.Join(dir, "lib.db")
+	if err := os.WriteFile(sfPath, sf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(lgPath, lg.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]*Library{}
+	var err error
+	if out["segfile-bytes"], err = LoadLibrary(bytes.NewReader(sf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if out["segfile-mmap"], err = LoadLibraryFile(sfPath); err != nil {
+		t.Fatal(err)
+	}
+	if out["legacy-stream"], err = LoadLibrary(bytes.NewReader(lg.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if out["legacy-file"], err = LoadLibraryFile(lgPath); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// compareSearch requires dl and ref to answer q identically, unpaginated
+// and via a cursor walk.
+func compareSearch(t *testing.T, ref, dl *DigitalLibrary, q Query) {
+	t.Helper()
+	ctx := context.Background()
+	want, werr := ref.Search(ctx, q)
+	got, gerr := dl.Search(ctx, q)
+	if (werr == nil) != (gerr == nil) {
+		t.Fatalf("%+v: err %v vs %v", q, werr, gerr)
+	}
+	if werr != nil {
+		return
+	}
+	if !reflect.DeepEqual(want.Items, got.Items) || want.Total != got.Total {
+		t.Fatalf("%+v: answers diverge (%d vs %d items)", q, len(want.Items), len(got.Items))
+	}
+	var walked []Item
+	var cur Cursor
+	for {
+		page, err := dl.Search(ctx, q, WithLimit(2), WithCursor(cur))
+		if err != nil {
+			t.Fatal(err)
+		}
+		walked = append(walked, page.Items...)
+		if page.Cursor == "" {
+			break
+		}
+		cur = page.Cursor
+	}
+	if !reflect.DeepEqual(walked, want.Items) {
+		t.Fatalf("%+v: paginated walk diverges", q)
+	}
+}
+
+func TestSegfileLibraryMatchesHeap(t *testing.T) {
+	vids := batchTestCorpus(t)
+	jobs := batchJobs(vids)
+	site := v2Site(t)
+	for _, build := range []struct {
+		name   string
+		lib    *Library
+		nparts int
+	}{
+		{"segs=1", buildSegmentedLib(t, jobs, len(jobs)), 1},
+		{"segs=2", buildSegmentedLib(t, jobs, 3, 3), 2},
+		{"segs=3", buildSegmentedLib(t, jobs, 2, 2, 2), 3},
+	} {
+		t.Run(build.name, func(t *testing.T) {
+			kinds := segLibKinds(t, build.lib)
+			queries := []Query{
+				{Keyword: "australian open champion"},
+				{Source: `find Player where sex = "female" and exists wonFinals`},
+			}
+			for _, kind := range kinds {
+				queries = append(queries, Query{Scenes: kind})
+			}
+			refDL, err := NewDigitalLibrary(site, build.lib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, loaded := range segfileVariants(t, build.lib) {
+				if got := loaded.View().NumSegments(); got != build.nparts {
+					t.Fatalf("%s: %d segments, want %d", name, got, build.nparts)
+				}
+				if loaded.View().Stats() != build.lib.View().Stats() {
+					t.Fatalf("%s: stats diverge", name)
+				}
+				dl, err := NewDigitalLibrary(site, loaded)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, q := range queries {
+					compareSearch(t, refDL, dl, q)
+				}
+				// Library-level scene reads too.
+				for _, kind := range kinds {
+					want, _ := build.lib.Scenes(kind)
+					got, err := loaded.Scenes(kind)
+					if err != nil || !reflect.DeepEqual(want, got) {
+						t.Fatalf("%s: Scenes(%q) diverge (%v)", name, kind, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSegfileCompactionReplay locks compaction over a segfile-loaded
+// library: hydrate-and-merge answers exactly like compacting the original,
+// and the compacted single segment is byte-identical to the monolithic
+// build's.
+func TestSegfileCompactionReplay(t *testing.T) {
+	vids := batchTestCorpus(t)
+	jobs := batchJobs(vids)
+	mono := buildSegmentedLib(t, jobs, len(jobs))
+	lib := buildSegmentedLib(t, jobs, 2, 2, 2)
+	kinds := segLibKinds(t, mono)
+
+	for name, loaded := range segfileVariants(t, lib) {
+		changed, err := loaded.Compact(0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !changed || loaded.View().NumSegments() != 1 {
+			t.Fatalf("%s: changed=%t segments=%d", name, changed, loaded.View().NumSegments())
+		}
+		for _, kind := range kinds {
+			want, _ := mono.Scenes(kind)
+			got, err := loaded.Scenes(kind)
+			if err != nil || !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s: Scenes(%q) diverge after compaction (%v)", name, kind, err)
+			}
+		}
+		var got, want bytes.Buffer
+		if err := loaded.Index().Serialize(&got); err != nil {
+			t.Fatal(err)
+		}
+		if err := mono.Index().Serialize(&want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("%s: compacted segment not byte-identical to monolithic", name)
+		}
+	}
+}
+
+// TestSegfileSaveLoadSaveStable locks save→load→save byte stability for
+// both formats (the determinism the bench trajectory and cache layers
+// rely on).
+func TestSegfileSaveLoadSaveStable(t *testing.T) {
+	vids := batchTestCorpus(t)
+	jobs := batchJobs(vids)
+	lib := buildSegmentedLib(t, jobs, 3, 3)
+	for _, format := range []IndexFormat{FormatSegfile, FormatLegacy} {
+		var first bytes.Buffer
+		if err := lib.SaveIndexAs(&first, format); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadLibrary(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var second bytes.Buffer
+		if err := loaded.SaveIndexAs(&second, format); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("format %d: save→load→save changed bytes", format)
+		}
+	}
+}
+
+// TestSegfileConcurrentSearchCommit is the -race lock for serving from a
+// memory-mapped library while committing into it: lazy first-touch decode
+// races harmlessly with queries, a commit hydrates and extends the set,
+// and answers before/after stay consistent with the heap path.
+func TestSegfileConcurrentSearchCommit(t *testing.T) {
+	vids := batchTestCorpus(t)
+	jobs := batchJobs(vids)
+	site := v2Site(t)
+	base := buildSegmentedLib(t, jobs[:4], 2, 2)
+	kind := segLibKinds(t, base)[0]
+
+	var sf bytes.Buffer
+	if err := base.SaveIndexAs(&sf, FormatSegfile); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lib.segf")
+	if err := os.WriteFile(path, sf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lib, err := LoadLibraryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := NewDigitalLibrary(site, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	golden, err := dl.Search(ctx, Query{Scenes: kind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preSnap := dl.Snapshot()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rs, err := dl.Search(ctx, Query{Scenes: kind})
+				if err != nil {
+					t.Errorf("search during commit: %v", err)
+					return
+				}
+				if rs.Snapshot == preSnap && !reflect.DeepEqual(rs.Items, golden.Items) {
+					t.Error("pre-commit snapshot served post-commit items")
+					return
+				}
+			}
+		}()
+	}
+	if _, err := dl.Commit(ctx, jobs[4:], BatchOptions{Workers: 2}); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if n := lib.View().NumSegments(); n != 3 {
+		t.Fatalf("segments after commit: %d, want 3", n)
+	}
+	// The extended mapped library answers exactly like the same corpus
+	// built entirely on the heap.
+	heap := buildSegmentedLib(t, jobs, 2, 2, 2)
+	for _, k := range segLibKinds(t, heap) {
+		want, _ := heap.Scenes(k)
+		got, err := lib.Scenes(k)
+		if err != nil || !reflect.DeepEqual(want, got) {
+			t.Fatalf("Scenes(%q) diverge after mapped commit (%v)", k, err)
+		}
+	}
+}
