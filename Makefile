@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json bench-compare staticcheck serve-smoke cluster-smoke fmt fmt-check vet ci
+.PHONY: all build test race bench bench-smoke bench-json bench-compare staticcheck serve-smoke cluster-smoke crash-smoke fmt fmt-check vet ci
 
 all: build test
 
@@ -59,6 +59,12 @@ serve-smoke:
 cluster-smoke:
 	bash scripts/cluster_smoke.sh
 
+# End-to-end durability check: SIGKILL a WAL-backed dlserve mid-commit,
+# restart, assert zero acked-commit loss and identical normalized answers;
+# a graceful SIGTERM restart must replay nothing.
+crash-smoke:
+	bash scripts/crash_smoke.sh
+
 fmt:
 	gofmt -w .
 
@@ -69,7 +75,7 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-ci: fmt-check vet staticcheck build test race bench-smoke bench-json-smoke serve-smoke cluster-smoke
+ci: fmt-check vet staticcheck build test race bench-smoke bench-json-smoke serve-smoke cluster-smoke crash-smoke
 
 # The bench-json CI step: one iteration per benchmark, same script. Writes
 # to a scratch path so it never clobbers the committed BENCH_PR7.json (the

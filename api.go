@@ -689,6 +689,7 @@ type DigitalLibrary struct {
 	// Compact, Swap) — queries never take it.
 	commitMu sync.Mutex
 	lib      *Library // commit target; guarded by commitMu
+	wal      *WAL     // durability log; guarded by commitMu (see AttachWAL)
 
 	// mu serializes snapshot installs and guards servers, the serving
 	// layers that must follow them.
@@ -789,21 +790,11 @@ func (dl *DigitalLibrary) install(e *dlse.Engine) {
 // byte-identical, and the serving layer's cache generation moves so no
 // stale answer can be served. Commits are serialized; Search never blocks
 // on one.
+//
+// With a WAL attached (AttachWAL) the batch is durably logged before any
+// indexing runs — see CommitToken, which this delegates to.
 func (dl *DigitalLibrary) Commit(ctx context.Context, jobs []IngestJob, opts BatchOptions) ([]BatchResult, error) {
-	dl.commitMu.Lock()
-	defer dl.commitMu.Unlock()
-	if dl.lib == nil {
-		return nil, fmt.Errorf("repro: commit: no video library attached (use Swap to install one)")
-	}
-	genBefore := dl.lib.gen
-	results, err := dl.lib.Commit(ctx, jobs, opts)
-	// Install only when a segment actually landed: a commit whose jobs all
-	// failed must not bump the swap generation (which would purge every
-	// server's result cache for an unchanged corpus).
-	if dl.lib.gen != genBefore {
-		dl.install(dl.engine.Load().WithVideo(dl.lib.View()))
-	}
-	return results, err
+	return dl.CommitToken(ctx, "", jobs, opts)
 }
 
 // Compact merges small adjacent segments of the backing library (see

@@ -15,6 +15,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -24,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fde"
+	"repro/internal/fsx"
 	"repro/internal/pipeline"
 )
 
@@ -132,23 +134,18 @@ func main() {
 		s := stats[name]
 		fmt.Printf("  %-10s runs=%d total=%v errors=%d\n", name, s.Runs, s.Total.Round(time.Millisecond), s.Errors)
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
 	// Either format carries the identical column-store bytes and loads via
 	// the sniffing loaders (dlserve/dlsearch/LoadLibrary); segfile adds the
 	// checksummed container that memory-maps with O(segments) cold start.
-	switch *format {
-	case "segfile":
-		err = core.WriteSegfile(f, []*core.MetaIndex{idx}, []core.SegmentMeta{{ID: 1}}, 0)
-	case "legacy":
-		err = idx.Serialize(f)
-	}
+	// The write is atomic (temp + fsync + rename), so a crash mid-write
+	// cannot leave a torn index at -o.
+	err = fsx.WriteAtomic(fsx.OS, *out, func(w io.Writer) error {
+		if *format == "segfile" {
+			return core.WriteSegfile(w, []*core.MetaIndex{idx}, []core.SegmentMeta{{ID: 1}}, 0)
+		}
+		return idx.Serialize(w)
+	})
 	if err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (%s)\n", *out, *format)

@@ -53,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -74,6 +75,10 @@ func main() {
 			"partition the full-text index into this many segments (router keyword placement; 0 = 1 segment)")
 		textSegfile = flag.String("text-segfile", "",
 			"cache the frozen full-text index in a memory-mappable segfile at this path (skips re-tokenizing the site when the cache matches)")
+		walDir = flag.String("wal", "",
+			"write-ahead log directory: commits are durably logged before indexing and replayed on boot, so an acknowledged commit survives any crash (empty disables)")
+		walCheckpoint = flag.Int("wal-checkpoint", 16,
+			"checkpoint the WAL (snapshot + log rotation) after this many logged commits; 0 checkpoints only at shutdown and reload")
 		players = flag.Int("players", 64, "site size: number of players")
 		seed    = flag.Int64("seed", 16, "site generation seed")
 		years   = flag.Int("years", 10, "site size: number of tournament editions")
@@ -101,9 +106,36 @@ func main() {
 		// the life of the process.
 		return repro.LoadLibraryFile(*metaPath)
 	}
-	lib, err := loadLib()
-	if err != nil {
-		log.Fatal(err)
+	// Recovery-on-boot: with -wal, the library base is the WAL's last
+	// checkpoint snapshot (falling back to -meta / empty), and every commit
+	// logged after it is replayed through the same deterministic path live
+	// traffic uses — the recovered index is byte-identical to the one a
+	// never-crashed run would serve.
+	var dwal *repro.WAL
+	var lib *repro.Library
+	if *walDir != "" {
+		w, err := repro.OpenWAL(*walDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dwal = w
+		fromSnap := false
+		if lib, fromSnap, err = w.LoadBase(loadLib); err != nil {
+			log.Fatal(err)
+		}
+		pending := w.Pending()
+		replayed, err := w.Replay(context.Background(), lib)
+		if err != nil {
+			log.Fatalf("wal replay: %v (replayed %d/%d)", err, replayed, pending)
+		}
+		if replayed > 0 || fromSnap || w.TornTail() {
+			log.Printf("wal recovery: snapshot=%v replayed=%d torn_tail=%v",
+				fromSnap, replayed, w.TornTail())
+		}
+	} else {
+		if lib, err = loadLib(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	dl, err := repro.NewDigitalLibraryWith(site, lib, repro.LibraryOptions{
 		TextSegments: *textSegs, TextSegfile: *textSegfile,
@@ -111,7 +143,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if dwal != nil {
+		dl.AttachWAL(dwal)
+	}
 	srv := repro.NewServer(dl, repro.ServerOptions{CacheSize: *cacheSize, Workers: *workers})
+	if dwal != nil {
+		for name, v := range dwal.MetricVars() {
+			srv.RegisterMetric(name, v)
+		}
+	}
+
+	// checkpointWAL bounds replay work and is the deliberate drop point for
+	// logged commits a full reload supersedes. Failures are logged, never
+	// fatal: the log keeps every record until a checkpoint lands.
+	checkpointWAL := func(why string) {
+		if dwal == nil {
+			return
+		}
+		if err := dl.CheckpointWAL(); err != nil {
+			log.Printf("wal checkpoint (%s) failed: %v", why, err)
+		}
+	}
 
 	// /v2/reload: rebuild the library from the meta file and install it
 	// across every registered server; returning nil tells the endpoint the
@@ -124,6 +176,10 @@ func main() {
 		if err := dl.Swap(lib2); err != nil {
 			return nil, err
 		}
+		// A reload replaces the library wholesale: checkpoint so logged
+		// commits the new library supersedes are dropped deliberately
+		// instead of replaying over it after a crash.
+		checkpointWAL("reload")
 		return nil, nil
 	})
 
@@ -152,14 +208,21 @@ func main() {
 		}()
 	}
 
-	// /v2/commit: ingest the named SVF files into a new segment.
-	srv.SetCommitter(func(ctx context.Context, paths []string) error {
+	// /v2/commit: ingest the named SVF files into a new segment. With a WAL
+	// the batch is fsynced to the log before indexing (the 200 implies
+	// durability) and the client's idempotency token dedups retries.
+	var commitsSinceCkpt atomic.Int64
+	srv.SetCommitter(func(ctx context.Context, paths []string, token string) error {
 		jobs := make([]repro.IngestJob, len(paths))
 		for i, p := range paths {
 			jobs[i] = repro.IngestJob{Path: p}
 		}
-		if _, err := dl.Commit(ctx, jobs, repro.BatchOptions{}); err != nil {
+		if _, err := dl.CommitToken(ctx, token, jobs, repro.BatchOptions{}); err != nil {
 			return err
+		}
+		if dwal != nil && *walCheckpoint > 0 &&
+			commitsSinceCkpt.Add(1)%int64(*walCheckpoint) == 0 {
+			checkpointWAL("periodic")
 		}
 		maybeCompact()
 		return nil
@@ -195,6 +258,7 @@ func main() {
 					dl.Snapshot(), err)
 				continue
 			}
+			checkpointWAL("reload")
 			view := lib2.View()
 			log.Printf("SIGHUP reload: snapshot %d live in %v (videos=%d, segments=%d)",
 				dl.Snapshot(), time.Since(t0).Round(time.Millisecond),
@@ -224,5 +288,13 @@ func main() {
 	}
 	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
+	}
+	// Graceful shutdown flushes a final checkpoint: the snapshot and the
+	// rotated log are both fsynced, so a clean restart replays nothing.
+	checkpointWAL("shutdown")
+	if dwal != nil {
+		if err := dwal.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		}
 	}
 }

@@ -12,11 +12,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
-	"os"
-	"path/filepath"
+	"io"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fsx"
 	"repro/internal/ir"
 	"repro/internal/webspace"
 )
@@ -177,28 +177,14 @@ func textSignature(pages []webspace.Page, nseg int) uint64 {
 	return sig
 }
 
-// writeTextSegfile atomically replaces path with the serialized segments:
-// temp file in the same directory, then rename, so a concurrent reader
-// sees either the old cache or the new one, never a torn write.
+// writeTextSegfile durably replaces path with the serialized segments:
+// temp file in the same directory, fsync, rename, parent-dir fsync — so a
+// concurrent reader sees either the old cache or the new one, and a crash
+// at any step cannot leave a torn or unsynced file behind.
 func writeTextSegfile(path string, s *ir.Segments, sig uint64) error {
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	if err := ir.WriteSegments(f, s, sig); err != nil {
-		f.Close()
-		os.Remove(f.Name())
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(f.Name())
-		return err
-	}
-	if err := os.Rename(f.Name(), path); err != nil {
-		os.Remove(f.Name())
-		return err
-	}
-	return nil
+	return fsx.WriteAtomic(fsx.OS, path, func(w io.Writer) error {
+		return ir.WriteSegments(w, s, sig)
+	})
 }
 
 // WithVideo returns a new engine snapshot sharing this engine's site,

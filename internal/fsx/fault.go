@@ -1,0 +1,274 @@
+package fsx
+
+// Fault injection for the crash matrix: a FaultFS wraps another FS and
+// fails exactly one operation — the K-th mutating call — in one of three
+// ways:
+//
+//   - EIO: the operation fails without touching disk (a transient error;
+//     later operations succeed).
+//   - ShortWrite: a Write persists only a prefix of its buffer and then
+//     fails (a torn sector; later operations succeed).
+//   - PowerCut: a Write persists only a prefix (the "truncate at byte N"
+//     model) and the filesystem dies — every subsequent operation fails
+//     with ErrPowerCut, as it would for a killed process. The test then
+//     re-opens the real files with a clean FS, exactly like a reboot.
+//
+// Mutating operations are counted in call order across the whole FS, so a
+// crash matrix that iterates K from 1 to Fault.Count() of a fault-free
+// probe run exercises a failure at every step of the protocol under test.
+
+import (
+	"errors"
+	"sync"
+)
+
+// Injected failure sentinels.
+var (
+	// ErrInjected is the error of an EIO or short-write failpoint.
+	ErrInjected = errors.New("fsx: injected I/O error")
+	// ErrPowerCut is returned by every operation after a power-cut
+	// failpoint fired.
+	ErrPowerCut = errors.New("fsx: power cut")
+)
+
+// Mode selects how a failpoint fails.
+type Mode int
+
+const (
+	// ModeEIO fails the K-th operation cleanly, leaving state intact.
+	ModeEIO Mode = iota
+	// ModeShortWrite persists a prefix of the K-th operation's buffer
+	// (writes only; other operations behave like ModeEIO) and fails.
+	ModeShortWrite
+	// ModePowerCut persists a prefix of the K-th write (nothing for other
+	// operations) and kills the FS: all later calls fail with ErrPowerCut.
+	ModePowerCut
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeEIO:
+		return "eio"
+	case ModeShortWrite:
+		return "short-write"
+	case ModePowerCut:
+		return "power-cut"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault is one armed failpoint plus the operation counter. A Fault with
+// K == 0 never fires and just counts — the probe configuration that sizes
+// the crash matrix.
+type Fault struct {
+	// K is the 1-based index of the mutating operation to fail.
+	K int
+	// Mode selects the failure behavior.
+	Mode Mode
+
+	mu    sync.Mutex
+	count int
+	dead  bool
+	fired bool
+}
+
+// Count reports how many mutating operations have been observed.
+func (f *Fault) Count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.count
+}
+
+// Fired reports whether the failpoint triggered.
+func (f *Fault) Fired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// step advances the operation counter and decides this operation's fate:
+// inject reports whether the failpoint fires on it, and died whether the FS
+// is already dead from an earlier power cut.
+func (f *Fault) step() (inject bool, died bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return false, true
+	}
+	f.count++
+	if f.K != 0 && f.count == f.K {
+		f.fired = true
+		if f.Mode == ModePowerCut {
+			f.dead = true
+		}
+		return true, false
+	}
+	return false, false
+}
+
+// alive reports whether a non-counted (read) operation may proceed.
+func (f *Fault) alive() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return !f.dead
+}
+
+// FaultFS wraps an FS with one armed failpoint.
+type FaultFS struct {
+	inner FS
+	fault *Fault
+}
+
+// NewFaultFS wraps inner so that fault's failpoint applies to its
+// operations.
+func NewFaultFS(inner FS, fault *Fault) *FaultFS {
+	return &FaultFS{inner: inner, fault: fault}
+}
+
+// faultFile wraps a file handle so Write and Sync hit the failpoint.
+type faultFile struct {
+	inner File
+	fault *Fault
+}
+
+func (f *faultFile) Name() string { return f.inner.Name() }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	inject, died := f.fault.step()
+	if died {
+		return 0, ErrPowerCut
+	}
+	if inject {
+		switch f.fault.Mode {
+		case ModeEIO:
+			return 0, ErrInjected
+		default: // short write or power cut: persist a prefix, then fail
+			n, _ := f.inner.Write(p[:len(p)/2])
+			if f.fault.Mode == ModePowerCut {
+				return n, ErrPowerCut
+			}
+			return n, ErrInjected
+		}
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	inject, died := f.fault.step()
+	if died {
+		return ErrPowerCut
+	}
+	if inject {
+		if f.fault.Mode == ModePowerCut {
+			return ErrPowerCut
+		}
+		return ErrInjected
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error {
+	// Closing is not a durability step; it never counts, but a dead FS
+	// refuses it like everything else.
+	if !f.fault.alive() {
+		f.inner.Close()
+		return ErrPowerCut
+	}
+	return f.inner.Close()
+}
+
+// op runs the failpoint bookkeeping for one non-write mutating operation
+// and returns the error to inject, or nil to proceed.
+func (f *FaultFS) op() error {
+	inject, died := f.fault.step()
+	if died {
+		return ErrPowerCut
+	}
+	if inject {
+		if f.fault.Mode == ModePowerCut {
+			return ErrPowerCut
+		}
+		return ErrInjected
+	}
+	return nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.op(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, fault: f.fault}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if err := f.op(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, fault: f.fault}, nil
+}
+
+func (f *FaultFS) OpenAppend(name string) (File, error) {
+	if err := f.op(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, fault: f.fault}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.op(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// Read-side and setup operations are not durability steps: they are never
+// counted and never fail-injected, but a power-cut FS refuses them — a dead
+// process issues no reads.
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if !f.fault.alive() {
+		return nil, ErrPowerCut
+	}
+	return f.inner.ReadFile(name)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	if !f.fault.alive() {
+		return nil, ErrPowerCut
+	}
+	return f.inner.ReadDir(dir)
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if !f.fault.alive() {
+		return ErrPowerCut
+	}
+	return f.inner.MkdirAll(dir)
+}

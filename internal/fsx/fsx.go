@@ -1,0 +1,148 @@
+// Package fsx is the filesystem seam of the durability layer: a small
+// interface over the handful of operations a crash-safe write protocol
+// needs (create, append, write, fsync, rename, directory fsync), an OS
+// implementation, and a fault-injecting wrapper that can fail the K-th
+// operation with EIO, a short write, or a simulated power cut.
+//
+// Everything that must survive a crash — the write-ahead log, segfile
+// snapshots, index saves — funnels its mutations through an FS so the
+// crash-matrix tests can prove the protocol correct at every failpoint,
+// while production code passes OS and pays nothing.
+//
+// The atomic-write protocol lives here too (WriteAtomic): temp file in the
+// target's directory, fsync the file, rename over the target, fsync the
+// parent directory. A reader concurrent with WriteAtomic sees either the
+// old file or the new one, never a torn mix, and after a crash at any step
+// the target is either untouched or fully replaced.
+package fsx
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is a writable file handle. Slices passed to Write may be retained
+// only for the duration of the call.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Close releases the handle. Close does NOT imply Sync.
+	Close() error
+	// Name returns the path the file was opened under.
+	Name() string
+}
+
+// FS is the mutation surface of the durability layer. Implementations must
+// be safe for concurrent use by multiple goroutines.
+type FS interface {
+	// Create opens name for writing, truncating it if it exists.
+	Create(name string) (File, error)
+	// CreateTemp creates a new unique file in dir (pattern semantics as
+	// os.CreateTemp).
+	CreateTemp(dir, pattern string) (File, error)
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// ReadFile reads the whole file.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the names of dir's entries.
+	ReadDir(dir string) ([]string, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// SyncDir fsyncs the directory itself, making previously renamed or
+	// created entries durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+func (osFS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(dir string) error                    { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names, nil
+}
+
+// SyncDir fsyncs a directory so renames and creates inside it are durable.
+// On platforms where directories cannot be fsynced the error is reported;
+// callers that want best-effort semantics decide for themselves.
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// WriteAtomic durably replaces path with the bytes write produces: a temp
+// file in path's directory is written, fsynced, closed, renamed over path,
+// and the parent directory fsynced. On any failure the temp file is removed
+// and path is untouched — a crash at any step leaves either the old file or
+// the new one, never a torn mix.
+func WriteAtomic(fs FS, path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := fs.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fsx: create temp for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	fail := func(step string, err error) error {
+		f.Close()
+		fs.Remove(tmp)
+		return fmt.Errorf("fsx: %s %s: %w", step, path, err)
+	}
+	// Buffer the payload so small serializer writes coalesce into few
+	// File.Write calls — fewer syscalls, and a tighter fault matrix.
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if err := write(bw); err != nil {
+		return fail("write", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail("write", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail("sync", err)
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return fmt.Errorf("fsx: close %s: %w", path, err)
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return fmt.Errorf("fsx: rename %s: %w", path, err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("fsx: sync dir of %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package segfile
+
+import (
+	"io"
+
+	"repro/internal/fsx"
+)
+
+// WriteFileAtomic durably replaces path with a segfile produced by write:
+// the container is assembled in a temp file in path's directory, fsynced,
+// renamed over path, and the parent directory fsynced. A crash — or an
+// injected fault — at any step leaves either the old file or the complete
+// new one; a reader can never map a torn container. fs selects the
+// filesystem seam (nil means the real one).
+func WriteFileAtomic(fs fsx.FS, path string, write func(*Writer) error) error {
+	if fs == nil {
+		fs = fsx.OS
+	}
+	return fsx.WriteAtomic(fs, path, func(w io.Writer) error {
+		sw, err := NewWriter(w)
+		if err != nil {
+			return err
+		}
+		if err := write(sw); err != nil {
+			return err
+		}
+		return sw.Close()
+	})
+}

@@ -9,11 +9,16 @@ package serve
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strings"
+	"time"
 
 	"repro/internal/transport"
 )
@@ -140,11 +145,57 @@ func (c *AdminClient) Manifest(ctx context.Context) (transport.Manifest, error) 
 	return m, err
 }
 
+// commitAttempts bounds Commit's retry loop; commitBackoff is the base of
+// its jittered exponential backoff (base, ~2x, ~4x between attempts).
+const (
+	commitAttempts = 4
+	commitBackoff  = 50 * time.Millisecond
+)
+
 // Commit ingests the named SVF files into a new segment on the node.
+//
+// Transport-level failures (connection refused, dropped mid-response —
+// transport.ErrUnavailable) are retried up to commitAttempts times with
+// jittered exponential backoff. Every attempt carries the same random
+// idempotency token, so a retry after an ambiguous failure — the node may
+// or may not have logged the first attempt — can never double-ingest: a
+// WAL-backed node deduplicates the token and simply acknowledges. Typed
+// node errors (4xx/5xx envelopes) are never retried.
 func (c *AdminClient) Commit(ctx context.Context, paths []string) (CommitInfo, error) {
+	token, err := commitToken()
+	if err != nil {
+		return CommitInfo{}, err
+	}
 	var ci CommitInfo
-	err := c.do(ctx, http.MethodPost, "/v2/commit", v2CommitRequest{Paths: paths}, &ci)
-	return ci, err
+	var lastErr error
+	for attempt := 0; attempt < commitAttempts; attempt++ {
+		if attempt > 0 {
+			// Full jitter: sleep in [0, base<<attempt) so a fleet of
+			// retrying clients never thunders in lockstep.
+			max := commitBackoff << (attempt - 1)
+			select {
+			case <-time.After(time.Duration(rand.Int64N(int64(max)))):
+			case <-ctx.Done():
+				return ci, fmt.Errorf("%w (after %v)", lastErr, ctx.Err())
+			}
+		}
+		ci = CommitInfo{}
+		lastErr = c.do(ctx, http.MethodPost, "/v2/commit",
+			v2CommitRequest{Paths: paths, Token: token}, &ci)
+		if lastErr == nil || !errors.Is(lastErr, transport.ErrUnavailable) || ctx.Err() != nil {
+			return ci, lastErr
+		}
+	}
+	return ci, fmt.Errorf("commit failed after %d attempts: %w", commitAttempts, lastErr)
+}
+
+// commitToken draws a fresh random idempotency token.
+func commitToken() (string, error) {
+	var b [16]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("generating commit token: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
 }
 
 // Reload rebuilds the node's engine through its configured reloader.

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// Commit retries transport failures with the same idempotency token, and
+// succeeds once the node answers.
+func TestAdminCommitRetriesUnavailable(t *testing.T) {
+	// mu guards calls/tokens: a hijack-closed connection errors the client
+	// before the handler goroutine returns, so the retry races the handler.
+	var mu sync.Mutex
+	var tokens []string
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		var req v2CommitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad body: %v", err)
+		}
+		tokens = append(tokens, req.Token)
+		mu.Unlock()
+		if n <= 2 {
+			// Drop the connection mid-request: the ambiguous failure shape —
+			// the client cannot know whether the commit was logged.
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err != nil {
+				t.Fatalf("hijack: %v", err)
+			}
+			conn.Close()
+			return
+		}
+		writeJSON(w, http.StatusOK, v2CommitResponse{Snapshot: 7, Segments: 2, Videos: 5, Generation: 3})
+	}))
+	defer ts.Close()
+
+	ac := &AdminClient{Base: ts.URL}
+	ci, err := ac.Commit(context.Background(), []string{"a.svf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Snapshot != 7 || ci.Segments != 2 {
+		t.Fatalf("commit info %+v", ci)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls)
+	}
+	if len(tokens) != 3 || tokens[0] == "" || tokens[0] != tokens[1] || tokens[1] != tokens[2] {
+		t.Fatalf("token not held constant across retries: %q", tokens)
+	}
+}
+
+// Typed node errors are terminal: no retry, the envelope surfaces once.
+func TestAdminCommitDoesNotRetryNodeErrors(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		writeJSON(w, http.StatusUnprocessableEntity, v2ErrorResponse{
+			Error: "unknown concept", Code: "unknown_concept",
+		})
+	}))
+	defer ts.Close()
+
+	ac := &AdminClient{Base: ts.URL}
+	_, err := ac.Commit(context.Background(), []string{"a.svf"})
+	var ae *AdminError
+	if !isAdminError(err, &ae) || ae.Code != "unknown_concept" {
+		t.Fatalf("err = %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retry on typed errors)", calls)
+	}
+}
+
+// A node that never answers exhausts the attempt budget.
+func TestAdminCommitExhaustsAttempts(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		conn, _, err := w.(http.Hijacker).Hijack()
+		if err != nil {
+			t.Fatalf("hijack: %v", err)
+		}
+		conn.Close()
+	}))
+	defer ts.Close()
+
+	ac := &AdminClient{Base: ts.URL}
+	if _, err := ac.Commit(context.Background(), []string{"a.svf"}); err == nil {
+		t.Fatal("commit succeeded against a dead node")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != commitAttempts {
+		t.Fatalf("server saw %d calls, want %d", calls, commitAttempts)
+	}
+}

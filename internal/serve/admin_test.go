@@ -108,7 +108,7 @@ func wireAdmin(t *testing.T, srv *Server, idx *core.MetaIndex) {
 		srv.Swap(srv.Engine().WithVideo(view))
 		return nil
 	}
-	srv.SetCommitter(func(ctx context.Context, paths []string) error {
+	srv.SetCommitter(func(ctx context.Context, paths []string, token string) error {
 		base := parts[len(parts)-1].IDState()
 		seg, err := core.NewMetaIndexAt(base)
 		if err != nil {

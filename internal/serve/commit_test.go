@@ -96,8 +96,10 @@ func TestV2CommitEndpoint(t *testing.T) {
 	// A committer that appends a new segment with one extra video and
 	// installs the extended snapshot — the shape DigitalLibrary.Commit has.
 	var gotPaths []string
-	srv.SetCommitter(func(ctx context.Context, paths []string) error {
+	var gotToken string
+	srv.SetCommitter(func(ctx context.Context, paths []string, token string) error {
 		gotPaths = paths
+		gotToken = token
 		base := idx.IDState()
 		seg, err := core.NewMetaIndexAt(base)
 		if err != nil {
@@ -122,12 +124,15 @@ func TestV2CommitEndpoint(t *testing.T) {
 	})
 
 	preVideos := srv.Engine().VideoIndex().Stats().Videos
-	resp, m := post(`{"paths":["new-1.svf","new-2.svf"]}`)
+	resp, m := post(`{"paths":["new-1.svf","new-2.svf"],"token":"tok-abc"}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("commit: %d (%v)", resp.StatusCode, m)
 	}
 	if len(gotPaths) != 2 || gotPaths[0] != "new-1.svf" {
 		t.Fatalf("committer got %v", gotPaths)
+	}
+	if gotToken != "tok-abc" {
+		t.Fatalf("committer got token %q, want tok-abc", gotToken)
 	}
 	if m["segments"].(float64) != 2 {
 		t.Fatalf("segments = %v, want 2", m["segments"])

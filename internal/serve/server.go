@@ -44,7 +44,7 @@ type Server struct {
 	engine    atomic.Pointer[dlse.Engine]
 	gen       atomic.Int64 // swap/commit generation, folded into cache versions
 	reloader  atomic.Pointer[func(context.Context) (*dlse.Engine, error)]
-	committer atomic.Pointer[func(context.Context, []string) error]
+	committer atomic.Pointer[func(context.Context, []string, string) error]
 	compactor atomic.Pointer[func(context.Context, int) (bool, error)]
 	cache     *Cache // nil when caching is disabled
 	sem       chan struct{}
@@ -136,8 +136,10 @@ func (s *Server) SetReloader(fn func(context.Context) (*dlse.Engine, error)) {
 // videos (by path) into the library behind this server. The callback is
 // expected to install the extended engine snapshot itself — the facade's
 // DigitalLibrary.Commit swaps every registered server — so the endpoint
-// reports the snapshot current after it returns.
-func (s *Server) SetCommitter(fn func(ctx context.Context, paths []string) error) {
+// reports the snapshot current after it returns. token is the request's
+// idempotency token ("" when the client sent none); a WAL-backed
+// committer deduplicates repeats of a token it has already logged.
+func (s *Server) SetCommitter(fn func(ctx context.Context, paths []string, token string) error) {
 	s.committer.Store(&fn)
 }
 
@@ -147,6 +149,16 @@ func (s *Server) SetCommitter(fn func(ctx context.Context, paths []string) error
 // snapshot itself; the bool reports whether the segment set changed.
 func (s *Server) SetCompactor(fn func(ctx context.Context, target int) (bool, error)) {
 	s.compactor.Store(&fn)
+}
+
+// RegisterMetric adds a metric to the server's /metrics and /debug/vars
+// surfaces under the given name, following the shared naming rules
+// (*expvar.Int renders as a dl_<name>_total counter, Func and Float as
+// gauges — see WriteProm). Subsystems with their own counters (the WAL,
+// say) register them once at wiring time; re-registering a name replaces
+// the previous var.
+func (s *Server) RegisterMetric(name string, v expvar.Var) {
+	s.metrics.Set(name, v)
 }
 
 // InvalidateCache drops every cached result. Callers that mutate the

@@ -68,6 +68,11 @@ type (
 	}
 	v2CommitRequest struct {
 		Paths []string `json:"paths"`
+		// Token optionally names the commit for idempotent retries: a
+		// WAL-backed committer deduplicates batches whose token it has
+		// already durably logged, so a client may safely resend after an
+		// ambiguous failure (timeout, dropped connection mid-response).
+		Token string `json:"token,omitempty"`
 	}
 	v2CommitResponse struct {
 		Snapshot   int64   `json:"snapshot"`
@@ -384,7 +389,7 @@ func (s *Server) handleV2Commit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	if err := (*fn)(r.Context(), req.Paths); err != nil {
+	if err := (*fn)(r.Context(), req.Paths, req.Token); err != nil {
 		writeV2Error(w, fmt.Errorf("commit: %w", err))
 		return
 	}

@@ -8,6 +8,8 @@ import (
 	"math"
 	"os"
 	"strings"
+
+	"repro/internal/fsx"
 )
 
 // Binary persistence: a DB serializes to a single stream.
@@ -226,17 +228,11 @@ func readTable(br *bufio.Reader) (*Table, error) {
 	return t, nil
 }
 
-// SaveFile persists the database to a file.
+// SaveFile durably persists the database to a file: the bytes land in a
+// temp file that is fsynced and renamed over path, so a crash mid-save
+// leaves either the previous file or the complete new one.
 func (db *DB) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := db.Serialize(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return fsx.WriteAtomic(fsx.OS, path, db.Serialize)
 }
 
 // LoadFile reads a database from a file.

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# crash_smoke.sh — end-to-end durability check of the WAL-backed daemon:
+#
+#   1. start dlserve with a WAL, commit two SVF clips (both acked 200),
+#      capture normalized /v2/search answers;
+#   2. SIGKILL the daemon mid-commit (a third commit is in flight, nothing
+#      checkpointed) and restart it on the same WAL directory;
+#   3. assert the restart REPLAYED the log (dl_wal_recovered_total > 0)
+#      and serves byte-identical normalized answers for every acked
+#      commit — the in-flight third commit may have landed (logged before
+#      the kill) or not, but never partially;
+#   4. shut down gracefully (SIGTERM) — the final checkpoint runs — and
+#      restart once more: this boot must replay NOTHING
+#      (dl_wal_recovered_total == 0) and answer identically again.
+#
+# Run via `make crash-smoke`; CI runs it alongside the race job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+trap 'kill -9 "$pid" 2>/dev/null || true; rm -rf "$tmp"' EXIT
+go build -o "$tmp/dlserve" ./cmd/dlserve
+go build -o "$tmp/synthgen" ./cmd/synthgen
+
+"$tmp/synthgen" -out "$tmp/corpus" -n 3 -shots 3 >/dev/null
+
+start_dlserve() { # $1: log file
+    "$tmp/dlserve" -addr 127.0.0.1:0 -players 16 -years 3 \
+        -wal "$tmp/wal" -wal-checkpoint 0 2>"$1" &
+    pid=$!
+    port=""
+    for _ in $(seq 1 100); do
+        port=$(sed -n 's|.*listening on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$1" | head -1)
+        if [ -n "$port" ] && curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "crash-smoke: dlserve died before becoming healthy" >&2
+            cat "$1" >&2 || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+    echo "crash-smoke: could not discover listen port" >&2
+    cat "$1" >&2 || true
+    exit 1
+}
+
+# normalized_answers prints the scene answers for the two ACKED clips only,
+# stripped of per-request fields (tookMs, cached, snapshot) — the stable
+# payload a crash must preserve.
+normalized_answers() {
+    for kind in net-play rally serve; do
+        curl -fsS "http://127.0.0.1:$port/v2/search?kind=$kind" \
+            | jq -S "{kind: \"$kind\", items: [.items[] | select(.scene.video == \"clip-000\" or .scene.video == \"clip-001\")]}"
+    done
+}
+
+echo "--- boot 1: fresh WAL, two acked commits"
+start_dlserve "$tmp/log1"
+for clip in clip-000 clip-001; do
+    curl -fsS -X POST "http://127.0.0.1:$port/v2/commit" \
+        -d "{\"paths\":[\"$tmp/corpus/$clip.svf\"]}" | jq -e '.videos >= 1' >/dev/null
+done
+curl -fsS "http://127.0.0.1:$port/healthz" | jq -e '.videos == 2' >/dev/null
+curl -fsS "http://127.0.0.1:$port/metrics" | grep -q '^dl_wal_records_total 2'
+normalized_answers >"$tmp/before"
+
+echo "--- SIGKILL mid-commit (third commit in flight, nothing checkpointed)"
+curl -fsS -X POST "http://127.0.0.1:$port/v2/commit" \
+    -d "{\"paths\":[\"$tmp/corpus/clip-002.svf\"]}" >/dev/null 2>&1 &
+commit_bg=$!
+sleep 0.05
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+wait "$commit_bg" 2>/dev/null || true
+
+echo "--- boot 2: crash recovery must replay the log"
+start_dlserve "$tmp/log2"
+grep -q 'wal recovery:' "$tmp/log2"
+recovered=$(curl -fsS "http://127.0.0.1:$port/metrics" \
+    | sed -n 's/^dl_wal_recovered_total \([0-9]*\)$/\1/p')
+if [ -z "$recovered" ] || [ "$recovered" -lt 2 ]; then
+    echo "crash-smoke: expected >= 2 replayed records after SIGKILL, got '${recovered:-none}'" >&2
+    cat "$tmp/log2" >&2
+    exit 1
+fi
+echo "replayed $recovered records"
+# Both acked commits survived; the in-flight one is all-or-nothing.
+videos=$(curl -fsS "http://127.0.0.1:$port/healthz" | jq '.videos')
+if [ "$videos" != 2 ] && [ "$videos" != 3 ]; then
+    echo "crash-smoke: recovered $videos videos, want 2 or 3" >&2
+    exit 1
+fi
+normalized_answers >"$tmp/after-crash"
+diff -u "$tmp/before" "$tmp/after-crash"
+
+echo "--- graceful SIGTERM: final checkpoint, then a replay-free boot"
+kill -TERM "$pid"
+for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$pid" 2>/dev/null; then
+    echo "crash-smoke: dlserve did not exit on SIGTERM" >&2
+    exit 1
+fi
+
+echo "--- boot 3: clean restart replays nothing"
+start_dlserve "$tmp/log3"
+curl -fsS "http://127.0.0.1:$port/metrics" | grep -q '^dl_wal_recovered_total 0'
+if grep -q 'wal recovery:.*replayed=[1-9]' "$tmp/log3"; then
+    echo "crash-smoke: clean restart replayed records" >&2
+    cat "$tmp/log3" >&2
+    exit 1
+fi
+[ "$(curl -fsS "http://127.0.0.1:$port/healthz" | jq '.videos')" = "$videos" ]
+normalized_answers >"$tmp/after-clean"
+diff -u "$tmp/after-crash" "$tmp/after-clean"
+
+kill -TERM "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+echo "crash-smoke: OK (acked commits survived SIGKILL; clean restart replayed nothing)"
