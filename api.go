@@ -711,6 +711,11 @@ type LibraryOptions struct {
 	// mapped, zero-copy impact arrays; a missing or stale cache is rebuilt
 	// and replaced atomically. Answers are byte-identical either way.
 	TextSegfile string
+	// VecSegfile, when set, caches the page embeddings of the vector lane
+	// in a memory-mappable segfile at this path, skipping re-embedding the
+	// site on startup. Same contract as TextSegfile: stale or missing
+	// caches rebuild atomically, answers are byte-identical either way.
+	VecSegfile string
 }
 
 // NewDigitalLibrary combines a generated site with an indexed video
@@ -727,7 +732,9 @@ func NewDigitalLibraryWith(site *Site, lib *Library, opts LibraryOptions) (*Digi
 	if lib != nil {
 		view = lib.View()
 	}
-	e, err := dlse.NewSegmented(site, view, dlse.Options{TextSegments: opts.TextSegments, TextSegfile: opts.TextSegfile})
+	e, err := dlse.NewSegmented(site, view, dlse.Options{
+		TextSegments: opts.TextSegments, TextSegfile: opts.TextSegfile, VecSegfile: opts.VecSegfile,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -737,8 +744,9 @@ func NewDigitalLibraryWith(site *Site, lib *Library, opts LibraryOptions) (*Digi
 }
 
 // Search is the unified v2 query entrypoint: one call covering the
-// query-language string, the structured request, the keyword baseline, and
-// the scene lookup (Query's four forms), with cursor pagination
+// query-language string, the structured request, the keyword baseline,
+// the embedding-similarity and hybrid (RRF-fused) lanes, and the scene
+// lookup (Query's six forms), with cursor pagination
 // (WithLimit/WithCursor), a streaming iterator (ResultSet.Stream), and
 // optional explain plans (WithExplain).
 //
@@ -761,7 +769,9 @@ func (dl *DigitalLibrary) Swap(lib *Library) error {
 	if lib != nil {
 		view = lib.View()
 	}
-	e, err := dlse.NewSegmented(dl.site, view, dlse.Options{TextSegments: dl.opts.TextSegments, TextSegfile: dl.opts.TextSegfile})
+	e, err := dlse.NewSegmented(dl.site, view, dlse.Options{
+		TextSegments: dl.opts.TextSegments, TextSegfile: dl.opts.TextSegfile, VecSegfile: dl.opts.VecSegfile,
+	})
 	if err != nil {
 		return err
 	}

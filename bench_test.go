@@ -1303,6 +1303,40 @@ func BenchmarkDLSETextRank(b *testing.B) {
 	}
 }
 
+// BenchmarkVecSearch measures the embedding-similarity lane on the serving
+// fixture: hash-embed the query, IVF-probe every page and video segment,
+// merge the ranked stream. The answer is byte-identical to the brute-force
+// reference (internal/vec locks it); this measures the serving cost.
+func BenchmarkVecSearch(b *testing.B) {
+	eng, _ := serveFixture(b)
+	ctx := context.Background()
+	q := dlse.Query{Vector: "champion winner australian open final"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Search(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHybridSearch measures the fused lane: the full keyword ranking
+// and the full vector ranking executed back to back, combined by
+// reciprocal-rank fusion. The delta over BenchmarkVecSearch plus
+// BenchmarkDLSETextRank is the fusion overhead itself.
+func BenchmarkHybridSearch(b *testing.B) {
+	eng, _ := serveFixture(b)
+	ctx := context.Background()
+	q := dlse.Query{Hybrid: "champion winner australian open final"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Search(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEventsRelated measures the composite event query: the reference
 // O(A·B) pairwise scan against the sort + interval-sweep, on the same
 // seeded corpus (identical output, locked by the cross-check test in

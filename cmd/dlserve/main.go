@@ -75,6 +75,8 @@ func main() {
 			"partition the full-text index into this many segments (router keyword placement; 0 = 1 segment)")
 		textSegfile = flag.String("text-segfile", "",
 			"cache the frozen full-text index in a memory-mappable segfile at this path (skips re-tokenizing the site when the cache matches)")
+		vecSegfile = flag.String("vec-segfile", "",
+			"cache the vector lane's page embeddings in a memory-mappable segfile at this path (skips re-embedding the site when the cache matches)")
 		walDir = flag.String("wal", "",
 			"write-ahead log directory: commits are durably logged before indexing and replayed on boot, so an acknowledged commit survives any crash (empty disables)")
 		walCheckpoint = flag.Int("wal-checkpoint", 16,
@@ -138,7 +140,7 @@ func main() {
 		}
 	}
 	dl, err := repro.NewDigitalLibraryWith(site, lib, repro.LibraryOptions{
-		TextSegments: *textSegs, TextSegfile: *textSegfile,
+		TextSegments: *textSegs, TextSegfile: *textSegfile, VecSegfile: *vecSegfile,
 	})
 	if err != nil {
 		log.Fatal(err)

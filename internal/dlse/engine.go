@@ -13,11 +13,13 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/fsx"
 	"repro/internal/ir"
+	"repro/internal/vec"
 	"repro/internal/webspace"
 )
 
@@ -41,6 +43,24 @@ type Engine struct {
 	objDocs map[int64][]ir.DocID
 	// snap is this engine's process-unique snapshot ID (see Snapshot).
 	snap int64
+
+	// The vector lane: vecs reads page embeddings (one segment per text
+	// segment, same ordinals) followed by video embeddings (one segment
+	// per video segment, same ordinals). vecPages and vecVideo hold the
+	// immutable per-segment builders so a commit re-composes without
+	// re-embedding anything that already exists.
+	emb      vec.Embedder
+	vecs     *vec.Segments
+	vecPages []*vec.Builder
+	vecVideo []videoVecPart
+}
+
+// videoVecPart pairs one video segment's embeddings with the manifest
+// entry they were built from, so WithVideo can reuse them when the
+// segment survives a commit unchanged.
+type videoVecPart struct {
+	meta core.SegmentMeta
+	b    *vec.Builder
 }
 
 // snapshots issues process-unique engine snapshot IDs.
@@ -61,6 +81,13 @@ type Options struct {
 	// rewritten atomically (temp file + rename). The mapping lives for the
 	// life of the process; engines built from it must not outlive it.
 	TextSegfile string
+	// VecSegfile, when set, caches the page embeddings of the vector
+	// lane in a segfile at this path — the vec counterpart of
+	// TextSegfile, with the same signature/staleness and atomic-rewrite
+	// semantics. Only page embeddings persist: video embeddings follow
+	// the library's commits, and the IVF lists are derived from the
+	// union corpus at composition (see internal/vec).
+	VecSegfile string
 }
 
 // New builds the engine over a generated site and a (possibly empty) video
@@ -118,7 +145,7 @@ func NewSegmented(site *webspace.Site, video *core.SegmentedIndex, opts Options)
 			// Cache hit: mapped, verified, signature-matched. Skip the
 			// tokenize-and-freeze build entirely.
 			e.text = ms.Segments
-			return e, nil
+			return e.buildVecLane(site, video, opts)
 		}
 		// Missing, stale, or damaged cache: fall through to a build and
 		// rewrite it below.
@@ -149,7 +176,135 @@ func NewSegmented(site *webspace.Site, video *core.SegmentedIndex, opts Options)
 			return nil, fmt.Errorf("dlse: writing text segfile cache: %w", err)
 		}
 	}
+	return e.buildVecLane(site, video, opts)
+}
+
+// buildVecLane embeds the corpus for the vector lane: page embeddings
+// partitioned exactly like the text segments (so a transport text
+// ordinal names the same slice of pages in both lanes), then one
+// embedding segment per video segment, composed into a vec.Segments
+// whose global DocIDs extend the page doc space — page doc d keeps ID
+// d, and the video of core ID v gets Docs()+v-1 (video IDs are
+// contiguous across segments). Note the video side hydrates every lazy
+// segment once at build: embeddings need the rows, so a memory-mapped
+// library pays its first-touch decode here rather than at first query.
+func (e *Engine) buildVecLane(site *webspace.Site, video *core.SegmentedIndex, opts Options) (*Engine, error) {
+	e.emb = vec.DefaultEmbedder()
+	nseg := e.text.NumSegments()
+	vsig := vecSignature(site.Pages, nseg, e.emb)
+	if opts.VecSegfile != "" {
+		if m, err := vec.OpenFile(opts.VecSegfile, e.emb, vsig); err == nil && len(m.Parts) == nseg {
+			// Cache hit: the page embedding matrices are zero-copy views
+			// of the mapping, which (like the text cache) lives for the
+			// life of the process.
+			e.vecPages = m.Parts
+		}
+	}
+	if e.vecPages == nil {
+		parts := make([]*vec.Builder, nseg)
+		for i := range parts {
+			parts[i] = vec.NewBuilder(e.emb)
+		}
+		per := (len(site.Pages) + nseg - 1) / nseg
+		for i, pg := range site.Pages {
+			p := i / per
+			if p >= nseg {
+				p = nseg - 1
+			}
+			parts[p].Add(pg.Name, pg.Text, e.emb)
+		}
+		e.vecPages = parts
+		if opts.VecSegfile != "" {
+			if err := vec.WriteFile(opts.VecSegfile, e.emb, parts, vsig); err != nil {
+				return nil, fmt.Errorf("dlse: writing vec segfile cache: %w", err)
+			}
+		}
+	}
+	vv, err := buildVideoVecParts(video, nil, e.emb)
+	if err != nil {
+		return nil, fmt.Errorf("dlse: embedding video segments: %w", err)
+	}
+	e.vecVideo = vv
+	if e.vecs, err = e.composeVecs(); err != nil {
+		return nil, err
+	}
 	return e, nil
+}
+
+// composeVecs freezes the page and video embedding segments against the
+// current union corpus (codebook + global ID bases; see internal/vec).
+func (e *Engine) composeVecs() (*vec.Segments, error) {
+	parts := make([]*vec.Builder, 0, len(e.vecPages)+len(e.vecVideo))
+	parts = append(parts, e.vecPages...)
+	for _, vp := range e.vecVideo {
+		parts = append(parts, vp.b)
+	}
+	return vec.NewSegments(e.emb, parts, vec.Options{})
+}
+
+// buildVideoVecParts embeds video segments, reusing prev's builders for
+// every segment whose manifest entry and row count are unchanged — on a
+// commit only the appended segment embeds, on a compaction only the
+// merged one. A video document embeds its name plus the kinds of its
+// events in insertion order; a compaction's ID-preserving replay
+// reproduces both exactly, so re-embedding a merged segment yields
+// bit-identical vectors.
+func buildVideoVecParts(video *core.SegmentedIndex, prev []videoVecPart, emb vec.Embedder) ([]videoVecPart, error) {
+	metas := video.Metas()
+	out := make([]videoVecPart, 0, len(metas))
+	for i, m := range metas {
+		if i < len(prev) && prev[i].meta == m {
+			if st, err := video.PartStats(i); err == nil && st.Videos == prev[i].b.Len() {
+				out = append(out, prev[i])
+				continue
+			}
+		}
+		part := video.Part(i)
+		videos, err := part.Videos()
+		if err != nil {
+			return nil, err
+		}
+		b := vec.NewBuilder(emb)
+		var sb strings.Builder
+		for _, v := range videos {
+			events, err := part.EventsOf(v.ID)
+			if err != nil {
+				return nil, err
+			}
+			sb.Reset()
+			sb.WriteString(v.Name)
+			for _, ev := range events {
+				sb.WriteByte(' ')
+				sb.WriteString(ev.Kind)
+			}
+			b.Add("video/"+v.Name, sb.String(), emb)
+		}
+		out = append(out, videoVecPart{meta: m, b: b})
+	}
+	return out, nil
+}
+
+// vecSignature fingerprints the corpus a cached vec segfile was built
+// from: the embedding scheme, the partition count, and the page names
+// and bodies in order.
+func vecSignature(pages []webspace.Page, nseg int, e vec.Embedder) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(e.Name()))
+	h.Write([]byte{0})
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(nseg))
+	h.Write(n[:])
+	for _, pg := range pages {
+		h.Write([]byte(pg.Name))
+		h.Write([]byte{0})
+		h.Write([]byte(pg.Text))
+		h.Write([]byte{0})
+	}
+	sig := h.Sum64()
+	if sig == 0 {
+		sig = 1
+	}
+	return sig
 }
 
 // textSignature fingerprints the text corpus a cached segfile was built
@@ -188,13 +343,28 @@ func writeTextSegfile(path string, s *ir.Segments, sig uint64) error {
 }
 
 // WithVideo returns a new engine snapshot sharing this engine's site,
-// text segments, and doc↔object maps (all immutable) over a different
-// video segment set — the cheap install path of an incremental commit,
-// which must not re-index the site or any existing video segment. The new
-// engine has its own snapshot ID.
+// text segments, page embeddings, and doc↔object maps (all immutable)
+// over a different video segment set — the install path of an
+// incremental commit, which must not re-index the site or any existing
+// video segment. The vector lane embeds exactly the segments the commit
+// added (or a compaction merged; see buildVideoVecParts) and re-freezes
+// against the new union corpus. The new engine has its own snapshot ID.
+// Like core.SegmentedIndex.Part, it panics if a committed segment fails
+// to hydrate — that is corrupt-storage territory, not a caller error.
 func (e *Engine) WithVideo(video *core.SegmentedIndex) *Engine {
 	ne := *e
 	ne.video = video
+	vv, err := buildVideoVecParts(video, e.vecVideo, e.emb)
+	if err == nil {
+		ne.vecVideo = vv
+		var vecs *vec.Segments
+		if vecs, err = ne.composeVecs(); err == nil {
+			ne.vecs = vecs
+		}
+	}
+	if err != nil {
+		panic(fmt.Sprintf("dlse: rebuilding vector lane over committed segments: %v", err))
+	}
 	ne.snap = snapshots.Add(1)
 	return &ne
 }
@@ -214,6 +384,12 @@ func (e *Engine) TextIndex() *ir.Segments { return e.text }
 
 // VideoIndex returns the segmented video meta-index.
 func (e *Engine) VideoIndex() *core.SegmentedIndex { return e.video }
+
+// VecIndex returns the vector lane: a scatter-gather reader over page
+// embedding segments (ordinals 0..TextIndex().NumSegments()-1, matching
+// the text ordinals) followed by video embedding segments (matching the
+// video segment ordinals).
+func (e *Engine) VecIndex() *vec.Segments { return e.vecs }
 
 // Request is a combined query.
 type Request struct {

@@ -29,8 +29,9 @@ import (
 )
 
 // Query is the unified v2 request: the query-language string, the
-// structured combined request, the keyword baseline, and the raw scene
-// lookup in one type. Exactly one of the four fields must be set.
+// structured combined request, the keyword baseline, the vector and
+// hybrid retrieval lanes, and the raw scene lookup in one type. Exactly
+// one of the six fields must be set.
 type Query struct {
 	// Source is a combined query in the demo query language, parsed
 	// against the site schema.
@@ -40,6 +41,13 @@ type Query struct {
 	// Keyword is the flattened-pages keyword baseline: ranked BM25
 	// retrieval over page text, no concepts, no video content.
 	Keyword string
+	// Vector ranks by embedding similarity over the vector lane: every
+	// page plus every indexed video, cosine-scored against the query's
+	// embedding (see internal/vec).
+	Vector string
+	// Hybrid runs the Keyword and Vector lanes on the same text and
+	// fuses their rankings by reciprocal rank fusion (FuseRRF).
+	Hybrid string
 	// Scenes looks up all indexed video scenes of this event kind.
 	Scenes string
 }
@@ -56,6 +64,12 @@ func (q Query) forms() int {
 	if q.Keyword != "" {
 		n++
 	}
+	if q.Vector != "" {
+		n++
+	}
+	if q.Hybrid != "" {
+		n++
+	}
 	if q.Scenes != "" {
 		n++
 	}
@@ -67,15 +81,21 @@ func (q Query) forms() int {
 //
 //   - combined queries (Source/Request): Object, Score, Scenes
 //   - keyword queries: Page, Doc, Score
+//   - vector/hybrid queries: Page, Doc, Score (Page is the matched
+//     document's name — a site page, or "video/<name>" for an indexed
+//     video; Doc is its ID in the vector lane's doc space, which extends
+//     the page doc space)
 //   - scene queries: Scene
 type Item struct {
 	// Object is the concept object a combined query selected.
 	Object *webspace.Object
-	// Score is the BM25 relevance (combined rank part, or keyword hits).
+	// Score is the relevance: BM25 for combined/keyword results, cosine
+	// similarity for vector results, RRF score for hybrid results.
 	Score float64
 	// Scenes are the video scenes joined onto a combined result.
 	Scenes []core.Scene
-	// Page names the matching page of a keyword hit; Doc is its IR doc ID.
+	// Page names the matching document of a keyword/vector/hybrid hit;
+	// Doc is its doc ID.
 	Page string
 	Doc  ir.DocID
 	// Scene is one answer of a scene query.
@@ -159,7 +179,7 @@ func decodeCursor(c Cursor) (key uint64, offset int, snap int64, err error) {
 // stage), its wall time, and how many rows it produced.
 type OpStat struct {
 	// Op names the operator: "concept", "video", "text", "keyword",
-	// "scenes", or "merge".
+	// "vector", "rrf", "scenes", or "merge".
 	Op string
 	// Duration is the operator's wall time, always > 0 for an operator
 	// that executed.
@@ -215,9 +235,9 @@ type ResultSet struct {
 func (e *Engine) Normalize(q Query) (Query, string, error) {
 	switch n := q.forms(); {
 	case n == 0:
-		return q, "", parseErr(-1, "empty query: set one of Source, Request, Keyword, Scenes")
+		return q, "", parseErr(-1, "empty query: set one of Source, Request, Keyword, Vector, Hybrid, Scenes")
 	case n > 1:
-		return q, "", parseErr(-1, "ambiguous query: set exactly one of Source, Request, Keyword, Scenes")
+		return q, "", parseErr(-1, "ambiguous query: set exactly one of Source, Request, Keyword, Vector, Hybrid, Scenes")
 	}
 	switch {
 	case q.Source != "":
@@ -230,17 +250,22 @@ func (e *Engine) Normalize(q Query) (Query, string, error) {
 		return q, "q|" + q.Request.CanonicalKey(), nil
 	case q.Keyword != "":
 		return q, "kw|" + strings.Join(ir.Analyze(q.Keyword), " "), nil
+	case q.Vector != "":
+		return q, "vec|" + strings.Join(ir.Analyze(q.Vector), " "), nil
+	case q.Hybrid != "":
+		return q, "hy|" + strings.Join(ir.Analyze(q.Hybrid), " "), nil
 	default:
 		return q, "sc|" + q.Scenes, nil
 	}
 }
 
 // CanonicalKey returns the canonical cache key of a query that needs no
-// schema to normalize — the Keyword and Scenes forms. ok is false for the
-// Source and Request forms, which require an engine's schema (see
-// Engine.Normalize). The key matches Normalize's exactly, so cursors
-// minted by a distributed gather layer (internal/router) over this key
-// bind to the same query as the engine's own.
+// schema to normalize — the Keyword, Vector, Hybrid, and Scenes forms.
+// ok is false for the Source and Request forms, which require an
+// engine's schema (see Engine.Normalize). The key matches Normalize's
+// exactly, so cursors minted by a distributed gather layer
+// (internal/router) over this key bind to the same query as the
+// engine's own.
 func CanonicalKey(q Query) (key string, ok bool) {
 	if q.forms() != 1 {
 		return "", false
@@ -248,6 +273,10 @@ func CanonicalKey(q Query) (key string, ok bool) {
 	switch {
 	case q.Keyword != "":
 		return "kw|" + strings.Join(ir.Analyze(q.Keyword), " "), true
+	case q.Vector != "":
+		return "vec|" + strings.Join(ir.Analyze(q.Vector), " "), true
+	case q.Hybrid != "":
+		return "hy|" + strings.Join(ir.Analyze(q.Hybrid), " "), true
 	case q.Scenes != "":
 		return "sc|" + q.Scenes, true
 	}
@@ -328,6 +357,51 @@ func (e *Engine) SearchAll(ctx context.Context, q Query, withExplain bool) (*Res
 				}
 			}
 			rs.Explain = &Explain{Plan: "[keyword] → rank", Ops: []OpStat{op}}
+		}
+	case nq.Vector != "":
+		t0 := time.Now()
+		// Full ranking (k=0) over every page and video embedding,
+		// scattered across the vec segments and gathered under the
+		// global (score desc, DocID asc) total order.
+		hits, _, perSeg, err := e.vecs.SearchSegments(nq.Vector, 0)
+		if err != nil {
+			return nil, err // incl. ir.ErrEmptyQry, raw
+		}
+		rs.all = vecItems(hits)
+		if withExplain {
+			op := vecOpStat("vector", time.Since(t0), len(hits), perSeg)
+			rs.Explain = &Explain{Plan: "[vector] → rank", Ops: []OpStat{op}}
+		}
+	case nq.Hybrid != "":
+		t0 := time.Now()
+		lexHits, lexStats, lexSegs, err := e.text.SearchSegments(nq.Hybrid, 0)
+		if err != nil {
+			return nil, err
+		}
+		tVec := time.Now()
+		vecHits, _, vecSegs, err := e.vecs.SearchSegments(nq.Hybrid, 0)
+		if err != nil {
+			return nil, err
+		}
+		tFuse := time.Now()
+		rs.all = FuseRRF(keywordItems(lexHits), vecItems(vecHits))
+		if withExplain {
+			lexOp := OpStat{
+				Op: "keyword", Duration: clampDur(tVec.Sub(t0)),
+				Items: len(lexHits), Kernel: &lexStats,
+			}
+			if e.text.NumSegments() > 1 {
+				for si, ss := range lexSegs {
+					kernel := ss.Stats
+					lexOp.Segments = append(lexOp.Segments, OpStat{
+						Op: fmt.Sprintf("keyword[%d]", si), Duration: clampDur(ss.Duration),
+						Items: kernel.DocsTouched, Kernel: &kernel,
+					})
+				}
+			}
+			vecOp := vecOpStat("vector", tFuse.Sub(tVec), len(vecHits), vecSegs)
+			fuseOp := OpStat{Op: "rrf", Duration: clampDur(time.Since(tFuse)), Items: len(rs.all)}
+			rs.Explain = &Explain{Plan: "[keyword ‖ vector] → rrf", Ops: []OpStat{lexOp, vecOp, fuseOp}}
 		}
 	default:
 		if e.video.Stats().Videos == 0 {

@@ -274,17 +274,6 @@ func (ix *Index) scoreTerms(terms []string, ac *accum) SearchStats {
 	return stats
 }
 
-// SearchWorkers is Search with a worker-count hint, kept for API
-// compatibility with the pre-kernel engine. Impact precomputation (see
-// Freeze) reduced per-posting scoring to a single add, so the per-term
-// fan-out of the map era costs more in merging than it saves in scoring;
-// every worker count now runs the same single-pass dense kernel and
-// returns results identical to Search by construction.
-func (ix *Index) SearchWorkers(query string, k, workers int) ([]Hit, SearchStats, error) {
-	_ = workers
-	return ix.Search(query, k)
-}
-
 // ScoreQuery runs the exhaustive scorer and returns a leased handle over
 // the dense per-doc scores — the ranking-free form of Search for callers
 // that join scores into their own result sets (e.g. the DLSE text

@@ -1,98 +1,27 @@
 package ir
 
 import (
-	"math"
 	"sync"
 	"testing"
 )
 
-// TestBudgetParallelMatchesSequential: with Workers > 1, budget mode must
-// touch exactly the same fragments as sequential budget mode — same
-// documents, same postings count, same termination flag; scores may differ
-// only by floating-point summation order.
-func TestBudgetParallelMatchesSequential(t *testing.T) {
-	ix := synthCorpus(t, 400, 120, 99)
-	query := "w0 w1 w2 w3 w4"
-	for _, budget := range []int{1, 2, 4, 100} {
-		seq, seqStats, err := ix.SearchTopN(query, 10, TopNOptions{Fragments: 8, MaxFragments: budget})
-		if err != nil {
-			t.Fatal(err)
-		}
-		par, parStats, err := ix.SearchTopN(query, 10, TopNOptions{Fragments: 8, MaxFragments: budget, Workers: 4})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if seqStats.PostingsScored != parStats.PostingsScored {
-			t.Fatalf("budget %d: postings scored %d (par) vs %d (seq)",
-				budget, parStats.PostingsScored, seqStats.PostingsScored)
-		}
-		if seqStats.DocsTouched != parStats.DocsTouched {
-			t.Fatalf("budget %d: docs touched %d (par) vs %d (seq)",
-				budget, parStats.DocsTouched, seqStats.DocsTouched)
-		}
-		if seqStats.Terminated != parStats.Terminated {
-			t.Fatalf("budget %d: terminated %t (par) vs %t (seq)",
-				budget, parStats.Terminated, seqStats.Terminated)
-		}
-		if len(seq) != len(par) {
-			t.Fatalf("budget %d: %d hits (par) vs %d (seq)", budget, len(par), len(seq))
-		}
-		for i := range seq {
-			if math.Abs(seq[i].Score-par[i].Score) > 1e-9 {
-				t.Fatalf("budget %d hit %d: score %g (par) vs %g (seq)",
-					budget, i, par[i].Score, seq[i].Score)
-			}
-		}
-	}
-}
-
-// TestBudgetParallelDeterministic: repeated parallel runs return identical
+// TestBudgetDeterministic: repeated budget-mode runs return identical
 // hits — the term-ordered merge removes scheduling nondeterminism.
-func TestBudgetParallelDeterministic(t *testing.T) {
+func TestBudgetDeterministic(t *testing.T) {
 	ix := synthCorpus(t, 300, 80, 5)
 	query := "w0 w1 w2"
-	first, _, err := ix.SearchTopN(query, 10, TopNOptions{Fragments: 8, MaxFragments: 2, Workers: 4})
+	first, _, err := ix.SearchTopN(query, 10, TopNOptions{Fragments: 8, MaxFragments: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for run := 0; run < 20; run++ {
-		again, _, err := ix.SearchTopN(query, 10, TopNOptions{Fragments: 8, MaxFragments: 2, Workers: 4})
+		again, _, err := ix.SearchTopN(query, 10, TopNOptions{Fragments: 8, MaxFragments: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
 		for i := range first {
 			if first[i].Doc != again[i].Doc || first[i].Score != again[i].Score {
 				t.Fatalf("run %d hit %d: %v vs %v", run, i, again[i], first[i])
-			}
-		}
-	}
-}
-
-// TestSearchWorkersMatchesSequential: the fanned-out exhaustive scan must
-// be byte-identical to Search — per-doc contributions merge in term order,
-// so even the float sums agree exactly.
-func TestSearchWorkersMatchesSequential(t *testing.T) {
-	ix := synthCorpus(t, 400, 120, 21)
-	for _, query := range []string{"w0", "w0 w1", "w0 w1 w2 w3 w4 w5", "w1 nosuchterm w3"} {
-		seq, seqStats, err := ix.Search(query, 25)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for _, workers := range []int{2, 4, 16} {
-			par, parStats, err := ix.SearchWorkers(query, 25, workers)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(seq) != len(par) {
-				t.Fatalf("%q workers=%d: %d hits vs %d", query, workers, len(par), len(seq))
-			}
-			for i := range seq {
-				if seq[i] != par[i] {
-					t.Fatalf("%q workers=%d hit %d: %+v vs %+v", query, workers, i, par[i], seq[i])
-				}
-			}
-			if seqStats != parStats {
-				t.Fatalf("%q workers=%d: stats %+v vs %+v", query, workers, parStats, seqStats)
 			}
 		}
 	}
@@ -121,7 +50,7 @@ func TestConcurrentReads(t *testing.T) {
 					}
 				default:
 					if _, _, err := ix.SearchTopN("w0 w2", 10,
-						TopNOptions{Fragments: 8, MaxFragments: 2, Workers: 2}); err != nil {
+						TopNOptions{Fragments: 8, MaxFragments: 2}); err != nil {
 						t.Error(err)
 						return
 					}

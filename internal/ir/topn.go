@@ -18,12 +18,6 @@ type TopNOptions struct {
 	// MaxFragments fragment rounds are processed (each round takes one
 	// fragment from every term's list), and quality may drop below 1.
 	MaxFragments int
-	// Workers is a worker-count hint kept for API compatibility with the
-	// pre-kernel engine, whose budget mode fanned per-term scoring across
-	// goroutines. Impact precomputation reduced a posting's scoring to one
-	// add, so every worker count now runs the same sequential round-robin
-	// schedule; the result is deterministic for any value.
-	Workers int
 }
 
 func (o TopNOptions) withDefaults() TopNOptions {

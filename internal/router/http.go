@@ -23,11 +23,12 @@ import (
 // ServeHTTP implements http.Handler.
 func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) { r.mux.ServeHTTP(w, req) }
 
-// handleSearch answers GET /v2/search. Keyword (kw=) and scene (kind=)
-// queries scatter over the cluster's segment placement; combined-language
-// (q=) and explain queries are proxied whole to one node — every node
-// holds the full library, so a single-node answer is already the cluster
-// answer for those.
+// handleSearch answers GET /v2/search. Keyword (kw=), vector and hybrid
+// (kw= with kind=vector|hybrid), and scene (kind=) queries scatter over
+// the cluster's segment placement; combined-language (q=) and explain
+// queries are proxied whole to one node — every node holds the full
+// library, so a single-node answer is already the cluster answer for
+// those.
 func (r *Router) handleSearch(w http.ResponseWriter, req *http.Request) {
 	if !serve.OnlyGetV2(w, req) {
 		return

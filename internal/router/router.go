@@ -84,6 +84,9 @@ type Router struct {
 
 	// Counters and gauges, exported on /metrics and /debug/vars.
 	queries   *expvar.Int // v2 searches handled
+	lexicalQ  *expvar.Int // keyword-lane searches
+	vectorQ   *expvar.Int // vector-lane searches
+	hybridQ   *expvar.Int // hybrid-lane searches
 	proxied   *expvar.Int // queries proxied whole to one node (q=, explain)
 	scatters  *expvar.Int // scatter attempts (stale retries count again)
 	staleRe   *expvar.Int // scatter attempts retried on ErrStale
@@ -130,6 +133,9 @@ func NewWithSources(srcs []transport.SegmentSource, opts Options) (*Router, erro
 	r := &Router{
 		opts:      opts.withDefaults(len(srcs)),
 		queries:   new(expvar.Int),
+		lexicalQ:  new(expvar.Int),
+		vectorQ:   new(expvar.Int),
+		hybridQ:   new(expvar.Int),
 		proxied:   new(expvar.Int),
 		scatters:  new(expvar.Int),
 		staleRe:   new(expvar.Int),
@@ -151,6 +157,11 @@ func NewWithSources(srcs []transport.SegmentSource, opts Options) (*Router, erro
 	}
 	r.metrics = new(expvar.Map).Init()
 	r.metrics.Set("router_queries", r.queries)
+	// The lane counters share the node surface's names (dl_queries_*_total)
+	// so one dashboard query covers routers and nodes alike.
+	r.metrics.Set("queries_lexical", r.lexicalQ)
+	r.metrics.Set("queries_vector", r.vectorQ)
+	r.metrics.Set("queries_hybrid", r.hybridQ)
 	r.metrics.Set("router_proxied", r.proxied)
 	r.metrics.Set("router_scatters", r.scatters)
 	r.metrics.Set("router_stale_retries", r.staleRe)
@@ -431,16 +442,24 @@ func ordinals(n int) []int {
 }
 
 // Search answers a unified v2 query by scatter-gather over the cluster.
-// Supported forms are Keyword and Scenes (the combined q= form is proxied
-// whole by the HTTP layer — every node holds the full library). The bool
-// reports a fail-open partial answer. Stale-generation aborts re-plan
-// against a fresh manifest, bounded at 4 attempts.
+// Supported forms are Keyword, Vector, Hybrid, and Scenes (the combined
+// q= form is proxied whole by the HTTP layer — every node holds the full
+// library). The bool reports a fail-open partial answer. Stale-generation
+// aborts re-plan against a fresh manifest, bounded at 4 attempts.
 func (r *Router) Search(ctx context.Context, q dlse.Query, cursor dlse.Cursor, limit int) (*dlse.ResultSet, bool, error) {
 	key, ok := dlse.CanonicalKey(q)
 	if !ok {
 		return nil, false, fmt.Errorf("router: unsupported distributed query form")
 	}
 	r.queries.Add(1)
+	switch {
+	case q.Keyword != "":
+		r.lexicalQ.Add(1)
+	case q.Vector != "":
+		r.vectorQ.Add(1)
+	case q.Hybrid != "":
+		r.hybridQ.Add(1)
+	}
 	rs, partial, err := r.searchAll(ctx, q, key)
 	if err != nil {
 		r.failures.Add(1)
@@ -474,6 +493,31 @@ func (r *Router) searchAll(ctx context.Context, q dlse.Query, key string) (*dlse
 		if err != nil {
 			return nil, false, err
 		}
+		if q.Hybrid != "" {
+			// Hybrid fans out twice under one manifest generation — the
+			// keyword lane over the text ordinals, the vector lane over
+			// text + video ordinals — and fuses the two full rankings by
+			// RRF, exactly as a monolithic engine does. Either scatter
+			// going stale aborts the pair: both lanes must answer against
+			// the same segment set or the fusion is meaningless.
+			kw, err := r.scatter(ctx, transport.Query{Keyword: q.Hybrid, K: 0},
+				man, ordinals(man.TextSegments), nil)
+			if err == nil {
+				var vec *gathered
+				vec, err = r.scatter(ctx, transport.Query{Vector: q.Hybrid, K: 0},
+					man, ordinals(man.TextSegments), ordinals(len(man.Segments)))
+				if err == nil {
+					items := dlse.FuseRRF(hitItems(kw.parts), hitItems(vec.parts))
+					rs := dlse.NewResultSet(items, key, man.Generation)
+					return rs, kw.missing > 0 || vec.missing > 0, nil
+				}
+			}
+			if errors.Is(err, transport.ErrStale) {
+				lastErr = err
+				continue
+			}
+			return nil, false, err
+		}
 		var tq transport.Query
 		var textOrds, videoOrds []int
 		switch {
@@ -482,6 +526,12 @@ func (r *Router) searchAll(ctx context.Context, q dlse.Query, key string) (*dlse
 			// a monolithic engine would cache.
 			tq = transport.Query{Keyword: q.Keyword, K: 0}
 			textOrds = ordinals(man.TextSegments)
+		case q.Vector != "":
+			// The vector lane spans both ordinal spaces: pages first, then
+			// video-embedding segments (see transport.PartialOf).
+			tq = transport.Query{Vector: q.Vector, K: 0}
+			textOrds = ordinals(man.TextSegments)
+			videoOrds = ordinals(len(man.Segments))
 		default:
 			if man.Videos == 0 {
 				return nil, false, fmt.Errorf("%w: scene query %q needs an indexed video library",
@@ -508,26 +558,34 @@ func (r *Router) searchAll(ctx context.Context, q dlse.Query, key string) (*dlse
 	return nil, false, fmt.Errorf("router: segment set kept moving during query: %w", lastErr)
 }
 
+// hitItems merges per-group ranked partial answers (keyword or vector —
+// both rank under the engine's global score desc, DocID asc order) into
+// the global item list.
+func hitItems(parts []*transport.Partial) []dlse.Item {
+	per := make([][]ir.Hit, 0, len(parts))
+	for _, p := range parts {
+		hits := make([]ir.Hit, len(p.Hits))
+		for i, h := range p.Hits {
+			hits[i] = ir.Hit{Doc: h.Doc, Name: h.Page, Score: h.Score}
+		}
+		per = append(per, hits)
+	}
+	merged := ir.MergeHits(per, 0)
+	items := make([]dlse.Item, len(merged))
+	for i, h := range merged {
+		items[i] = dlse.Item{Page: h.Name, Doc: h.Doc, Score: h.Score}
+	}
+	return items
+}
+
 // mergeParts merges per-group partial answers into the global item list —
-// the gather half of scatter-gather. Keyword answers merge under the
-// engine's total order (score desc, DocID asc); scene answers concatenate
-// groups in segment-ordinal order, restoring the monolithic walk.
+// the gather half of scatter-gather. Keyword and vector answers merge
+// under the engine's total order (score desc, DocID asc); scene answers
+// concatenate groups in segment-ordinal order, restoring the monolithic
+// walk.
 func mergeParts(q dlse.Query, parts []*transport.Partial) []dlse.Item {
-	if q.Keyword != "" {
-		per := make([][]ir.Hit, 0, len(parts))
-		for _, p := range parts {
-			hits := make([]ir.Hit, len(p.Hits))
-			for i, h := range p.Hits {
-				hits[i] = ir.Hit{Doc: h.Doc, Name: h.Page, Score: h.Score}
-			}
-			per = append(per, hits)
-		}
-		merged := ir.MergeHits(per, 0)
-		items := make([]dlse.Item, len(merged))
-		for i, h := range merged {
-			items[i] = dlse.Item{Page: h.Name, Doc: h.Doc, Score: h.Score}
-		}
-		return items
+	if q.Keyword != "" || q.Vector != "" {
+		return hitItems(parts)
 	}
 	var groups []transport.SceneGroup
 	for _, p := range parts {

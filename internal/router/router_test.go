@@ -8,10 +8,12 @@ package router
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -191,6 +193,8 @@ func TestClusterParity(t *testing.T) {
 	queries := []string{
 		"kw=" + url.QueryEscape("australian open final"),
 		"kw=champion",
+		"kw=champion&kind=vector",
+		"kw=" + url.QueryEscape("australian open final") + "&kind=hybrid",
 		"kind=net-play",
 		"kind=rally",
 		"q=" + url.QueryEscape(`find Player where exists wonFinals rank "australian open final"`),
@@ -370,6 +374,128 @@ func TestClusterLiveCommit(t *testing.T) {
 	for i, item := range walked {
 		if !reflect.DeepEqual(item, postItems[i]) {
 			t.Fatalf("walked item %d diverges from the committed answer", i)
+		}
+	}
+}
+
+// TestClusterLiveCommitRanked walks paginated vector and hybrid queries
+// through the router while a commit lands on every node mid-walk (run
+// under -race). A commit inserts the new video document at its score
+// position — ranked answers are not append-only — so the invariant is:
+// every page is a clean slice of exactly one generation's full answer
+// (pages fetched before the commit match the pre-commit ranking at their
+// offset, pages after match the post-commit one), and concurrent
+// full-answer readers never observe a mixed-generation response.
+func TestClusterLiveCommitRanked(t *testing.T) {
+	for _, q := range []string{
+		"kw=champion&kind=vector",
+		"kw=champion&kind=hybrid",
+	} {
+		c := newCluster(t, 2)
+		router := c.router(t, Options{Replicas: 2})
+
+		_, preItems := walk(t, c.mono, q, 0)
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					p, _, status := getSearch(t, router, q)
+					if status != http.StatusOK {
+						t.Errorf("concurrent read: status %d", status)
+						return
+					}
+					if p.Total != len(p.Items) {
+						t.Errorf("concurrent read: mixed-generation answer (%d items, total %d)",
+							len(p.Items), p.Total)
+						return
+					}
+				}
+			}()
+		}
+
+		var walked []any
+		cursor := ""
+		committed := false
+		for i := 0; ; i++ {
+			query := q + "&limit=3"
+			if cursor != "" {
+				query += "&cursor=" + url.QueryEscape(cursor)
+			}
+			p, next, status := getSearch(t, router, query)
+			if status != http.StatusOK {
+				t.Fatalf("%s walk page %d: status %d", q, i, status)
+			}
+			walked = append(walked, p.Items...)
+			if i == 1 {
+				c.commitView(t)
+				committed = true
+			}
+			if next == "" {
+				break
+			}
+			cursor = next
+			if i > len(preItems) {
+				t.Fatalf("%s: walk did not terminate", q)
+			}
+		}
+		close(stop)
+		wg.Wait()
+		if !committed {
+			t.Fatalf("%s: walk finished before the commit landed", q)
+		}
+
+		_, postItems := walk(t, c.mono, q, 0)
+		if len(postItems) != len(preItems)+1 {
+			t.Fatalf("%s: commit did not extend the answer: %d -> %d",
+				q, len(preItems), len(postItems))
+		}
+		for i, item := range walked {
+			preOK := i < len(preItems) && reflect.DeepEqual(item, preItems[i])
+			postOK := i < len(postItems) && reflect.DeepEqual(item, postItems[i])
+			if !preOK && !postOK {
+				t.Fatalf("%s walked item %d matches neither generation's answer", q, i)
+			}
+		}
+	}
+}
+
+// TestRouterLaneMetrics: the router exposes the same per-lane query
+// counters as a node (dl_queries_{lexical,vector,hybrid}_total), moved by
+// the scattered lane of each /v2/search.
+func TestRouterLaneMetrics(t *testing.T) {
+	c := newCluster(t, 2)
+	router := c.router(t, Options{})
+	getSearch(t, router, "kw=champion")
+	getSearch(t, router, "kw=champion&kind=vector")
+	getSearch(t, router, "kw=champion&kind=hybrid")
+	getSearch(t, router, "kw=champion&kind=hybrid")
+
+	resp, err := http.Get(router + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"dl_queries_lexical_total 1",
+		"dl_queries_vector_total 1",
+		"dl_queries_hybrid_total 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("router /metrics missing %q:\n%s", want, body)
 		}
 	}
 }

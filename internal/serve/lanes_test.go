@@ -1,0 +1,117 @@
+package serve
+
+// End-to-end coverage of the retrieval lanes on the v2 HTTP surface:
+// kind=lexical|vector|hybrid select the lane for a kw= query, answers
+// page, and each lane moves its own /metrics counter.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func TestV2SearchLanes(t *testing.T) {
+	e, _ := fixture(t)
+	ts := httptest.NewServer(New(e, Options{}))
+	defer ts.Close()
+
+	get := func(query string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v2/search?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("GET %s: status %d: %s", query, resp.StatusCode, body)
+		}
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	kw := url.QueryEscape("australian open champion")
+	// Two lexical (explicit and default), one vector, three hybrid.
+	lex := get("kw=" + kw + "&kind=lexical")
+	def := get("kw=" + kw)
+	vec := get("kw=" + kw + "&kind=vector")
+	hy := get("kw=" + kw + "&kind=hybrid")
+	get("kw=" + kw + "&kind=hybrid&limit=3")
+	get("kw=" + kw + "&kind=hybrid&explain=1")
+
+	// kind=lexical is the spelled-out default: identical answers.
+	if lex["total"] != def["total"] {
+		t.Fatalf("kind=lexical total %v != bare kw total %v", lex["total"], def["total"])
+	}
+	for _, m := range []map[string]any{lex, vec, hy} {
+		if m["total"].(float64) == 0 {
+			t.Fatalf("lane served an empty answer: %v", m)
+		}
+	}
+	// The vector lane reaches video documents; the hybrid answer ranks at
+	// least as many documents as the lexical one (it is a superset fused
+	// with the vector lane).
+	videoHit := false
+	for _, it := range vec["items"].([]any) {
+		if pg, _ := it.(map[string]any)["page"].(string); strings.HasPrefix(pg, "video/") {
+			videoHit = true
+		}
+	}
+	if !videoHit {
+		t.Fatal("vector lane answer reaches no video documents")
+	}
+	if hy["total"].(float64) < lex["total"].(float64) {
+		t.Fatalf("hybrid total %v < lexical total %v", hy["total"], lex["total"])
+	}
+
+	// Per-lane counters: 2 lexical, 1 vector, 3 hybrid (the limit and
+	// explain variants count too — they are hybrid executions).
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE dl_queries_lexical_total counter",
+		"dl_queries_lexical_total 2",
+		"# TYPE dl_queries_vector_total counter",
+		"dl_queries_vector_total 1",
+		"# TYPE dl_queries_hybrid_total counter",
+		"dl_queries_hybrid_total 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// The same counters surface as expvar JSON on /debug/vars.
+	resp, err = http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&vars)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]float64{
+		"queries_lexical": 2, "queries_vector": 1, "queries_hybrid": 3,
+	} {
+		if got, _ := vars[name].(float64); got != want {
+			t.Fatalf("/debug/vars %s = %v, want %v", name, vars[name], want)
+		}
+	}
+}

@@ -49,14 +49,18 @@ func parseOrds(name, s string) ([]int, error) {
 // explicit segment selection:
 //
 //	kw=<terms>&k=<top-k>&text=<ordinal CSV>   — partial keyword search
+//	vq=<terms>&k=<top-k>&text=...&video=...   — partial vector search (text
+//	                                            ordinals select page-embedding
+//	                                            segments, video ordinals
+//	                                            video-embedding segments)
 //	kind=<event kind>&video=<ordinal CSV>     — partial scenes lookup
 //	gen=<generation>                          — optional conditional read:
 //	                                            409 stale_generation when the
 //	                                            serving segment set moved
 //
-// Exactly one of kw/kind must be set. Scores are computed against union
-// corpus statistics, so partial answers merge into results byte-identical
-// to a monolithic search.
+// Exactly one of kw/vq/kind must be set. Scores are computed against
+// union corpus statistics, so partial answers merge into results
+// byte-identical to a monolithic search.
 func (s *Server) handleV2Partial(w http.ResponseWriter, r *http.Request) {
 	if !onlyGetV2(w, r) {
 		return
@@ -64,6 +68,7 @@ func (s *Server) handleV2Partial(w http.ResponseWriter, r *http.Request) {
 	params := r.URL.Query()
 	q := transport.Query{
 		Keyword: params.Get("kw"),
+		Vector:  params.Get("vq"),
 		Scenes:  params.Get("kind"),
 	}
 	k, err := parseLimitStrict("k", params.Get("k"))

@@ -56,6 +56,9 @@ type Server struct {
 	// is per-server, not globally published, so many servers can coexist
 	// in one process without expvar name collisions.
 	queries     *expvar.Int
+	lexicalQ    *expvar.Int
+	vectorQ     *expvar.Int
+	hybridQ     *expvar.Int
 	commits     *expvar.Int
 	compactions *expvar.Int
 	partials    *expvar.Int
@@ -67,6 +70,9 @@ func New(engine *dlse.Engine, opts Options) *Server {
 	s := &Server{
 		start:       time.Now(),
 		queries:     new(expvar.Int),
+		lexicalQ:    new(expvar.Int),
+		vectorQ:     new(expvar.Int),
+		hybridQ:     new(expvar.Int),
 		commits:     new(expvar.Int),
 		compactions: new(expvar.Int),
 		partials:    new(expvar.Int),
@@ -80,6 +86,9 @@ func New(engine *dlse.Engine, opts Options) *Server {
 	}
 	s.metrics = new(expvar.Map).Init()
 	s.metrics.Set("queries", s.queries)
+	s.metrics.Set("queries_lexical", s.lexicalQ)
+	s.metrics.Set("queries_vector", s.vectorQ)
+	s.metrics.Set("queries_hybrid", s.hybridQ)
 	s.metrics.Set("commits", s.commits)
 	s.metrics.Set("compactions", s.compactions)
 	s.metrics.Set("partials", s.partials)
@@ -324,6 +333,16 @@ func (s *Server) Search(ctx context.Context, q dlse.Query, cursor dlse.Cursor, l
 	nq, key, err := e.Normalize(q)
 	if err != nil {
 		return nil, false, err
+	}
+	// Per-lane counters over the normalized form, so the lexical count
+	// stays meaningful next to the vector/hybrid ones.
+	switch {
+	case nq.Keyword != "":
+		s.lexicalQ.Add(1)
+	case nq.Vector != "":
+		s.vectorQ.Add(1)
+	case nq.Hybrid != "":
+		s.hybridQ.Add(1)
 	}
 	if explain {
 		if err := s.acquire(ctx); err != nil {

@@ -211,12 +211,28 @@ func parseLimitStrict(name, s string) (int, error) {
 // limit, explain — shared by dlserve's handler and dlrouter's, so both
 // surfaces accept and reject requests identically. A non-numeric or
 // negative limit is a parse error, never a silent default.
+//
+// When kw= is present, kind= selects the retrieval lane instead of naming
+// an event kind: lexical (the default), vector (embedding similarity), or
+// hybrid (reciprocal-rank fusion of both). Any other kind value keeps its
+// scene-lookup meaning, so kw=...&kind=net-play still reports the usual
+// one-form-only parse error.
 func ParseSearchQuery(r *http.Request) (q dlse.Query, cursor dlse.Cursor, limit int, explain bool, err error) {
 	params := r.URL.Query()
 	q = dlse.Query{
 		Source:  params.Get("q"),
 		Keyword: params.Get("kw"),
 		Scenes:  params.Get("kind"),
+	}
+	if q.Keyword != "" {
+		switch q.Scenes {
+		case "", "lexical":
+			q.Scenes = ""
+		case "vector":
+			q.Vector, q.Keyword, q.Scenes = q.Keyword, "", ""
+		case "hybrid":
+			q.Hybrid, q.Keyword, q.Scenes = q.Keyword, "", ""
+		}
 	}
 	limit, err = parseLimitStrict("limit", params.Get("limit"))
 	if err != nil {
@@ -298,9 +314,11 @@ func toV2Explain(ex *dlse.Explain) *v2ExplainJSON {
 
 // handleV2Search answers GET /v2/search with exactly one of:
 //
-//	q=<query language>     — combined conceptual/content/text query
-//	kw=<terms>             — flattened-pages keyword baseline
-//	kind=<event kind>      — raw scene lookup
+//	q=<query language>            — combined conceptual/content/text query
+//	kw=<terms>                    — flattened-pages keyword baseline
+//	kw=<terms>&kind=vector        — embedding-similarity search (pages+videos)
+//	kw=<terms>&kind=hybrid        — keyword ‖ vector, fused by RRF
+//	kind=<event kind>             — raw scene lookup
 //
 // plus optional limit=<page size>, cursor=<opaque token from a previous
 // page>, and explain=1.

@@ -72,8 +72,17 @@ func PartialOf(e *dlse.Engine, q Query, sel Sel, expectGen int64) (*Partial, err
 		return nil, fmt.Errorf("%w: have %d, want %d", ErrStale, vi.Generation(), expectGen)
 	}
 	p := &Partial{Generation: vi.Generation(), Snapshot: e.Snapshot()}
+	forms := 0
+	for _, set := range []bool{q.Keyword != "", q.Vector != "", q.Scenes != ""} {
+		if set {
+			forms++
+		}
+	}
+	if forms != 1 {
+		return nil, fmt.Errorf("%w: exactly one of Keyword, Vector, or Scenes must be set", ErrBadSelection)
+	}
 	switch {
-	case q.Keyword != "" && q.Scenes == "":
+	case q.Keyword != "":
 		if len(sel.Text) == 0 {
 			return nil, fmt.Errorf("%w: keyword query selects no text segments", ErrBadSelection)
 		}
@@ -97,7 +106,41 @@ func PartialOf(e *dlse.Engine, q Query, sel Sel, expectGen int64) (*Partial, err
 				p.Hits[i] = Hit{Doc: h.Doc, Page: h.Name, Score: h.Score}
 			}
 		}
-	case q.Scenes != "" && q.Keyword == "":
+	case q.Vector != "":
+		// The vector lane spans both ordinal spaces: text ordinal o is
+		// page-embedding segment o, video ordinal o is embedding segment
+		// nText+o. A node's placement therefore scatters the vector
+		// query with exactly the selections it already holds.
+		nText := e.TextIndex().NumSegments()
+		if len(sel.Text) == 0 && len(sel.Video) == 0 {
+			return nil, fmt.Errorf("%w: vector query selects no segments", ErrBadSelection)
+		}
+		ords := make([]int, 0, len(sel.Text)+len(sel.Video))
+		for _, o := range sel.Text {
+			if o < 0 || o >= nText {
+				return nil, fmt.Errorf("%w: no text segment ordinal %d (have %d)",
+					ErrBadSelection, o, nText)
+			}
+			ords = append(ords, o)
+		}
+		for _, o := range sel.Video {
+			if o < 0 || o >= vi.NumSegments() {
+				return nil, fmt.Errorf("%w: no video segment ordinal %d (have %d)",
+					ErrBadSelection, o, vi.NumSegments())
+			}
+			ords = append(ords, nText+o)
+		}
+		hits, _, err := e.VecIndex().SearchPartial(q.Vector, q.K, ords)
+		if err != nil {
+			return nil, err // incl. ir.ErrEmptyQry, raw
+		}
+		if len(hits) > 0 {
+			p.Hits = make([]Hit, len(hits))
+			for i, h := range hits {
+				p.Hits[i] = Hit{Doc: h.Doc, Page: h.Name, Score: h.Score}
+			}
+		}
+	case q.Scenes != "":
 		if len(sel.Video) == 0 {
 			return nil, fmt.Errorf("%w: scene query selects no video segments", ErrBadSelection)
 		}
@@ -117,8 +160,6 @@ func PartialOf(e *dlse.Engine, q Query, sel Sel, expectGen int64) (*Partial, err
 			}
 			p.Groups = append(p.Groups, SceneGroup{Seg: o, Scenes: scenes})
 		}
-	default:
-		return nil, fmt.Errorf("%w: exactly one of Keyword or Scenes must be set", ErrBadSelection)
 	}
 	return p, nil
 }

@@ -138,6 +138,12 @@ func (r *Remote) Partial(ctx context.Context, q Query, sel Sel, expectGen int64)
 			params.Set("k", strconv.Itoa(q.K))
 		}
 	}
+	if q.Vector != "" {
+		params.Set("vq", q.Vector)
+		if q.K > 0 {
+			params.Set("k", strconv.Itoa(q.K))
+		}
+	}
 	if q.Scenes != "" {
 		params.Set("kind", q.Scenes)
 	}

@@ -73,12 +73,18 @@ type Sel struct {
 	Video []int `json:"video,omitempty"`
 }
 
-// Query is one partial query: exactly one of Keyword or Scenes set.
+// Query is one partial query: exactly one of Keyword, Vector, or Scenes
+// set.
 type Query struct {
 	// Keyword is ranked BM25 retrieval over the selected text partitions.
 	Keyword string `json:"keyword,omitempty"`
-	// K caps the keyword answer at the top k hits (0 = full ranking).
+	// K caps the keyword or vector answer at the top k hits (0 = full
+	// ranking).
 	K int `json:"k,omitempty"`
+	// Vector is embedding-similarity retrieval over the vector lane: the
+	// selected text ordinals name page-embedding segments, the selected
+	// video ordinals name video-embedding segments.
+	Vector string `json:"vector,omitempty"`
 	// Scenes looks up scenes of this event kind in the selected video
 	// partitions.
 	Scenes string `json:"scenes,omitempty"`

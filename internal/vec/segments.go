@@ -1,0 +1,387 @@
+package vec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ir"
+)
+
+// maxCentroids caps the coarse codebook size.
+const maxCentroids = 256
+
+// Options tunes a Segments composition.
+type Options struct {
+	// Probes is the number of inverted lists a query scans, ranked by
+	// centroid similarity. <= 0 probes every list: the scan is
+	// exhaustive and byte-identical to SearchFlat — the serving
+	// default, because the acceptance bar is exactness. Positive values
+	// trade recall for scan cost; determinism across segmentations is
+	// unaffected (the probe set depends only on query and codebook).
+	Probes int
+}
+
+// segment is one frozen partition: a builder's documents plus the
+// IVF assignment computed against the union codebook at composition.
+type segment struct {
+	b       *Builder
+	base    ir.DocID
+	listOff []uint32 // len = ncent+1, offsets into listDoc
+	listDoc []int32  // local doc ordinals grouped by centroid, ascending within a list
+}
+
+// Segments is a scatter-gather reader over frozen vector segments — the
+// vec mirror of ir.Segments. Composition freezes every part against
+// union corpus state: global DocID bases are assigned contiguously in
+// part order, and the coarse codebook is sampled from the union corpus
+// in global document order, so neither list membership nor probe sets
+// depend on how documents were partitioned. A Segments is immutable
+// after NewSegments; any number of goroutines may search it.
+type Segments struct {
+	emb    Embedder
+	segs   []*segment
+	base   []ir.DocID
+	docs   int
+	cents  []float32 // ncent * dim, row-major
+	ncent  int
+	probes int
+}
+
+// SearchStats reports the work one vector query performed.
+type SearchStats struct {
+	// Probes counts the inverted lists selected for scanning (per
+	// segment they are the same lists; this is the per-query count).
+	Probes int
+	// DocsScanned counts scored documents across all scanned segments.
+	DocsScanned int
+}
+
+// SegStat is one segment's contribution to a scatter: its kernel stats
+// and the wall time of its scan.
+type SegStat struct {
+	Stats    SearchStats
+	Duration time.Duration
+}
+
+// NewSegments composes frozen builders into a scatter-gather reader.
+// Parts receive contiguous global DocID bases in order. The same parts
+// composed under any partitioning of the same union corpus answer every
+// query byte-identically (locked by TestVecSegmentsParity).
+func NewSegments(e Embedder, parts []*Builder, opts Options) (*Segments, error) {
+	if e == nil {
+		return nil, fmt.Errorf("vec: nil embedder")
+	}
+	s := &Segments{emb: e, probes: opts.Probes}
+	for i, b := range parts {
+		if b == nil {
+			return nil, fmt.Errorf("vec: nil part %d", i)
+		}
+		if b.Dim() != e.Dim() {
+			return nil, fmt.Errorf("vec: part %d dim %d does not match embedder dim %d", i, b.Dim(), e.Dim())
+		}
+		s.base = append(s.base, ir.DocID(s.docs))
+		s.docs += b.Len()
+		s.segs = append(s.segs, &segment{b: b, base: ir.DocID(s.docs - b.Len())})
+	}
+	s.buildCodebook(parts)
+	for _, sg := range s.segs {
+		s.freeze(sg)
+	}
+	return s, nil
+}
+
+// buildCodebook derives the coarse quantizer from the union corpus:
+// ceil(sqrt(docs)) centroids (capped), each the embedding of the
+// document at a fixed stride through the global order. The sample is a
+// pure function of the union corpus — the same documents partitioned
+// differently yield bit-identical centroids.
+func (s *Segments) buildCodebook(parts []*Builder) {
+	if s.docs == 0 {
+		return
+	}
+	n := 1
+	for n*n < s.docs {
+		n++
+	}
+	if n > maxCentroids {
+		n = maxCentroids
+	}
+	if n > s.docs {
+		n = s.docs
+	}
+	s.ncent = n
+	dim := s.emb.Dim()
+	s.cents = make([]float32, n*dim)
+	for c := 0; c < n; c++ {
+		g := c * s.docs / n // global doc index of the c-th sample
+		si := s.segOf(ir.DocID(g))
+		local := g - int(s.base[si])
+		copy(s.cents[c*dim:(c+1)*dim], parts[si].Vec(local))
+	}
+}
+
+// assign returns v's centroid under the deterministic tie-break
+// (similarity desc, centroid index asc).
+func (s *Segments) assign(v []float32) int {
+	best, bestDot := 0, dot(v, s.centroid(0))
+	for c := 1; c < s.ncent; c++ {
+		if d := dot(v, s.centroid(c)); d > bestDot {
+			best, bestDot = c, d
+		}
+	}
+	return best
+}
+
+// freeze computes sg's inverted lists against the union codebook —
+// the per-segment freeze step. Within a list, documents stay in local
+// ordinal order.
+func (s *Segments) freeze(sg *segment) {
+	n := sg.b.Len()
+	sg.listOff = make([]uint32, s.ncent+1)
+	sg.listDoc = make([]int32, n)
+	if n == 0 || s.ncent == 0 {
+		return
+	}
+	cent := make([]int32, n)
+	counts := make([]uint32, s.ncent)
+	for i := 0; i < n; i++ {
+		c := s.assign(sg.b.Vec(i))
+		cent[i] = int32(c)
+		counts[c]++
+	}
+	for c, cnt := range counts {
+		sg.listOff[c+1] = sg.listOff[c] + cnt
+	}
+	next := make([]uint32, s.ncent)
+	copy(next, sg.listOff[:s.ncent])
+	for i := 0; i < n; i++ {
+		c := cent[i]
+		sg.listDoc[next[c]] = int32(i)
+		next[c]++
+	}
+}
+
+func (s *Segments) centroid(c int) []float32 {
+	dim := s.emb.Dim()
+	return s.cents[c*dim : (c+1)*dim]
+}
+
+// dot accumulates in float64 with one fixed summation order, so a
+// score's bits depend only on the two vectors.
+func dot(a, b []float32) float64 {
+	var sum float64
+	for i := range a {
+		sum += float64(a[i]) * float64(b[i])
+	}
+	return sum
+}
+
+// NumSegments returns the partition count.
+func (s *Segments) NumSegments() int { return len(s.segs) }
+
+// Docs returns the union document count.
+func (s *Segments) Docs() int { return s.docs }
+
+// Dim returns the embedding dimension.
+func (s *Segments) Dim() int { return s.emb.Dim() }
+
+// Centroids returns the codebook size.
+func (s *Segments) Centroids() int { return s.ncent }
+
+// Embedder returns the embedding scheme the reader was composed with.
+func (s *Segments) Embedder() Embedder { return s.emb }
+
+// segOf returns the segment holding global doc d.
+func (s *Segments) segOf(d ir.DocID) int {
+	return sort.Search(len(s.base), func(i int) bool { return s.base[i] > d }) - 1
+}
+
+// DocName resolves a global DocID to its document name.
+func (s *Segments) DocName(d ir.DocID) (string, error) {
+	if d < 0 || int(d) >= s.docs {
+		return "", fmt.Errorf("vec: doc %d out of range [0,%d)", d, s.docs)
+	}
+	i := s.segOf(d)
+	return s.segs[i].b.Name(int(d - s.base[i])), nil
+}
+
+// embedQuery embeds and validates a query: a query with no indexable
+// tokens reports ir.ErrEmptyQry exactly like the lexical lane.
+func (s *Segments) embedQuery(query string) ([]float32, error) {
+	if len(ir.Analyze(query)) == 0 {
+		return nil, ir.ErrEmptyQry
+	}
+	return s.emb.Embed(query), nil
+}
+
+// probeSet ranks centroids by (similarity desc, index asc) and returns
+// the first probes of them (all when probes <= 0 or the codebook is
+// smaller). The result is a pure function of query and codebook.
+func (s *Segments) probeSet(q []float32, probes int) []int {
+	order := make([]int, s.ncent)
+	for i := range order {
+		order[i] = i
+	}
+	if probes <= 0 || probes >= s.ncent {
+		return order
+	}
+	sims := make([]float64, s.ncent)
+	for c := range sims {
+		sims[c] = dot(q, s.centroid(c))
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if sims[order[i]] != sims[order[j]] {
+			return sims[order[i]] > sims[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	return order[:probes]
+}
+
+// scanSegment scores every document of sg in the probed lists and
+// returns them sorted under the global total order (score desc, DocID
+// asc). flat ignores the lists and scans exhaustively.
+func (sg *segment) scan(q []float32, probes []int, flat bool) ([]ir.Hit, int) {
+	n := sg.b.Len()
+	if n == 0 {
+		return nil, 0
+	}
+	var hits []ir.Hit
+	score := func(local int32) {
+		hits = append(hits, ir.Hit{
+			Doc:   sg.base + ir.DocID(local),
+			Name:  sg.b.Name(int(local)),
+			Score: dot(q, sg.b.Vec(int(local))),
+		})
+	}
+	if flat {
+		hits = make([]ir.Hit, 0, n)
+		for i := 0; i < n; i++ {
+			score(int32(i))
+		}
+	} else {
+		for _, c := range probes {
+			for _, local := range sg.listDoc[sg.listOff[c]:sg.listOff[c+1]] {
+				score(local)
+			}
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc < hits[j].Doc
+	})
+	return hits, len(hits)
+}
+
+// scatter runs fn for every segment ordinal in ords, in parallel when
+// there is more than one, and returns per-ordinal wall times.
+func scatter(ords []int, fn func(slot, ord int)) []time.Duration {
+	durs := make([]time.Duration, len(ords))
+	if len(ords) == 1 {
+		t0 := time.Now()
+		fn(0, ords[0])
+		durs[0] = time.Since(t0)
+		return durs
+	}
+	var wg sync.WaitGroup
+	for slot, ord := range ords {
+		wg.Add(1)
+		go func(slot, ord int) {
+			defer wg.Done()
+			t0 := time.Now()
+			fn(slot, ord)
+			durs[slot] = time.Since(t0)
+		}(slot, ord)
+	}
+	wg.Wait()
+	return durs
+}
+
+// Search runs the IVF query and returns the top k hits under the global
+// (score desc, DocID asc) total order; k <= 0 ranks every scanned
+// document (the full ranking the pagination layer slices).
+func (s *Segments) Search(query string, k int) ([]ir.Hit, SearchStats, error) {
+	hits, stats, _, err := s.SearchSegments(query, k)
+	return hits, stats, err
+}
+
+// SearchSegments is Search plus per-segment scatter stats for explain
+// plans.
+func (s *Segments) SearchSegments(query string, k int) ([]ir.Hit, SearchStats, []SegStat, error) {
+	q, err := s.embedQuery(query)
+	if err != nil {
+		return nil, SearchStats{}, nil, err
+	}
+	probes := s.probeSet(q, s.probes)
+	per := make([][]ir.Hit, len(s.segs))
+	scanned := make([]int, len(s.segs))
+	ords := make([]int, len(s.segs))
+	for i := range ords {
+		ords[i] = i
+	}
+	durs := scatter(ords, func(slot, ord int) {
+		per[slot], scanned[slot] = s.segs[ord].scan(q, probes, false)
+	})
+	stats := SearchStats{Probes: len(probes)}
+	segStats := make([]SegStat, len(s.segs))
+	for i := range per {
+		stats.DocsScanned += scanned[i]
+		segStats[i] = SegStat{Stats: SearchStats{Probes: len(probes), DocsScanned: scanned[i]}, Duration: durs[i]}
+	}
+	return ir.MergeHits(per, k), stats, segStats, nil
+}
+
+// SearchPartial scans only the segments named by ords (a distributed
+// node's placement) and merges their hits under the same global total
+// order; the gather layer's k-way merge of partial answers therefore
+// reproduces SearchSegments byte for byte.
+func (s *Segments) SearchPartial(query string, k int, ords []int) ([]ir.Hit, SearchStats, error) {
+	for _, o := range ords {
+		if o < 0 || o >= len(s.segs) {
+			return nil, SearchStats{}, fmt.Errorf("vec: no segment ordinal %d (have %d)", o, len(s.segs))
+		}
+	}
+	q, err := s.embedQuery(query)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	probes := s.probeSet(q, s.probes)
+	per := make([][]ir.Hit, len(ords))
+	scanned := make([]int, len(ords))
+	scatter(ords, func(slot, ord int) {
+		per[slot], scanned[slot] = s.segs[ord].scan(q, probes, false)
+	})
+	stats := SearchStats{Probes: len(probes)}
+	for _, n := range scanned {
+		stats.DocsScanned += n
+	}
+	return ir.MergeHits(per, k), stats, nil
+}
+
+// SearchFlat is the brute-force reference scorer: every document of
+// every segment, no coarse quantization. The IVF path with Probes <= 0
+// is locked byte-identical to it.
+func (s *Segments) SearchFlat(query string, k int) ([]ir.Hit, SearchStats, error) {
+	q, err := s.embedQuery(query)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	per := make([][]ir.Hit, len(s.segs))
+	scanned := make([]int, len(s.segs))
+	ords := make([]int, len(s.segs))
+	for i := range ords {
+		ords[i] = i
+	}
+	scatter(ords, func(slot, ord int) {
+		per[slot], scanned[slot] = s.segs[ord].scan(q, nil, true)
+	})
+	stats := SearchStats{Probes: s.ncent}
+	for _, n := range scanned {
+		stats.DocsScanned += n
+	}
+	return ir.MergeHits(per, k), stats, nil
+}

@@ -1,0 +1,174 @@
+// Package vec is the second retrieval lane of the digital library: a
+// pure-Go approximate-nearest-neighbor index over dense document
+// embeddings, segmented and scatter-gathered exactly like the lexical
+// kernel in internal/ir.
+//
+// The lane is built for determinism first. Embeddings come from a
+// pluggable Embedder whose default is a hash-projection ("LSA-style
+// random indexing") embedder: a pure function of the analyzed token
+// stream, no model weights, so every test is hermetic and every score is
+// byte-reproducible. Cosine similarity over L2-normalized vectors makes a
+// document's score against a query independent of the rest of the corpus
+// — the vec analog of ir's frozen BM25 impacts — so partitioning the
+// corpus cannot perturb a single score bit.
+//
+// The index is IVF-flat: a coarse codebook quantizes documents into
+// inverted lists, a query probes the nearest lists, and only the probed
+// lists are scanned. The codebook is derived deterministically from the
+// union corpus in global document order (the vec mirror of ir.Segments
+// freezing parts against union corpus statistics), so list membership and
+// probe sets never depend on how the corpus is partitioned. With Probes=0
+// (the serving default) every list is probed and the scan is exhaustive:
+// the IVF answer is then locked byte-identical to the brute-force
+// reference scorer SearchFlat, the property the acceptance tests pin.
+// Positive Probes trade recall for scan cost without ever breaking
+// cross-segmentation determinism (the probe set is a pure function of
+// query and codebook).
+package vec
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Embedder maps text to a fixed-dimension dense vector. Implementations
+// must be deterministic pure functions of the text (the whole lane's
+// byte-identity rests on it) and should return L2-normalized vectors so
+// dot products are cosine similarities.
+type Embedder interface {
+	// Name identifies the embedding scheme; it is persisted with cached
+	// vectors so a cache built by a different embedder is refused.
+	Name() string
+	// Dim is the embedding dimension.
+	Dim() int
+	// Embed returns the text's embedding. A text with no indexable
+	// tokens embeds to the zero vector.
+	Embed(text string) []float32
+}
+
+// DefaultDim is the dimension of the default hash embedder — small
+// enough that exhaustive scans stay cheap, large enough that unrelated
+// token sets rarely collide into similar directions.
+const DefaultDim = 64
+
+// HashEmbedder is the deterministic default: random-indexing projection
+// of the analyzed token stream into a fixed-dimension space. Every
+// unigram contributes ±1 to one hashed coordinate and every bigram
+// contributes ±0.5 to another, accumulated in token order and
+// L2-normalized. Tokenization reuses ir.Analyze, so the vector lane and
+// the lexical lane agree on what a term is.
+type HashEmbedder struct {
+	dim int
+}
+
+// NewHashEmbedder builds a hash embedder of the given dimension
+// (DefaultDim if dim <= 0).
+func NewHashEmbedder(dim int) *HashEmbedder {
+	if dim <= 0 {
+		dim = DefaultDim
+	}
+	return &HashEmbedder{dim: dim}
+}
+
+// DefaultEmbedder is the embedder the digital library engine uses.
+func DefaultEmbedder() *HashEmbedder { return NewHashEmbedder(DefaultDim) }
+
+// Name implements Embedder.
+func (h *HashEmbedder) Name() string { return fmt.Sprintf("hash-v1/%d", h.dim) }
+
+// Dim implements Embedder.
+func (h *HashEmbedder) Dim() int { return h.dim }
+
+// fnv1a64 is the tokenizer-independent string hash behind the projection.
+func fnv1a64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Embed implements Embedder. The accumulation order is the token order,
+// so the resulting float32 bits are a deterministic function of the text.
+func (h *HashEmbedder) Embed(text string) []float32 {
+	v := make([]float32, h.dim)
+	toks := ir.Analyze(text)
+	prev := ""
+	for _, tok := range toks {
+		hash := fnv1a64(tok)
+		w := float32(1)
+		if hash>>63&1 == 1 {
+			w = -1
+		}
+		v[int(hash%uint64(h.dim))] += w
+		if prev != "" {
+			bh := fnv1a64(prev + " " + tok)
+			bw := float32(0.5)
+			if bh>>63&1 == 1 {
+				bw = -0.5
+			}
+			v[int(bh%uint64(h.dim))] += bw
+		}
+		prev = tok
+	}
+	normalize(v)
+	return v
+}
+
+// normalize scales v to unit L2 norm in place (no-op for the zero
+// vector). The squared norm accumulates in float64 for one deterministic
+// summation order.
+func normalize(v []float32) {
+	var ss float64
+	for _, x := range v {
+		ss += float64(x) * float64(x)
+	}
+	if ss == 0 {
+		return
+	}
+	inv := float32(1 / math.Sqrt(ss))
+	for i := range v {
+		v[i] *= inv
+	}
+}
+
+// Builder accumulates one segment's documents before composition: names
+// and embeddings in insertion order. Local document ordinal = insertion
+// position; the global DocID is assigned when NewSegments composes
+// builders into a Segments reader. A filled Builder is immutable by
+// convention and may back any number of Segments compositions (the
+// engine re-composes the same page builders on every commit).
+type Builder struct {
+	dim   int
+	names []string
+	vecs  []float32 // len = dim * len(names), row-major
+}
+
+// NewBuilder starts an empty segment for e's embedding space.
+func NewBuilder(e Embedder) *Builder {
+	return &Builder{dim: e.Dim()}
+}
+
+// Add embeds text and appends it as the next document.
+func (b *Builder) Add(name, text string, e Embedder) {
+	if e.Dim() != b.dim {
+		panic(fmt.Sprintf("vec: embedder dim %d does not match builder dim %d", e.Dim(), b.dim))
+	}
+	b.names = append(b.names, name)
+	b.vecs = append(b.vecs, e.Embed(text)...)
+}
+
+// Len returns the number of documents added.
+func (b *Builder) Len() int { return len(b.names) }
+
+// Dim returns the embedding dimension.
+func (b *Builder) Dim() int { return b.dim }
+
+// Name returns document i's name.
+func (b *Builder) Name(i int) string { return b.names[i] }
+
+// Vec returns document i's embedding (aliasing the builder's storage).
+func (b *Builder) Vec(i int) []float32 { return b.vecs[i*b.dim : (i+1)*b.dim] }
