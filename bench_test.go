@@ -1386,3 +1386,55 @@ func BenchmarkEventsRelated(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkSceneJoin measures the event→video scene join across its three
+// regimes: the retained row-store reference path (per-event Select +
+// VideoByID round-trips), the frozen columnar view built cold (a cheap
+// version bump before every lookup forces a rebuild), and the hot view
+// (pure slice copy). One and four partitions cover the monolithic and the
+// scatter shape.
+func BenchmarkSceneJoin(b *testing.B) {
+	for _, nseg := range []int{1, 4} {
+		parts, metas := coldCorpusParts(nseg)
+		si, err := core.NewSegmentedIndex(parts, metas, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kinds := []string{"net-play", "rally", "service", "volley"}
+		b.Run(fmt.Sprintf("ref/segs=%d", nseg), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := si.ScenesReference(kinds[i%len(kinds)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("cold/segs=%d", nseg), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Invalidate every partition's view; features are not read
+				// by the view build, so the corpus answer is unchanged.
+				for _, p := range parts {
+					if err := p.AddFeature(core.FeatureValue{Name: "bump"}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := si.Scenes(kinds[i%len(kinds)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("hot/segs=%d", nseg), func(b *testing.B) {
+			b.ReportAllocs()
+			if _, err := si.Scenes("rally"); err != nil { // warm the view
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := si.Scenes(kinds[i%len(kinds)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

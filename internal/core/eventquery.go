@@ -33,7 +33,31 @@ type EventPair struct {
 // scan. Either path returns pairs in the same order: ascending by the
 // position of a in EventsByKind(kindA), then by the position of b in
 // EventsByKind(kindB).
+//
+// Both operands and their per-video groupings come precomputed from the
+// frozen columnar view, so a hot call does no store reads, no grouping and
+// no sorting beyond the final scan-order restore.
 func (m *MetaIndex) EventsRelated(kindA, kindB string, wanted ...AllenRelation) ([]EventPair, error) {
+	v, err := m.frozenView()
+	if err != nil {
+		return nil, fmt.Errorf("core: composite query: %w", err)
+	}
+	as, _, _ := v.kindEvents(kindA)
+	_, byVideo, groups := v.kindEvents(kindB)
+	want := map[AllenRelation]bool{}
+	for _, r := range wanted {
+		want[r] = true
+	}
+	if len(want) == 0 || want[RelBefore] || want[RelAfter] {
+		return relatedScanGrouped(as, byVideo, kindA == kindB, want), nil
+	}
+	return relatedSweep(as, groups, kindA == kindB, want), nil
+}
+
+// EventsRelatedReference is the retained row-store path of EventsRelated:
+// operands come from per-query selects and the sweep groups are rebuilt on
+// every call. Parity tests lock the frozen path against it.
+func (m *MetaIndex) EventsRelatedReference(kindA, kindB string, wanted ...AllenRelation) ([]EventPair, error) {
 	as, bs, err := m.eventOperands(kindA, kindB)
 	if err != nil {
 		return nil, err
@@ -45,7 +69,7 @@ func (m *MetaIndex) EventsRelated(kindA, kindB string, wanted ...AllenRelation) 
 	if len(want) == 0 || want[RelBefore] || want[RelAfter] {
 		return relatedScan(as, bs, kindA == kindB, want), nil
 	}
-	return relatedSweep(as, bs, kindA == kindB, want), nil
+	return relatedSweep(as, groupByVideoSorted(bs), kindA == kindB, want), nil
 }
 
 // EventsRelatedNaive is the reference O(A·B) pairwise implementation of
@@ -64,12 +88,15 @@ func (m *MetaIndex) EventsRelatedNaive(kindA, kindB string, wanted ...AllenRelat
 	return relatedScan(as, bs, kindA == kindB, want), nil
 }
 
+// eventOperands reads both operand kinds through the row store — the
+// reference paths stay pure row-store so they keep locking the frozen view
+// from the outside.
 func (m *MetaIndex) eventOperands(kindA, kindB string) ([]Event, []Event, error) {
-	as, err := m.EventsByKind(kindA)
+	as, err := m.EventsByKindReference(kindA)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: composite query: %w", err)
 	}
-	bs, err := m.EventsByKind(kindB)
+	bs, err := m.EventsByKindReference(kindB)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: composite query: %w", err)
 	}
@@ -84,6 +111,12 @@ func relatedScan(as, bs []Event, sameKind bool, want map[AllenRelation]bool) []E
 	for _, b := range bs {
 		byVideo[b.VideoID] = append(byVideo[b.VideoID], b)
 	}
+	return relatedScanGrouped(as, byVideo, sameKind, want)
+}
+
+// relatedScanGrouped is relatedScan over an already-grouped b operand (the
+// frozen view keeps the per-video groups prebuilt in operand order).
+func relatedScanGrouped(as []Event, byVideo map[int64][]Event, sameKind bool, want map[AllenRelation]bool) []EventPair {
 	var out []EventPair
 	for _, a := range as {
 		for _, b := range byVideo[a.VideoID] {
@@ -166,9 +199,9 @@ func sortPairsScanOrder(pairs []EventPair, aOrd, bOrd []int) []EventPair {
 // or touch), so per video the b events are sorted by start and each a
 // examines only the candidate window below the binary-searched upper bound,
 // pruned by the prefix maximum of ends. Runtime is O(A log B + candidates)
-// per video instead of O(A·B).
-func relatedSweep(as, bs []Event, sameKind bool, want map[AllenRelation]bool) []EventPair {
-	groups := groupByVideoSorted(bs)
+// per video instead of O(A·B). The groups carry each b's position in the
+// operand order, so output restores to scan order exactly.
+func relatedSweep(as []Event, groups map[int64]*sweepGroup, sameKind bool, want map[AllenRelation]bool) []EventPair {
 	var (
 		out        []EventPair
 		aOrd, bOrd []int
@@ -202,21 +235,9 @@ func relatedSweep(as, bs []Event, sameKind bool, want map[AllenRelation]bool) []
 	return sortPairsScanOrder(out, aOrd, bOrd)
 }
 
-// EventsFollowing returns events of kindB starting within maxGap frames
-// after an event of kindA ends, in the same video — the "A then B"
-// pattern (e.g. service followed by rally). Like EventsRelated it uses a
-// per-video sorted sweep: each a examines only the b events whose start
-// falls inside the window [a.End, a.End+maxGap].
-func (m *MetaIndex) EventsFollowing(kindA, kindB string, maxGap int) ([]EventPair, error) {
-	if maxGap < 0 {
-		return nil, fmt.Errorf("core: negative gap %d", maxGap)
-	}
-	as, bs, err := m.eventOperands(kindA, kindB)
-	if err != nil {
-		return nil, err
-	}
-	sameKind := kindA == kindB
-	groups := groupByVideoSorted(bs)
+// followingSweep is the windowed "A then B" sweep shared by the frozen and
+// reference EventsFollowing paths.
+func followingSweep(as []Event, groups map[int64]*sweepGroup, sameKind bool, maxGap int) []EventPair {
 	var (
 		out        []EventPair
 		aOrd, bOrd []int
@@ -238,14 +259,72 @@ func (m *MetaIndex) EventsFollowing(kindA, kindB string, maxGap int) ([]EventPai
 			bOrd = append(bOrd, b.ord)
 		}
 	}
-	return sortPairsScanOrder(out, aOrd, bOrd), nil
+	return sortPairsScanOrder(out, aOrd, bOrd)
+}
+
+// EventsFollowing returns events of kindB starting within maxGap frames
+// after an event of kindA ends, in the same video — the "A then B"
+// pattern (e.g. service followed by rally). Like EventsRelated it uses a
+// per-video sorted sweep over the frozen view's prebuilt groups: each a
+// examines only the b events whose start falls inside [a.End, a.End+maxGap].
+func (m *MetaIndex) EventsFollowing(kindA, kindB string, maxGap int) ([]EventPair, error) {
+	if maxGap < 0 {
+		return nil, fmt.Errorf("core: negative gap %d", maxGap)
+	}
+	v, err := m.frozenView()
+	if err != nil {
+		return nil, fmt.Errorf("core: composite query: %w", err)
+	}
+	as, _, _ := v.kindEvents(kindA)
+	_, _, groups := v.kindEvents(kindB)
+	return followingSweep(as, groups, kindA == kindB, maxGap), nil
+}
+
+// EventsFollowingReference is the retained row-store path of EventsFollowing.
+func (m *MetaIndex) EventsFollowingReference(kindA, kindB string, maxGap int) ([]EventPair, error) {
+	if maxGap < 0 {
+		return nil, fmt.Errorf("core: negative gap %d", maxGap)
+	}
+	as, bs, err := m.eventOperands(kindA, kindB)
+	if err != nil {
+		return nil, err
+	}
+	return followingSweep(as, groupByVideoSorted(bs), kindA == kindB, maxGap), nil
 }
 
 // ScenesWithEventDuring returns scenes of kindA events that lie (Allen
 // during, starts, finishes, or equals) within a kindB event — e.g. net-play
-// scenes occurring within a rally.
+// scenes occurring within a rally. The video join reads the frozen view's
+// pre-decoded video column.
 func (m *MetaIndex) ScenesWithEventDuring(kindA, kindB string) ([]Scene, error) {
 	pairs, err := m.EventsRelated(kindA, kindB, RelDuring, RelStarts, RelFinishes, RelEquals)
+	if err != nil {
+		return nil, err
+	}
+	view, err := m.frozenView()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[int64]bool{}
+	var out []Scene
+	for _, p := range pairs {
+		if seen[p.A.ID] {
+			continue
+		}
+		seen[p.A.ID] = true
+		v, ok := view.videosByID[p.A.VideoID]
+		if !ok {
+			return nil, fmt.Errorf("core: no video with id %d", p.A.VideoID)
+		}
+		out = append(out, Scene{Video: v, Event: p.A})
+	}
+	return out, nil
+}
+
+// ScenesWithEventDuringReference is the retained row-store path of
+// ScenesWithEventDuring.
+func (m *MetaIndex) ScenesWithEventDuringReference(kindA, kindB string) ([]Scene, error) {
+	pairs, err := m.EventsRelatedReference(kindA, kindB, RelDuring, RelStarts, RelFinishes, RelEquals)
 	if err != nil {
 		return nil, err
 	}

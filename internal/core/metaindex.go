@@ -29,6 +29,11 @@ type MetaIndex struct {
 	events   *store.Table
 	nextID   map[string]int64
 	version  atomic.Int64
+
+	// viewSlot caches the frozen columnar read path (see view.go); it is
+	// invalidated by comparing its version tag against the write counter.
+	viewSlot   atomic.Pointer[viewSlot]
+	viewBuilds atomic.Int64
 }
 
 // Version returns a counter that increases on every mutation of the index.
@@ -404,8 +409,27 @@ func (m *MetaIndex) eventAt(row int) (Event, error) {
 	}, nil
 }
 
-// EventsByKind returns all events of the given kind.
+// EventsByKind returns all events of the given kind, answered from the
+// frozen columnar view (a slice copy; no store round-trips).
 func (m *MetaIndex) EventsByKind(kind string) ([]Event, error) {
+	v, err := m.frozenView()
+	if err != nil {
+		return nil, err
+	}
+	kv := v.kinds[kind]
+	if kv == nil {
+		return []Event{}, nil
+	}
+	out := make([]Event, len(kv.events))
+	copy(out, kv.events)
+	return out, nil
+}
+
+// EventsByKindReference is the retained row-store path of EventsByKind:
+// a predicate select plus per-row decode. It exists so parity tests and
+// benchmarks can cross-check the frozen view; both must return identical
+// output on any index.
+func (m *MetaIndex) EventsByKindReference(kind string) ([]Event, error) {
 	rows, err := m.events.Select(store.Eq("kind", store.Str(kind)))
 	if err != nil {
 		return nil, err
@@ -421,8 +445,20 @@ func (m *MetaIndex) EventsByKind(kind string) ([]Event, error) {
 	return out, nil
 }
 
-// EventsOf returns all events of a video.
+// EventsOf returns all events of a video, answered from the frozen view.
 func (m *MetaIndex) EventsOf(videoID int64) ([]Event, error) {
+	v, err := m.frozenView()
+	if err != nil {
+		return nil, err
+	}
+	evs := v.eventsByVideo[videoID]
+	out := make([]Event, len(evs))
+	copy(out, evs)
+	return out, nil
+}
+
+// EventsOfReference is the retained row-store path of EventsOf.
+func (m *MetaIndex) EventsOfReference(videoID int64) ([]Event, error) {
 	rows, err := m.events.Select(store.Eq("video", store.Int(videoID)))
 	if err != nil {
 		return nil, err
@@ -438,10 +474,30 @@ func (m *MetaIndex) EventsOf(videoID int64) ([]Event, error) {
 	return out, nil
 }
 
-// Scenes returns playable scenes for all events of the given kind,
-// joining events with their videos.
+// Scenes returns playable scenes for all events of the given kind, joining
+// events with their videos. The join is precomputed in the frozen view, so
+// a hot call is a single slice copy.
 func (m *MetaIndex) Scenes(kind string) ([]Scene, error) {
-	evs, err := m.EventsByKind(kind)
+	v, err := m.frozenView()
+	if err != nil {
+		return nil, err
+	}
+	kv := v.kinds[kind]
+	if kv == nil {
+		return []Scene{}, nil
+	}
+	if kv.sceneErr != nil {
+		return nil, kv.sceneErr
+	}
+	out := make([]Scene, len(kv.scenes))
+	copy(out, kv.scenes)
+	return out, nil
+}
+
+// ScenesReference is the retained row-store path of Scenes: event select,
+// then a video hash-probe and row decode per event.
+func (m *MetaIndex) ScenesReference(kind string) ([]Scene, error) {
+	evs, err := m.EventsByKindReference(kind)
 	if err != nil {
 		return nil, err
 	}

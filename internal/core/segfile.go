@@ -297,6 +297,18 @@ func (l *SegfileLibrary) versionSum() int64 {
 	return v
 }
 
+// viewBuildsSum totals the frozen-view build counters of the hydrated
+// segments; like versionSum it never triggers a decode.
+func (l *SegfileLibrary) viewBuildsSum() int64 {
+	var v int64
+	for i := range l.slots {
+		if m := l.slots[i].m.Load(); m != nil {
+			v += m.ViewBuilds()
+		}
+	}
+	return v
+}
+
 // View returns a lazy SegmentedIndex over the library: manifest-backed
 // Stats/Version/Metas, per-segment decode on first touch.
 func (l *SegfileLibrary) View() *SegmentedIndex {

@@ -314,6 +314,91 @@ func (s *SegmentedIndex) EventsFollowing(kindA, kindB string, maxGap int) ([]Eve
 	return out, nil
 }
 
+// ScenesReference is Scenes through each partition's retained row-store
+// path — the baseline the frozen columnar view is benchmarked and parity-
+// tested against.
+func (s *SegmentedIndex) ScenesReference(kind string) ([]Scene, error) {
+	var out []Scene
+	for i := 0; i < len(s.metas); i++ {
+		p, err := s.partAt(i)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := p.ScenesReference(kind)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc...)
+	}
+	return out, nil
+}
+
+// EventsByKindReference is EventsByKind through the row-store path.
+func (s *SegmentedIndex) EventsByKindReference(kind string) ([]Event, error) {
+	var out []Event
+	for i := 0; i < len(s.metas); i++ {
+		p, err := s.partAt(i)
+		if err != nil {
+			return nil, err
+		}
+		evs, err := p.EventsByKindReference(kind)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, evs...)
+	}
+	return out, nil
+}
+
+// EventsRelatedReference is EventsRelated through the row-store path.
+func (s *SegmentedIndex) EventsRelatedReference(kindA, kindB string, wanted ...AllenRelation) ([]EventPair, error) {
+	var out []EventPair
+	for i := 0; i < len(s.metas); i++ {
+		p, err := s.partAt(i)
+		if err != nil {
+			return nil, err
+		}
+		ps, err := p.EventsRelatedReference(kindA, kindB, wanted...)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ps...)
+	}
+	return out, nil
+}
+
+// EventsFollowingReference is EventsFollowing through the row-store path.
+func (s *SegmentedIndex) EventsFollowingReference(kindA, kindB string, maxGap int) ([]EventPair, error) {
+	var out []EventPair
+	for i := 0; i < len(s.metas); i++ {
+		p, err := s.partAt(i)
+		if err != nil {
+			return nil, err
+		}
+		ps, err := p.EventsFollowingReference(kindA, kindB, maxGap)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ps...)
+	}
+	return out, nil
+}
+
+// ViewBuilds sums the frozen-view build counters of the hydrated
+// partitions — the number the serving layer exports as
+// dl_sceneview_builds_total. Undecoded lazy segments count 0: they have
+// never built a view.
+func (s *SegmentedIndex) ViewBuilds() int64 {
+	if s.src != nil {
+		return s.src.viewBuildsSum()
+	}
+	var n int64
+	for _, p := range s.parts {
+		n += p.ViewBuilds()
+	}
+	return n
+}
+
 // ------------------------------------------------------------ compaction
 
 // MergeSegmentRange replays partitions [from, to) into one new partition

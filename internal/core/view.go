@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Frozen columnar read path for the event/scene tables.
+//
+// The row-store answers `Scenes(kind)` by a predicate select over the events
+// table, a value-by-value row decode per event, and a hash-probe plus row
+// decode per video — on every query. The frozen view does all of that work
+// once per index version: events are decoded into typed slices grouped by
+// kind, videos are pre-joined into per-kind scene runs, and the per-video
+// sorted groups the interval sweep needs are precomputed. After the build,
+// every read-path query is a slice copy or a merge-sweep over flat arrays
+// with zero store round-trips.
+//
+// Freshness follows the existing write counter: a view is tagged with the
+// Version() it was built at, and the accessor discards it the moment the
+// version moves. The slot lives behind an atomic pointer with a sync.Once
+// guarding the build, so concurrent readers racing a rebuild agree on a
+// single build per version (the serving path's reader-only contract makes
+// this safe against live Commit/Swap, which install whole new segments and
+// never mutate a served MetaIndex).
+//
+// Determinism invariants, locked by TestFrozenViewMatchesReference:
+//   - kindView.events is the events-table row order filtered by kind —
+//     identical to the hash-index candidate order EventsByKindReference
+//     returns (store hash lists are maintained in append order).
+//   - kindView.scenes joins each event with its video in that same order;
+//     a missing video is recorded as sceneErr at the first offender, exactly
+//     where the row-store join would have failed.
+//   - kindView.groups carries the naive operand positions (ordEvent.ord), so
+//     sweep answers restore to scan order byte-identically.
+
+// kindView is one kind's frozen column run.
+type kindView struct {
+	// events holds the kind's events in events-table row order.
+	events []Event
+	// scenes is events pre-joined with videos; nil when sceneErr is set.
+	scenes []Scene
+	// sceneErr is the join error ScenesReference would return, if any.
+	sceneErr error
+	// byVideo groups events per video in row order (the scan operand).
+	byVideo map[int64][]Event
+	// groups is the per-video start-sorted form with prefix-max ends
+	// (the sweep operand). ord values index into events.
+	groups map[int64]*sweepGroup
+}
+
+// metaView is a complete frozen snapshot of the event/scene read path.
+type metaView struct {
+	videosByID    map[int64]Video
+	eventsByVideo map[int64][]Event // events-table row order per video
+	kinds         map[string]*kindView
+}
+
+// viewSlot pairs a built (or building) view with the version it belongs to.
+type viewSlot struct {
+	version int64
+	once    sync.Once
+	view    *metaView
+	err     error
+}
+
+// frozenView returns the view for the current version, building it at most
+// once per version across all concurrent readers.
+func (m *MetaIndex) frozenView() (*metaView, error) {
+	for {
+		cur := m.version.Load()
+		slot := m.viewSlot.Load()
+		if slot == nil || slot.version != cur {
+			fresh := &viewSlot{version: cur}
+			if !m.viewSlot.CompareAndSwap(slot, fresh) {
+				continue // another reader installed a slot; re-examine it
+			}
+			slot = fresh
+		}
+		slot.once.Do(func() {
+			slot.view, slot.err = m.buildView()
+			m.viewBuilds.Add(1)
+		})
+		return slot.view, slot.err
+	}
+}
+
+// ViewBuilds returns how many times the frozen view has been (re)built —
+// the observability hook behind dl_sceneview_builds_total.
+func (m *MetaIndex) ViewBuilds() int64 { return m.viewBuilds.Load() }
+
+// buildView decodes the videos and events tables once into the columnar
+// snapshot. Only store read errors fail the build; join misses are recorded
+// per kind so they surface exactly like the reference path.
+func (m *MetaIndex) buildView() (*metaView, error) {
+	v := &metaView{
+		videosByID:    make(map[int64]Video, m.videos.Len()),
+		eventsByVideo: map[int64][]Event{},
+		kinds:         map[string]*kindView{},
+	}
+	for row := 0; row < m.videos.Len(); row++ {
+		vid, err := m.videoAt(row)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := v.videosByID[vid.ID]; !dup {
+			// First row wins, matching VideoByID's rows[0] probe.
+			v.videosByID[vid.ID] = vid
+		}
+	}
+	for row := 0; row < m.events.Len(); row++ {
+		e, err := m.eventAt(row)
+		if err != nil {
+			return nil, err
+		}
+		kv := v.kinds[e.Kind]
+		if kv == nil {
+			kv = &kindView{byVideo: map[int64][]Event{}}
+			v.kinds[e.Kind] = kv
+		}
+		kv.events = append(kv.events, e)
+		kv.byVideo[e.VideoID] = append(kv.byVideo[e.VideoID], e)
+		v.eventsByVideo[e.VideoID] = append(v.eventsByVideo[e.VideoID], e)
+	}
+	for _, kv := range v.kinds {
+		kv.scenes = make([]Scene, 0, len(kv.events))
+		for _, e := range kv.events {
+			vid, ok := v.videosByID[e.VideoID]
+			if !ok {
+				kv.scenes, kv.sceneErr = nil, fmt.Errorf("core: no video with id %d", e.VideoID)
+				break
+			}
+			kv.scenes = append(kv.scenes, Scene{Video: vid, Event: e})
+		}
+		kv.groups = groupByVideoSorted(kv.events)
+	}
+	return v, nil
+}
+
+// kindEvents returns the frozen operand for a kind: its events, scan groups
+// and sweep groups (all nil/empty for an unseen kind).
+func (v *metaView) kindEvents(kind string) ([]Event, map[int64][]Event, map[int64]*sweepGroup) {
+	kv := v.kinds[kind]
+	if kv == nil {
+		return nil, nil, nil
+	}
+	return kv.events, kv.byVideo, kv.groups
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// sameErr asserts two errors agree in presence and text: the frozen read
+// path must reproduce the row-store path's error behaviour exactly, not
+// just its success behaviour.
+func sameErr(t *testing.T, label string, got, want error) {
+	t.Helper()
+	if (got == nil) != (want == nil) {
+		t.Fatalf("%s: err = %v, reference err = %v", label, got, want)
+	}
+	if got != nil && got.Error() != want.Error() {
+		t.Fatalf("%s: err %q, reference err %q", label, got, want)
+	}
+}
+
+// TestFrozenViewMatchesReference locks every frozen-view query form to its
+// retained row-store reference, byte for byte (reflect.DeepEqual covers
+// ordering, nil-vs-empty, and field values), on an adversarial random
+// corpus.
+func TestFrozenViewMatchesReference(t *testing.T) {
+	m := randomEventIndex(t, 99, 6, 80)
+
+	kinds := []string{"rally", "net-play", "service", "absent-kind"}
+	for _, k := range kinds {
+		gotS, errS := m.Scenes(k)
+		wantS, wantErrS := m.ScenesReference(k)
+		sameErr(t, "Scenes("+k+")", errS, wantErrS)
+		if !reflect.DeepEqual(gotS, wantS) {
+			t.Fatalf("Scenes(%q) = %d scenes, reference %d: %v vs %v", k, len(gotS), len(wantS), gotS, wantS)
+		}
+		gotE, errE := m.EventsByKind(k)
+		wantE, wantErrE := m.EventsByKindReference(k)
+		sameErr(t, "EventsByKind("+k+")", errE, wantErrE)
+		if !reflect.DeepEqual(gotE, wantE) {
+			t.Fatalf("EventsByKind(%q) diverges: %v vs %v", k, gotE, wantE)
+		}
+	}
+
+	for vid := int64(0); vid <= 8; vid++ { // includes absent IDs
+		got, err := m.EventsOf(vid)
+		want, wantErr := m.EventsOfReference(vid)
+		sameErr(t, fmt.Sprintf("EventsOf(%d)", vid), err, wantErr)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("EventsOf(%d) diverges: %v vs %v", vid, got, want)
+		}
+	}
+
+	relSets := [][]AllenRelation{
+		nil, // all relations: scan path
+		{RelDuring},
+		{RelDuring, RelStarts, RelFinishes, RelEquals},
+		{RelMeets, RelMetBy},
+		{RelOverlaps, RelOverlappedBy},
+		{RelBefore}, // scan fallback
+	}
+	pairs := [][2]string{
+		{"net-play", "rally"}, {"service", "rally"},
+		{"rally", "rally"}, // same kind: self-pair exclusion
+		{"rally", "absent-kind"}, {"absent-kind", "rally"},
+	}
+	for _, p := range pairs {
+		for i, rels := range relSets {
+			label := fmt.Sprintf("EventsRelated(%s,%s)#%d", p[0], p[1], i)
+			got, err := m.EventsRelated(p[0], p[1], rels...)
+			want, wantErr := m.EventsRelatedReference(p[0], p[1], rels...)
+			sameErr(t, label, err, wantErr)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s diverges: %d pairs vs %d", label, len(got), len(want))
+			}
+		}
+		for _, gap := range []int{0, 10, 80} {
+			label := fmt.Sprintf("EventsFollowing(%s,%s,%d)", p[0], p[1], gap)
+			got, err := m.EventsFollowing(p[0], p[1], gap)
+			want, wantErr := m.EventsFollowingReference(p[0], p[1], gap)
+			sameErr(t, label, err, wantErr)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s diverges: %d pairs vs %d", label, len(got), len(want))
+			}
+		}
+		gotSc, errSc := m.ScenesWithEventDuring(p[0], p[1])
+		wantSc, wantErrSc := m.ScenesWithEventDuringReference(p[0], p[1])
+		sameErr(t, "ScenesWithEventDuring", errSc, wantErrSc)
+		if !reflect.DeepEqual(gotSc, wantSc) {
+			t.Fatalf("ScenesWithEventDuring(%s,%s) diverges", p[0], p[1])
+		}
+	}
+
+	// Negative gap must error identically (and before building any view).
+	_, err := m.EventsFollowing("rally", "service", -1)
+	_, wantErr := m.EventsFollowingReference("rally", "service", -1)
+	sameErr(t, "EventsFollowing(gap=-1)", err, wantErr)
+}
+
+// chainedParts builds nseg ID-chained partitions with a random event layout,
+// the same construction Library.Commit produces.
+func chainedParts(t *testing.T, nseg int) ([]*MetaIndex, []SegmentMeta) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(300 + nseg)))
+	kinds := []string{"rally", "net-play", "service"}
+	parts := make([]*MetaIndex, nseg)
+	metas := make([]SegmentMeta, nseg)
+	var base IDBase
+	for i := 0; i < nseg; i++ {
+		m, err := NewMetaIndexAt(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < 4; v++ {
+			vid, err := m.AddVideo(Video{Name: fmt.Sprintf("p%d-v%d", i, v), Frames: 1000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seg, err := m.AddSegment(Segment{VideoID: vid, Interval: Interval{0, 1000}, Class: "tennis"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for e := 0; e < 30; e++ {
+				start := rng.Intn(900)
+				ev := Event{
+					VideoID: vid, SegmentID: seg,
+					Kind:     kinds[rng.Intn(len(kinds))],
+					Interval: Interval{Start: start, End: start + rng.Intn(120)},
+				}
+				if _, err := m.AddEvent(ev); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		parts[i] = m
+		metas[i] = SegmentMeta{ID: int64(i + 1), Base: base}
+		base = m.IDState()
+	}
+	return parts, metas
+}
+
+// TestFrozenViewSegmentedMatchesReference repeats the parity check through
+// the SegmentedIndex scatter path at 1, 2 and 3 partitions.
+func TestFrozenViewSegmentedMatchesReference(t *testing.T) {
+	for _, nseg := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("segs=%d", nseg), func(t *testing.T) {
+			parts, metas := chainedParts(t, nseg)
+			si, err := NewSegmentedIndex(parts, metas, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []string{"rally", "net-play", "service", "absent"} {
+				gotS, errS := si.Scenes(k)
+				wantS, wantErrS := si.ScenesReference(k)
+				sameErr(t, "Scenes("+k+")", errS, wantErrS)
+				if !reflect.DeepEqual(gotS, wantS) {
+					t.Fatalf("Scenes(%q) diverges across %d segments", k, nseg)
+				}
+				gotE, errE := si.EventsByKind(k)
+				wantE, wantErrE := si.EventsByKindReference(k)
+				sameErr(t, "EventsByKind("+k+")", errE, wantErrE)
+				if !reflect.DeepEqual(gotE, wantE) {
+					t.Fatalf("EventsByKind(%q) diverges across %d segments", k, nseg)
+				}
+			}
+			for _, rels := range [][]AllenRelation{nil, {RelDuring}, {RelMeets, RelMetBy}} {
+				got, err := si.EventsRelated("net-play", "rally", rels...)
+				want, wantErr := si.EventsRelatedReference("net-play", "rally", rels...)
+				sameErr(t, "EventsRelated", err, wantErr)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("EventsRelated(%v) diverges across %d segments", rels, nseg)
+				}
+			}
+			got, err := si.EventsFollowing("service", "rally", 25)
+			want, wantErr := si.EventsFollowingReference("service", "rally", 25)
+			sameErr(t, "EventsFollowing", err, wantErr)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("EventsFollowing diverges across %d segments", nseg)
+			}
+		})
+	}
+}
+
+// TestFrozenViewMissingVideoErrors locks the dangling-video error contract:
+// same error text, raised at the same (first, in kind row order) offending
+// event as the reference path.
+func TestFrozenViewMissingVideoErrors(t *testing.T) {
+	m, err := NewMetaIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vid, err := m.AddVideo(Video{Name: "good", Frames: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := m.AddSegment(Segment{VideoID: vid, Interval: Interval{0, 100}, Class: "tennis"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First rally event dangles; a later one is fine. The error must name
+	// the first dangling video.
+	for _, e := range []Event{
+		{VideoID: vid + 7, SegmentID: seg, Kind: "rally", Interval: Interval{0, 5}},
+		{VideoID: vid + 9, SegmentID: seg, Kind: "rally", Interval: Interval{5, 9}},
+		{VideoID: vid, SegmentID: seg, Kind: "rally", Interval: Interval{10, 20}},
+		{VideoID: vid, SegmentID: seg, Kind: "net-play", Interval: Interval{12, 15}},
+	} {
+		if _, err := m.AddEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, gotErr := m.Scenes("rally")
+	_, wantErr := m.ScenesReference("rally")
+	sameErr(t, "Scenes with dangling video", gotErr, wantErr)
+	if gotErr == nil {
+		t.Fatal("Scenes with dangling video: expected error")
+	}
+	if want := fmt.Sprintf("core: no video with id %d", vid+7); gotErr.Error() != want {
+		t.Fatalf("Scenes err = %q, want %q", gotErr, want)
+	}
+
+	// The clean kind on the same index still answers.
+	if _, err := m.Scenes("net-play"); err != nil {
+		t.Fatalf("Scenes(net-play) on same index: %v", err)
+	}
+
+	_, gotErr = m.ScenesWithEventDuring("rally", "net-play")
+	_, wantErr = m.ScenesWithEventDuringReference("rally", "net-play")
+	sameErr(t, "ScenesWithEventDuring with dangling video", gotErr, wantErr)
+}
+
+// TestFrozenViewInvalidation: a write must invalidate the frozen view so
+// the next read reflects it, and ViewBuilds must count exactly the
+// rebuilds — hot reads are free.
+func TestFrozenViewInvalidation(t *testing.T) {
+	m := randomEventIndex(t, 12, 3, 20)
+	if n := m.ViewBuilds(); n != 0 {
+		t.Fatalf("ViewBuilds before first read = %d", n)
+	}
+	before, err := m.Scenes("rally")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.ViewBuilds(); n != 1 {
+		t.Fatalf("ViewBuilds after first read = %d, want 1", n)
+	}
+	// Hot reads across all forms share the one view.
+	if _, err := m.EventsByKind("service"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.EventsRelated("net-play", "rally", RelDuring); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.ViewBuilds(); n != 1 {
+		t.Fatalf("ViewBuilds after hot reads = %d, want 1", n)
+	}
+
+	vid, err := m.AddVideo(Video{Name: "new", Frames: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := m.AddSegment(Segment{VideoID: vid, Interval: Interval{0, 50}, Class: "tennis"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddEvent(Event{VideoID: vid, SegmentID: seg, Kind: "rally", Interval: Interval{1, 4}}); err != nil {
+		t.Fatal(err)
+	}
+
+	after, err := m.Scenes("rally")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before)+1 {
+		t.Fatalf("Scenes after write = %d, want %d", len(after), len(before)+1)
+	}
+	last := after[len(after)-1]
+	if last.Video.ID != vid || last.Event.Kind != "rally" {
+		t.Fatalf("new event not visible after write: %+v", last)
+	}
+	if n := m.ViewBuilds(); n != 2 {
+		t.Fatalf("ViewBuilds after write+read = %d, want 2", n)
+	}
+	want, err := m.ScenesReference("rally")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, want) {
+		t.Fatal("post-write Scenes diverges from reference")
+	}
+}
+
+// TestFrozenViewHotPathAllocs pins the hot-path cost: with the view built,
+// Scenes and EventsByKind allocate only the defensive result copy.
+func TestFrozenViewHotPathAllocs(t *testing.T) {
+	m := randomEventIndex(t, 5, 4, 40)
+	if _, err := m.Scenes("rally"); err != nil { // build the view
+		t.Fatal(err)
+	}
+	scenes := testing.AllocsPerRun(100, func() {
+		if _, err := m.Scenes("rally"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if scenes > 1.5 {
+		t.Fatalf("hot Scenes allocates %.1f objects/op, want <= 1 (result copy)", scenes)
+	}
+	events := testing.AllocsPerRun(100, func() {
+		if _, err := m.EventsByKind("rally"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if events > 1.5 {
+		t.Fatalf("hot EventsByKind allocates %.1f objects/op, want <= 1 (result copy)", events)
+	}
+}

@@ -93,6 +93,9 @@ type execState struct {
 	// only for explain plans (one entry per video index partition when the
 	// library is segmented).
 	videoSegs []OpStat
+	// videoView records whether OpVideo answered from the frozen columnar
+	// scene view ("cached") or rebuilt it ("rebuilt"); explain plans only.
+	videoView string
 	// textScores is a leased view of the rank text's dense per-doc scores,
 	// backed by one pooled kernel accumulator per text segment (invalid
 	// when the rank text has no indexable terms); execute releases it after
@@ -162,6 +165,7 @@ func (e *Engine) run(ctx context.Context, p Plan, explain bool) ([]Result, *Expl
 				op.Items += len(ss)
 			}
 			op.Segments = st.videoSegs
+			op.View = st.videoView
 		case OpText:
 			op.Items = st.textStats.DocsTouched
 			stats := st.textStats
@@ -182,6 +186,14 @@ func (e *Engine) run(ctx context.Context, p Plan, explain bool) ([]Result, *Expl
 		Op: "merge", Duration: clampDur(time.Since(t0)), Items: len(results),
 	})
 	return results, ex, nil
+}
+
+// viewLabel renders a frozen-view build-counter delta for explain output.
+func viewLabel(builds int64) string {
+	if builds > 0 {
+		return "rebuilt"
+	}
+	return "cached"
 }
 
 // clampDur keeps explain timings non-zero: an operator that executed always
@@ -206,9 +218,16 @@ func (e *Engine) runOperator(ctx context.Context, kind OpKind, req Request, st *
 		}
 		st.objs = objs
 	case OpVideo:
+		var vb0 int64
+		if st.explain {
+			vb0 = e.video.ViewBuilds()
+		}
 		scenes, err := e.videoScatter(ctx, req.SceneKind, st)
 		if err != nil {
 			return fmt.Errorf("dlse: video part: %w", err)
+		}
+		if st.explain {
+			st.videoView = viewLabel(e.video.ViewBuilds() - vb0)
 		}
 		byName := make(map[string][]core.Scene)
 		for _, s := range scenes {

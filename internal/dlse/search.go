@@ -194,6 +194,10 @@ type OpStat struct {
 	// fanned out across a segmented index (one entry per segment, e.g.
 	// "video[0]", "text[1]"); empty for single-segment execution.
 	Segments []OpStat
+	// View reports whether a scene operator answered from the frozen
+	// columnar view ("cached") or had to rebuild it first ("rebuilt");
+	// empty for operators that do not read the view.
+	View string
 }
 
 // Explain is the introspection payload of a Search: the compiled plan and
@@ -407,6 +411,10 @@ func (e *Engine) SearchAll(ctx context.Context, q Query, withExplain bool) (*Res
 		if e.video.Stats().Videos == 0 {
 			return nil, fmt.Errorf("%w: scene query %q needs an indexed video library", ErrNoIndex, nq.Scenes)
 		}
+		var vb0 int64
+		if withExplain {
+			vb0 = e.video.ViewBuilds()
+		}
 		t0 := time.Now()
 		scenes, err := e.video.Scenes(nq.Scenes)
 		if err != nil {
@@ -419,6 +427,7 @@ func (e *Engine) SearchAll(ctx context.Context, q Query, withExplain bool) (*Res
 		if withExplain {
 			rs.Explain = &Explain{Plan: "[scenes]", Ops: []OpStat{{
 				Op: "scenes", Duration: clampDur(time.Since(t0)), Items: len(scenes),
+				View: viewLabel(e.video.ViewBuilds() - vb0),
 			}}}
 		}
 	}

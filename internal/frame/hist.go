@@ -22,6 +22,26 @@ type Histogram struct {
 	Total float64
 }
 
+// binLUTs caches the channel-value → bin table per bin count (Bins is in
+// [2, 256]), replacing the per-pixel multiply/divide quantization in the
+// extraction hot loop with a table load. A bin index fits uint8. Entries
+// build lazily; the build is idempotent, so a racing double-build is
+// harmless and every reader sees a complete table through the atomic.
+var binLUTs [257]atomic.Pointer[[256]uint8]
+
+// binLUTFor returns the bin table for the given bin count.
+func binLUTFor(bins int) *[256]uint8 {
+	if p := binLUTs[bins].Load(); p != nil {
+		return p
+	}
+	var t [256]uint8
+	for v := 0; v < 256; v++ {
+		t[v] = uint8(v * bins / 256)
+	}
+	binLUTs[bins].Store(&t)
+	return &t
+}
+
 // NewHistogram allocates an empty histogram with the given number of bins
 // per channel. bins must be in [2, 256].
 func NewHistogram(bins int) *Histogram {
@@ -47,10 +67,16 @@ func (h *Histogram) Add(c RGB) {
 	h.Total++
 }
 
-// AddImage accumulates every pixel of the image.
+// AddImage accumulates every pixel of the image. This is the profiled hot
+// loop of shot-boundary detection (E2): per pixel, three LUT loads replace
+// the three multiply/divide quantizations of Index, and the slice-advance
+// form proves the three channel loads in bounds once per pixel.
 func (h *Histogram) AddImage(im *Image) {
-	for i := 0; i < len(im.Pix); i += 3 {
-		h.Counts[h.Index(RGB{im.Pix[i], im.Pix[i+1], im.Pix[i+2]})]++
+	lut := binLUTFor(h.Bins)
+	bins := h.Bins
+	counts := h.Counts
+	for p := im.Pix; len(p) >= 3; p = p[3:] {
+		counts[(int(lut[p[0]])*bins+int(lut[p[1]]))*bins+int(lut[p[2]])]++
 	}
 	h.Total += float64(im.W * im.H)
 }
@@ -58,11 +84,18 @@ func (h *Histogram) AddImage(im *Image) {
 // AddRegion accumulates the pixels of im inside r (clipped to the image).
 func (h *Histogram) AddRegion(im *Image, r Rect) {
 	r = r.Clip(im)
+	if r.X1 <= r.X0 {
+		h.Total += float64(r.Area())
+		return
+	}
+	lut := binLUTFor(h.Bins)
+	bins := h.Bins
+	counts := h.Counts
 	for y := r.Y0; y < r.Y1; y++ {
 		o := im.Offset(r.X0, y)
-		for x := r.X0; x < r.X1; x++ {
-			h.Counts[h.Index(RGB{im.Pix[o], im.Pix[o+1], im.Pix[o+2]})]++
-			o += 3
+		row := im.Pix[o : o+3*(r.X1-r.X0)]
+		for ; len(row) >= 3; row = row[3:] {
+			counts[(int(lut[row[0]])*bins+int(lut[row[1]]))*bins+int(lut[row[2]])]++
 		}
 	}
 	h.Total += float64(r.Area())
@@ -182,8 +215,19 @@ func (h *Histogram) L1Dist(other *Histogram) float64 {
 	if ot == 0 {
 		ot = 1
 	}
-	for i := range h.Counts {
-		d += math.Abs(h.Counts[i]/ht - other.Counts[i]/ot)
+	// One bounds proof for both columns, then fixed-width chunks. The
+	// accumulator order is exactly the scalar loop's, so the sum is
+	// bit-identical; only the bounds checks and loop overhead go away.
+	a, b := h.Counts, other.Counts[:len(h.Counts)]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d += math.Abs(a[i]/ht - b[i]/ot)
+		d += math.Abs(a[i+1]/ht - b[i+1]/ot)
+		d += math.Abs(a[i+2]/ht - b[i+2]/ot)
+		d += math.Abs(a[i+3]/ht - b[i+3]/ot)
+	}
+	for ; i < len(a); i++ {
+		d += math.Abs(a[i]/ht - b[i]/ot)
 	}
 	return d
 }
@@ -200,9 +244,10 @@ func (h *Histogram) ChiSquare(other *Histogram) float64 {
 	if ot == 0 {
 		ot = 1
 	}
-	for i := range h.Counts {
-		a := h.Counts[i] / ht
-		b := other.Counts[i] / ot
+	as, bs := h.Counts, other.Counts[:len(h.Counts)]
+	for i := range as {
+		a := as[i] / ht
+		b := bs[i] / ot
 		if s := a + b; s > 0 {
 			d += (a - b) * (a - b) / s
 		}
@@ -222,8 +267,16 @@ func (h *Histogram) Intersection(other *Histogram) float64 {
 	if ot == 0 {
 		ot = 1
 	}
-	for i := range h.Counts {
-		s += math.Min(h.Counts[i]/ht, other.Counts[i]/ot)
+	a, b := h.Counts, other.Counts[:len(h.Counts)]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += math.Min(a[i]/ht, b[i]/ot)
+		s += math.Min(a[i+1]/ht, b[i+1]/ot)
+		s += math.Min(a[i+2]/ht, b[i+2]/ot)
+		s += math.Min(a[i+3]/ht, b[i+3]/ot)
+	}
+	for ; i < len(a); i++ {
+		s += math.Min(a[i]/ht, b[i]/ot)
 	}
 	return s
 }

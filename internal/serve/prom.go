@@ -43,12 +43,32 @@ func promLabel(s string) string {
 	return r.Replace(s)
 }
 
+// CounterFunc adapts a monotone int64 function into an expvar.Var that the
+// exposition renders as a Prometheus counter (<ns>_<name>_total), the way
+// *expvar.Int entries are. Use it for counters whose source of truth lives
+// outside the server — e.g. the engine's frozen-view build count.
+type CounterFunc func() int64
+
+// String renders the current value (expvar.Var).
+func (f CounterFunc) String() string { return strconv.FormatInt(f(), 10) }
+
+// isCounter reports whether an expvar entry renders as a counter.
+func isCounter(v expvar.Var) bool {
+	switch v.(type) {
+	case *expvar.Int, CounterFunc:
+		return true
+	}
+	return false
+}
+
 // promValue extracts a numeric value from an expvar entry. Funcs are
 // evaluated; non-numeric entries report ok=false and are skipped.
 func promValue(v expvar.Var) (float64, bool) {
 	switch x := v.(type) {
 	case *expvar.Int:
 		return float64(x.Value()), true
+	case CounterFunc:
+		return float64(x()), true
 	case *expvar.Float:
 		return x.Value(), true
 	case expvar.Func:
@@ -99,8 +119,7 @@ func WriteProm(w io.Writer, ns string, m *expvar.Map) {
 			var samples []sample
 			sub.Do(func(skv expvar.KeyValue) {
 				if v, ok := promValue(skv.Value); ok {
-					_, isInt := skv.Value.(*expvar.Int)
-					samples = append(samples, sample{skv.Key, v, isInt})
+					samples = append(samples, sample{skv.Key, v, isCounter(skv.Value)})
 				}
 			})
 			// One TYPE header per metric name, then its samples (entries
@@ -128,7 +147,7 @@ func WriteProm(w io.Writer, ns string, m *expvar.Map) {
 				return
 			}
 			typ := "gauge"
-			if _, isInt := kv.Value.(*expvar.Int); isInt {
+			if isCounter(kv.Value) {
 				name += "_total"
 				typ = "counter"
 			}

@@ -98,6 +98,11 @@ func New(engine *dlse.Engine, opts Options) *Server {
 	s.metrics.Set("active_segments", expvar.Func(func() any {
 		return s.engine.Load().VideoIndex().NumSegments()
 	}))
+	// Monotone across Swap: WithVideo-derived engines share partitions, so
+	// the per-partition build counters carry over.
+	s.metrics.Set("sceneview_builds", CounterFunc(func() int64 {
+		return s.engine.Load().VideoIndex().ViewBuilds()
+	}))
 	s.metrics.Set("generation", expvar.Func(func() any { return s.gen.Load() }))
 	s.metrics.Set("snapshot", expvar.Func(func() any { return s.engine.Load().Snapshot() }))
 	s.metrics.Set("uptime_sec", expvar.Func(func() any { return time.Since(s.start).Seconds() }))

@@ -44,6 +44,7 @@ type (
 		Items    int           `json:"items"`
 		Kernel   *v2KernelJSON `json:"kernel,omitempty"`
 		Segments []v2OpJSON    `json:"segments,omitempty"`
+		View     string        `json:"view,omitempty"`
 	}
 	v2ExplainJSON struct {
 		Plan string     `json:"plan"`
@@ -286,7 +287,7 @@ func toV2Items(items []dlse.Item) []v2Item {
 }
 
 func toV2Op(op dlse.OpStat) v2OpJSON {
-	j := v2OpJSON{Op: op.Op, TookNs: op.Duration.Nanoseconds(), Items: op.Items}
+	j := v2OpJSON{Op: op.Op, TookNs: op.Duration.Nanoseconds(), Items: op.Items, View: op.View}
 	if op.Kernel != nil {
 		j.Kernel = &v2KernelJSON{
 			TermsMatched:   op.Kernel.TermsMatched,

@@ -128,6 +128,9 @@ type Detector struct {
 	// (recycling would overwrite caller-held data on a later Feed).
 	scratch   *frame.Histogram
 	prevOwned bool
+	// distFn caches the metric dispatch so the per-frame distance call is a
+	// direct function call instead of a config compare per frame.
+	distFn func(a, b *frame.Histogram) float64
 }
 
 // NewDetector creates a streaming boundary detector.
@@ -228,10 +231,16 @@ func (d *Detector) FeedHistogram(h *frame.Histogram) (Boundary, bool) {
 }
 
 func (d *Detector) distance(a, b *frame.Histogram) float64 {
-	if d.cfg.Metric == MetricChiSquare {
-		return a.ChiSquare(b)
+	if d.distFn == nil {
+		// Lazy so zero-value and struct-literal detectors (the Sweeper
+		// resets itself this way every run) pick the metric up on first use.
+		if d.cfg.Metric == MetricChiSquare {
+			d.distFn = (*frame.Histogram).ChiSquare
+		} else {
+			d.distFn = (*frame.Histogram).L1Dist
+		}
 	}
-	return a.L1Dist(b)
+	return d.distFn(a, b)
 }
 
 func meanStd(xs []float64) (mean, std float64) {

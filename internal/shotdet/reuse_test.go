@@ -208,3 +208,25 @@ func TestSweeperSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("warm Sweeper allocates %.1f objects/run vs %.1f fresh (< 5x reduction)", warm, fresh)
 	}
 }
+
+// TestSweeperDetectAbsoluteAllocs bounds the warm E2-sweep loop absolutely:
+// once the chunk buffer is warm, a Detect run allocates only the boundary
+// output slice — a handful of objects, independent of frame count. This is
+// the guard for the restructured histogram kernel: a regression that
+// reintroduces per-frame or per-bin allocation trips it immediately.
+func TestSweeperDetectAbsoluteAllocs(t *testing.T) {
+	cfg := synth.DefaultConfig(82)
+	cfg.Shots = 4
+	v, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := DefaultConfig()
+	dcfg.Workers = 1 // keep goroutine spawns out of the alloc counts
+	var sw Sweeper
+	sw.Detect(v.Frames, dcfg) // warm the chunk buffer
+	allocs := testing.AllocsPerRun(20, func() { sw.Detect(v.Frames, dcfg) })
+	if allocs > 8 {
+		t.Fatalf("warm Sweeper.Detect allocates %.1f objects/run over %d frames, want <= 8", allocs, len(v.Frames))
+	}
+}

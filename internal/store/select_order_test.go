@@ -1,0 +1,77 @@
+package store
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestSelectRowOrder locks Select's output-order contract: row indexes come
+// back in ascending row order on every access path — full scan, hash-index
+// probe (whose candidate lists are already in append order and must skip
+// the re-sort), sorted-index range (value order, which must be re-sorted),
+// and indexed probes filtered by residual predicates.
+func TestSelectRowOrder(t *testing.T) {
+	mk := func(index func(*Table) error) *Table {
+		t.Helper()
+		tbl, err := NewTable(Schema{Name: "evs", Columns: []Column{
+			{Name: "kind", Type: TString},
+			{Name: "score", Type: TInt},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if index != nil {
+			if err := index(tbl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Appended so the sorted order of "score" differs from row order and
+		// "rally" rows interleave with the rest.
+		for _, r := range []struct {
+			kind  string
+			score int64
+		}{
+			{"rally", 9}, {"serve", 3}, {"rally", 1}, {"net", 7},
+			{"rally", 5}, {"serve", 9}, {"rally", 2},
+		} {
+			if err := tbl.Append(Str(r.kind), Int(r.score)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tbl
+	}
+
+	cases := []struct {
+		name  string
+		index func(*Table) error
+		preds []Pred
+		want  []int
+	}{
+		{"full-scan", nil,
+			[]Pred{Eq("kind", Str("rally"))}, []int{0, 2, 4, 6}},
+		{"hash-probe", func(tb *Table) error { return tb.CreateHashIndex("kind") },
+			[]Pred{Eq("kind", Str("rally"))}, []int{0, 2, 4, 6}},
+		{"hash-probe-residual", func(tb *Table) error { return tb.CreateHashIndex("kind") },
+			[]Pred{Eq("kind", Str("rally")), Gt("score", Int(1))}, []int{0, 4, 6}},
+		{"sorted-range", func(tb *Table) error { return tb.CreateSortedIndex("score") },
+			[]Pred{Ge("score", Int(5))}, []int{0, 3, 4, 5}},
+		{"sorted-range-residual", func(tb *Table) error { return tb.CreateSortedIndex("score") },
+			[]Pred{Ge("score", Int(2)), Eq("kind", Str("rally"))}, []int{0, 4, 6}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tbl := mk(tc.index)
+			got, err := tbl.Select(tc.preds...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sort.IntsAreSorted(got) {
+				t.Fatalf("Select returned rows out of order: %v", got)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("Select = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

@@ -431,7 +431,13 @@ func (t *Table) Select(preds ...Pred) ([]int, error) {
 		for _, row := range candidates {
 			scan(row)
 		}
-		sort.Ints(out)
+		// Hash-index candidate lists are maintained in append (= row) order,
+		// so the common single-predicate probe is already sorted; only a
+		// sorted-index range (value order) can arrive out of row order. The
+		// O(n) sortedness check skips the O(n log n) sort on the hot path.
+		if !sort.IntsAreSorted(out) {
+			sort.Ints(out)
+		}
 		return out, nil
 	}
 	for row := 0; row < t.n; row++ {

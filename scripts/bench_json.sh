@@ -14,9 +14,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR9.json}"
+OUT="${1:-BENCH_PR10.json}"
 BENCHTIME="${BENCHTIME:-1s}"
-BENCH="${BENCH:-BenchmarkIRQueryFull|BenchmarkSegmentedSearch|BenchmarkColdOpen|BenchmarkSegfileSearch|BenchmarkVecSearch|BenchmarkHybridSearch|BenchmarkE7TopNOptimization|BenchmarkDLSEQuery|BenchmarkDLSETextRank|BenchmarkHistogram\$|BenchmarkE2ShotBoundarySweep}"
+BENCH="${BENCH:-BenchmarkIRQueryFull|BenchmarkSegmentedSearch|BenchmarkColdOpen|BenchmarkSegfileSearch|BenchmarkVecSearch|BenchmarkHybridSearch|BenchmarkE7TopNOptimization|BenchmarkDLSEQuery|BenchmarkDLSETextRank|BenchmarkHistogram\$|BenchmarkE2ShotBoundarySweep|BenchmarkSceneJoin|BenchmarkEventsRelated}"
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
